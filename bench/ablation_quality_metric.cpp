@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Ablation (DESIGN.md Sec. 5): which part of SNIP's quality metric
+ * matters? Compares resumed-training outcomes at a fixed budget when
+ * the ILP objective uses:
+ *   - loss divergence + weight divergence (the paper's Q),
+ *   - loss divergence only,
+ *   - weight divergence only,
+ * plus the option-set granularity (Simple 2-option vs Standard
+ * 4-option vs Full 8-option spaces).
+ *
+ * Expected shape: the combined metric is at least as good as either
+ * component alone (the paper's motivation for using both, Sec. 4), and
+ * finer option sets achieve the same target with equal or lower
+ * objective.
+ */
+#include "bench_common.h"
+
+using namespace snip;
+using namespace snip::bench;
+
+namespace {
+
+PrecisionScheme
+snipVariant(Trainer &trainer, double target, QualityMetric metric,
+            OptionSetKind options)
+{
+    SnipController::Config cc;
+    cc.target_fp4_fraction = target;
+    cc.metric = metric;
+    cc.option_set = options;
+    SnipController controller(cc);
+    Batch batch = BatchIterator(trainer.corpus(),
+                                trainer.config().batch_size, 0x57A7)
+                      .next();
+    return controller
+        .updateScheme(trainer.model(), &trainer.optimizer(), batch)
+        .scheme;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    ArgParser args(argc, argv);
+    const bool full = args.has("full");
+    const int64_t warmup = args.getInt("warmup", 400);
+    const int64_t steps = args.getInt("steps", full ? 80 : 30);
+    const double budget = args.getDouble("budget", 0.75);
+
+    banner("Ablation A", "SNIP quality-metric components @ 75% FP4");
+    Setup setup = makeSetup(tinyllamaSim(), warmup, 15);
+
+    TablePrinter table({"variant", "fp4(%)", "avg_acc(%)",
+                        "final_loss"});
+    struct Variant
+    {
+        const char *name;
+        QualityMetric metric;
+        OptionSetKind options;
+    };
+    const Variant variants[] = {
+        {"loss+weight (SNIP)", QualityMetric::Snip,
+         OptionSetKind::Standard},
+        {"loss_only", QualityMetric::LossOnly, OptionSetKind::Standard},
+        {"weight_only", QualityMetric::WeightOnly,
+         OptionSetKind::Standard},
+        {"SNIP/simple_opts", QualityMetric::Snip, OptionSetKind::Simple},
+        {"SNIP/full_opts", QualityMetric::Snip, OptionSetKind::Full},
+    };
+    for (const Variant &v : variants) {
+        setup.trainer->restore(setup.checkpoint);
+        PrecisionScheme scheme = snipVariant(*setup.trainer, budget,
+                                             v.metric, v.options);
+        RunOutcome out = runScheme(setup, scheme, steps);
+        table.newRow();
+        table.cell(std::string(v.name));
+        table.cell(out.fp4_fraction * 100.0, 1);
+        table.cell(out.eval.average, 2);
+        table.cell(tailMean(out.losses, 5), 4);
+        std::fflush(stdout);
+    }
+    table.print();
+    writeFile("ablation_quality_metric.csv", table.toCsv());
+    return 0;
+}

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Figure 10: heatmap of per-layer quality loss Q under FP4 quantization
+ * for the TinyLlama-class model at its mid checkpoint.
+ *
+ * Expected shape (paper): the last block's MLP is most sensitive;
+ * down-projections (especially in later blocks) and V projections are
+ * more sensitive than Q/K.
+ */
+#include <cmath>
+
+#include "bench_common.h"
+
+using namespace snip;
+using namespace snip::bench;
+
+int
+main(int argc, char **argv)
+{
+    ArgParser args(argc, argv);
+    const int64_t warmup = args.getInt("warmup", 400);
+
+    banner("Figure 10", "layer-wise quality loss under FP4 "
+                        "(0=lowest .. 9=highest, log scale)");
+    Setup setup = makeSetup(tinyllamaSim(), warmup, /*eval_items=*/5);
+    Trainer &trainer = *setup.trainer;
+    LlamaModel &model = trainer.model();
+    FlopsModel flops(model.registry());
+
+    Batch batch = BatchIterator(trainer.corpus(),
+                                trainer.config().batch_size, 0x57A7)
+                      .next();
+    TrainingStats stats =
+        collectTrainingStats(model, &trainer.optimizer(), batch);
+    ProbeResult bwd =
+        runNoiseProbe(model, batch, stats, ProbeKind::Backward);
+    ProbeResult fwd =
+        runNoiseProbe(model, batch, stats, ProbeKind::Forward);
+    DivergenceAnalyzer analyzer(stats, &bwd, &fwd, flops);
+
+    const int n = model.registry().numLinear();
+    std::vector<double> q(static_cast<size_t>(n));
+    double qmin = 1e300, qmax = 0.0;
+    const LayerScheme fp4 = LayerScheme::uniform(Precision::FP4);
+    for (int i = 0; i < n; ++i) {
+        q[static_cast<size_t>(i)] =
+            analyzer.lossDivergence(i, fp4) +
+            analyzer.weightDivergence(i, fp4);
+        qmin = std::min(qmin, q[static_cast<size_t>(i)]);
+        qmax = std::max(qmax, q[static_cast<size_t>(i)]);
+    }
+
+    // Log-scale 0..9 bins.
+    const double lo = std::log10(std::max(qmin, 1e-300));
+    const double hi = std::log10(std::max(qmax, 1e-299));
+    auto bin = [&](double v) {
+        if (hi <= lo)
+            return 0;
+        double t = (std::log10(std::max(v, 1e-300)) - lo) / (hi - lo);
+        return std::min(9, static_cast<int>(t * 10.0));
+    };
+
+    std::printf("blk   ");
+    for (LayerRole role : allLayerRoles())
+        std::printf("%-6s", layerRoleName(role));
+    std::printf("\n");
+    for (int b = 0; b < model.config().n_blocks; ++b) {
+        std::printf("%-6d", b);
+        for (int r = 0; r < kRolesPerBlock; ++r)
+            std::printf("%-6d",
+                        bin(q[static_cast<size_t>(
+                            b * kRolesPerBlock + r)]));
+        std::printf("\n");
+    }
+
+    // Aggregates the paper calls out.
+    double down_mean = 0, qk_mean = 0, v_mean = 0;
+    for (int b = 0; b < model.config().n_blocks; ++b) {
+        down_mean += q[static_cast<size_t>(
+            b * kRolesPerBlock + static_cast<int>(LayerRole::Down))];
+        v_mean += q[static_cast<size_t>(
+            b * kRolesPerBlock + static_cast<int>(LayerRole::V))];
+        qk_mean +=
+            0.5 * (q[static_cast<size_t>(b * kRolesPerBlock)] +
+                   q[static_cast<size_t>(b * kRolesPerBlock + 1)]);
+    }
+    std::printf("\nmean Q by type: Down=%.3e  V=%.3e  Q/K=%.3e "
+                "(expect Down > V > Q/K)\n",
+                down_mean / model.config().n_blocks,
+                v_mean / model.config().n_blocks,
+                qk_mean / model.config().n_blocks);
+    return 0;
+}

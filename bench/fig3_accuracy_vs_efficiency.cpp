@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Figure 3: accuracy vs fraction of FP4 FLOPs for the TinyLlama-class
+ * model, comparing SNIP against every baseline selector.
+ *
+ * Expected shape (paper): FP8 tops accuracy at 0% FP4; SNIP stays near
+ * the FP8/BF16 level out to ~80% FP4; heuristic and random selectors
+ * decay sharply past 25-50%; uniform FP4 (100%) is worst.
+ */
+#include "bench_common.h"
+
+using namespace snip;
+using namespace snip::bench;
+
+int
+main(int argc, char **argv)
+{
+    ArgParser args(argc, argv);
+    const bool full = args.has("full");
+    const int64_t warmup = args.getInt("warmup", 400);
+    const int64_t steps = args.getInt("steps", full ? 100 : 30);
+    const int eval_items = static_cast<int>(
+        args.getInt("eval-items", full ? 30 : 15));
+
+    banner("Figure 3", "accuracy vs fraction of FP4 FLOPs "
+                       "(tinyllama_sim)");
+    Setup setup = makeSetup(tinyllamaSim(), warmup, eval_items);
+
+    const std::vector<double> budgets = {0.25, 0.50, 0.75, 0.80};
+    const std::vector<std::string> methods = {
+        "SNIP",   "min-rel-err", "min-abs-err",
+        "random0", "E-layer-id", "E-layer-type"};
+
+    TablePrinter table({"method", "fp4_fraction(%)", "avg_accuracy(%)",
+                        "final_loss"});
+
+    // Endpoints: FP8 (0% FP4) and FP4 (100%).
+    for (const char *endpoint : {"FP8", "FP4"}) {
+        PrecisionScheme scheme =
+            makeMethodScheme(*setup.trainer, endpoint, 0.0);
+        RunOutcome out = runScheme(setup, scheme, steps);
+        table.newRow();
+        table.cell(std::string(endpoint));
+        table.cell(out.fp4_fraction * 100.0, 1);
+        table.cell(out.eval.average, 2);
+        table.cell(tailMean(out.losses, 5), 4);
+    }
+
+    for (const std::string &method : methods) {
+        for (double budget : budgets) {
+            setup.trainer->restore(setup.checkpoint);
+            PrecisionScheme scheme =
+                makeMethodScheme(*setup.trainer, method, budget);
+            RunOutcome out = runScheme(setup, scheme, steps);
+            table.newRow();
+            table.cell(strformat("%s@%d%%", method.c_str(),
+                                 static_cast<int>(budget * 100)));
+            table.cell(out.fp4_fraction * 100.0, 1);
+            table.cell(out.eval.average, 2);
+            table.cell(tailMean(out.losses, 5), 4);
+            std::fflush(stdout);
+        }
+    }
+
+    table.print();
+    writeFile("fig3_accuracy_vs_efficiency.csv", table.toCsv());
+    std::printf("\n(series written to fig3_accuracy_vs_efficiency.csv)\n");
+    return 0;
+}

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Figure 7: per-layer precision assignments of SNIP vs min-abs-err vs
+ * min-rel-err at 25/50/75% FP4-FLOP budgets (22-block model).
+ *
+ * Expected shape (paper): at 25% the three selectors roughly agree; at
+ * 50-75% the error-minimizing heuristics push early layers to FP4 while
+ * SNIP protects down-projections in middle/late blocks.
+ */
+#include "bench_common.h"
+
+using namespace snip;
+using namespace snip::bench;
+
+int
+main(int argc, char **argv)
+{
+    ArgParser args(argc, argv);
+    const int64_t warmup = args.getInt("warmup", 400);
+
+    banner("Figure 7", "per-layer precision heatmaps at 25/50/75% "
+                       "(4=FP4, 8=FP8)");
+    Setup setup = makeSetup(tinyllamaSim(), warmup, /*eval_items=*/5);
+
+    for (double budget : {0.25, 0.50, 0.75}) {
+        for (const char *method :
+             {"SNIP", "min-abs-err", "min-rel-err"}) {
+            setup.trainer->restore(setup.checkpoint);
+            PrecisionScheme scheme =
+                makeMethodScheme(*setup.trainer, method, budget);
+            FlopsModel fm(setup.trainer->model().registry());
+            std::printf("\n--- %s @ %d%% FP4 FLOPs (achieved %.1f%%) "
+                        "---\n%s",
+                        method, static_cast<int>(budget * 100),
+                        fm.fp4Fraction(scheme) * 100.0,
+                        scheme.renderHeatmap().c_str());
+            std::fflush(stdout);
+        }
+    }
+    return 0;
+}

@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Micro-benchmarks (google-benchmark): quantization kernels at each
+ * granularity/format, GEMM throughput, statistics-collection cost (the
+ * paper claims it is negligible, Sec. 3.1), ILP solve time for
+ * paper-sized instances (paper: "usually takes a few seconds" with a
+ * 30 s limit — exact solves here are far below both), and the DP-vs-
+ * B&B ablation.
+ */
+#include <benchmark/benchmark.h>
+
+#include "core/snip_optimizer.h"
+#include "core/stats_collector.h"
+#include "quant/quantizer.h"
+#include "tensor/gemm.h"
+#include "train/presets.h"
+
+namespace snip {
+namespace {
+
+void
+BM_QuantizeTensor(benchmark::State &state, QuantConfig cfg)
+{
+    Rng rng(1);
+    Tensor t = Tensor::randn({256, 256}, rng);
+    FakeQuantizer q(2);
+    for (auto _ : state) {
+        Tensor out = q.quantize(t, cfg);
+        benchmark::DoNotOptimize(out.data());
+    }
+    state.SetItemsProcessed(state.iterations() * t.numel());
+}
+
+void
+BM_Gemm(benchmark::State &state)
+{
+    const int64_t n = state.range(0);
+    Rng rng(3);
+    Tensor a = Tensor::randn({n, n}, rng);
+    Tensor b = Tensor::randn({n, n}, rng);
+    for (auto _ : state) {
+        Tensor c = matmulNT(a, b);
+        benchmark::DoNotOptimize(c.data());
+    }
+    state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+
+void
+BM_StatsCollection(benchmark::State &state)
+{
+    TrainerConfig cfg = trainerPreset(tinyTestModel());
+    Trainer trainer(cfg);
+    trainer.train(2);
+    Batch batch = trainer.nextBatch();
+    for (auto _ : state) {
+        TrainingStats stats = collectTrainingStats(
+            trainer.model(), &trainer.optimizer(), batch);
+        benchmark::DoNotOptimize(stats.loss);
+    }
+}
+
+void
+BM_PlainStep(benchmark::State &state)
+{
+    TrainerConfig cfg = trainerPreset(tinyTestModel());
+    Trainer trainer(cfg);
+    trainer.train(2);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(trainer.trainStep());
+}
+
+/** Paper-sized ILP: 80 blocks x 7 layers, 4 options. */
+IlpProblem
+paperIlp(int n_layers, double target)
+{
+    Rng rng(11);
+    IlpProblem p;
+    p.target = target;
+    for (int i = 0; i < n_layers; ++i) {
+        std::vector<double> q, e;
+        double base = rng.nextDouble() * 1e-3;
+        for (int j = 0; j < 4; ++j) {
+            q.push_back(base * j * (0.5 + rng.nextDouble()));
+            e.push_back(static_cast<double>(j) / 3.0 / n_layers);
+        }
+        p.quality.push_back(q);
+        p.efficiency.push_back(e);
+    }
+    return p;
+}
+
+void
+BM_IlpBranchAndBound(benchmark::State &state)
+{
+    IlpProblem p = paperIlp(static_cast<int>(state.range(0)), 0.5);
+    for (auto _ : state) {
+        IlpSolution s = solveBranchAndBound(p);
+        benchmark::DoNotOptimize(s.objective);
+    }
+}
+
+void
+BM_IlpDp(benchmark::State &state)
+{
+    IlpProblem p = paperIlp(static_cast<int>(state.range(0)), 0.5);
+    for (auto _ : state) {
+        IlpSolution s = solveDp(p);
+        benchmark::DoNotOptimize(s.objective);
+    }
+}
+
+BENCHMARK_CAPTURE(BM_QuantizeTensor, fp4_tile128,
+                  QuantConfig{fp4E2m1(),
+                              {Granularity::Tilewise, 128},
+                              Rounding::Nearest});
+BENCHMARK_CAPTURE(BM_QuantizeTensor, fp4_tile128_stochastic,
+                  QuantConfig{fp4E2m1(),
+                              {Granularity::Tilewise, 128},
+                              Rounding::Stochastic});
+BENCHMARK_CAPTURE(BM_QuantizeTensor, fp8_block128,
+                  QuantConfig{fp8E4m3(),
+                              {Granularity::Blockwise, 128},
+                              Rounding::Nearest});
+BENCHMARK_CAPTURE(BM_QuantizeTensor, fp8_tensorwise,
+                  QuantConfig{fp8E4m3(),
+                              {Granularity::Tensorwise, 0},
+                              Rounding::Nearest});
+BENCHMARK_CAPTURE(BM_QuantizeTensor, bf16_fastpath,
+                  QuantConfig{bf16(),
+                              {Granularity::Tensorwise, 0},
+                              Rounding::Nearest});
+BENCHMARK(BM_Gemm)->Arg(64)->Arg(128)->Arg(256);
+BENCHMARK(BM_StatsCollection);
+BENCHMARK(BM_PlainStep);
+BENCHMARK(BM_IlpBranchAndBound)->Arg(154)->Arg(560);
+BENCHMARK(BM_IlpDp)->Arg(154)->Arg(560);
+
+} // namespace
+} // namespace snip
+
+BENCHMARK_MAIN();

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Table 1: per-benchmark accuracy of every quantization scheme at fixed
+ * FP4-FLOP budgets (25/50/75%, plus SNIP at 80/85% and uniform FP4),
+ * for the TinyLlama-class model at its mid-training checkpoint.
+ *
+ * Expected shape (paper): SNIP tracks the BF16 row at every budget;
+ * min-abs/min-rel hold up at 25% but collapse at >= 50%; random and
+ * E-layer-type collapse earlier; uniform FP4 is degenerate.
+ */
+#include "bench_common.h"
+
+using namespace snip;
+using namespace snip::bench;
+
+namespace {
+
+void
+emitRow(TablePrinter &table, const std::string &label,
+        const RunOutcome &out)
+{
+    table.newRow();
+    table.cell(label);
+    for (const auto &t : out.eval.tasks)
+        table.cell(t.accuracy, 1);
+    table.cell(out.eval.average, 2);
+    std::fflush(stdout);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    ArgParser args(argc, argv);
+    const bool full = args.has("full");
+    const int64_t warmup = args.getInt("warmup", 400);
+    const int64_t steps = args.getInt("steps", full ? 100 : 30);
+    const int eval_items = static_cast<int>(
+        args.getInt("eval-items", full ? 30 : 15));
+
+    banner("Table 1", "per-benchmark accuracy across quantization "
+                      "schemes (tinyllama_sim @ mid checkpoint)");
+    Setup setup = makeSetup(tinyllamaSim(), warmup, eval_items);
+
+    std::vector<std::string> headers = {"scheme"};
+    for (const auto &task : setup.suite)
+        headers.push_back(task.name + "(" + task.analog_of + ")");
+    headers.push_back("Average");
+    TablePrinter table(headers);
+
+    // Reference rows.
+    for (const char *ref : {"BF16", "FP8"}) {
+        RunOutcome out = runScheme(
+            setup, makeMethodScheme(*setup.trainer, ref, 0.0), steps);
+        emitRow(table, strformat("0%%/%s", ref), out);
+    }
+
+    const std::vector<double> budgets = {0.25, 0.50, 0.75};
+    std::vector<std::string> methods = {"SNIP", "min-abs-err",
+                                        "min-rel-err", "random0",
+                                        "random1", "random2",
+                                        "E-layer-id", "E-layer-type"};
+    if (!full) {
+        methods = {"SNIP", "min-abs-err", "min-rel-err", "random0",
+                   "E-layer-type"};
+    }
+    for (double budget : budgets) {
+        for (const auto &method : methods) {
+            setup.trainer->restore(setup.checkpoint);
+            PrecisionScheme scheme =
+                makeMethodScheme(*setup.trainer, method, budget);
+            RunOutcome out = runScheme(setup, scheme, steps);
+            emitRow(table,
+                    strformat("%d%%/%s",
+                              static_cast<int>(budget * 100),
+                              method.c_str()),
+                    out);
+        }
+    }
+
+    // SNIP's high-budget rows and the FP4 endpoint.
+    for (double budget : {0.80, 0.85}) {
+        setup.trainer->restore(setup.checkpoint);
+        PrecisionScheme scheme =
+            makeMethodScheme(*setup.trainer, "SNIP", budget);
+        RunOutcome out = runScheme(setup, scheme, steps);
+        emitRow(table,
+                strformat("%d%%/SNIP", static_cast<int>(budget * 100)),
+                out);
+    }
+    emitRow(table, "100%/FP4",
+            runScheme(setup,
+                      makeMethodScheme(*setup.trainer, "FP4", 0.0),
+                      steps));
+
+    table.print();
+    writeFile("table1_benchmark_accuracy.csv", table.toCsv());
+    std::printf("\n(rows written to table1_benchmark_accuracy.csv)\n");
+    return 0;
+}

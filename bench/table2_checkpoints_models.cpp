@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Table 2: average accuracy across training checkpoints and model
+ * sizes. TinyLlama-class at early/mid/late checkpoints under a 75%
+ * budget; 3B- and 7B-class models under 50% (the paper notes OpenLlama
+ * is more precision-sensitive).
+ *
+ * Expected shape (paper): SNIP within noise of BF16 in every column;
+ * min-abs/min-rel fail on at least the mid-1B column; random seeds are
+ * erratic across columns.
+ */
+#include "bench_common.h"
+
+using namespace snip;
+using namespace snip::bench;
+
+int
+main(int argc, char **argv)
+{
+    ArgParser args(argc, argv);
+    const bool full = args.has("full");
+    const int64_t steps = args.getInt("steps", full ? 60 : 20);
+    const int eval_items = static_cast<int>(
+        args.getInt("eval-items", full ? 25 : 12));
+
+    banner("Table 2", "accuracy across checkpoints and model sizes");
+
+    struct Column
+    {
+        ModelConfig model;
+        int64_t ckpt;
+        double budget;
+    };
+    std::vector<Column> cols = {
+        {tinyllamaSim(), 100, 0.75},
+        {tinyllamaSim(), 400, 0.75},
+        {tinyllamaSim(), 800, 0.75},
+        {openllama3bSim(), 300, 0.50},
+        {openllama7bSim(), 300, 0.50},
+    };
+    if (full) {
+        cols.push_back({openllama3bSim(), 600, 0.50});
+        cols.push_back({openllama7bSim(), 600, 0.50});
+    }
+
+    std::vector<std::string> methods = {
+        "BF16",    "SNIP",    "min-abs-err", "min-rel-err",
+        "random0", "random1", "random2"};
+    if (!full)
+        methods = {"BF16", "SNIP", "min-abs-err", "min-rel-err",
+                   "random0"};
+
+    std::vector<std::string> headers = {"scheme"};
+    for (const auto &c : cols) {
+        headers.push_back(strformat("%s@%lld(%d%%)",
+                                    c.model.name.c_str(),
+                                    static_cast<long long>(c.ckpt),
+                                    static_cast<int>(c.budget * 100)));
+    }
+    TablePrinter table(headers);
+    std::vector<std::vector<double>> grid(
+        methods.size(), std::vector<double>(cols.size(), 0.0));
+
+    for (size_t ci = 0; ci < cols.size(); ++ci) {
+        const Column &col = cols[ci];
+        Setup setup = makeSetup(col.model, col.ckpt, eval_items);
+        for (size_t mi = 0; mi < methods.size(); ++mi) {
+            setup.trainer->restore(setup.checkpoint);
+            PrecisionScheme scheme = makeMethodScheme(
+                *setup.trainer, methods[mi], col.budget);
+            RunOutcome out = runScheme(setup, scheme, steps);
+            grid[mi][ci] = out.eval.average;
+            std::printf(".");
+            std::fflush(stdout);
+        }
+    }
+    std::printf("\n");
+
+    for (size_t mi = 0; mi < methods.size(); ++mi) {
+        table.newRow();
+        table.cell(methods[mi]);
+        for (size_t ci = 0; ci < cols.size(); ++ci)
+            table.cell(grid[mi][ci], 2);
+    }
+    table.print();
+    writeFile("table2_checkpoints_models.csv", table.toCsv());
+    std::printf("\n(rows written to table2_checkpoints_models.csv)\n");
+    return 0;
+}

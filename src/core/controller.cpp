@@ -1,0 +1,59 @@
+#include "core/controller.h"
+
+#include "util/logging.h"
+
+namespace snip {
+
+SchemeSelection
+SnipController::updateScheme(LlamaModel &model, AdamW *optimizer,
+                             const Batch &batch)
+{
+    FlopsModel flops(model.registry());
+
+    // Steps 1-3: instrumented iteration + the two noise probes.
+    stats_ = collectTrainingStats(model, optimizer, batch);
+    ProbeResult bwd = runNoiseProbe(model, batch, stats_,
+                                    ProbeKind::Backward, config_.probe);
+    ProbeResult fwd = runNoiseProbe(model, batch, stats_,
+                                    ProbeKind::Forward, config_.probe);
+
+    // Step 4: divergence analysis.
+    DivergenceAnalyzer analyzer(stats_, &bwd, &fwd, flops);
+    DivergenceOptions dopts;
+    dopts.metric = config_.metric;
+    dopts.weight_div_scale = config_.weight_div_scale;
+    table_ = analyzer.analyze(makeOptionSet(config_.option_set), dopts);
+
+    // Step 5: solve the ILP.
+    selection_ = selectScheme(table_, config_.target_fp4_fraction, flops,
+                              config_.solve, config_.pipeline);
+
+    // Step 6: apply.
+    model.setScheme(selection_.scheme);
+    has_selection_ = true;
+
+    overhead_.extra_passes = 3;
+    overhead_.solve_seconds = selection_.ilp.solve_seconds;
+    overhead_.ilp_nodes = selection_.ilp.nodes_explored;
+
+    debugLog("SNIP scheme updated: fp4_fraction=",
+             selection_.fp4_fraction,
+             " objective=", selection_.ilp.objective);
+    return selection_;
+}
+
+bool
+SnipController::maybeUpdate(LlamaModel &model, AdamW *optimizer,
+                            const Batch &batch, int64_t step)
+{
+    const bool due =
+        (!has_selection_ && config_.update_at_start) ||
+        (config_.update_interval > 0 && step > 0 &&
+         step % config_.update_interval == 0);
+    if (!due)
+        return false;
+    updateScheme(model, optimizer, batch);
+    return true;
+}
+
+} // namespace snip

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Step 6 / orchestration: the SnipController runs the whole Fig. 6
+ * workflow — collect stats, probe, analyze, solve, apply — periodically
+ * during training.
+ *
+ * The paper runs analysis + ILP asynchronously on the CPU while GPU
+ * training continues; in this CPU-only reproduction the controller runs
+ * them inline but accounts for the overhead separately (the extra
+ * passes of Steps 1-3 and the solve time), so the paper's overhead
+ * discussion (Sec. 6.3) can still be reproduced.
+ */
+#ifndef SNIP_CORE_CONTROLLER_H
+#define SNIP_CORE_CONTROLLER_H
+
+#include "core/snip_optimizer.h"
+
+namespace snip {
+
+/** Overhead accounting of one scheme update. */
+struct UpdateOverhead
+{
+    /** Extra forward+backward passes run (Steps 1-3 => 3). */
+    int extra_passes = 0;
+    /** ILP wall-clock seconds. */
+    double solve_seconds = 0.0;
+    /** ILP nodes explored. */
+    int64_t ilp_nodes = 0;
+};
+
+/** Periodic scheme-update driver. */
+class SnipController
+{
+  public:
+    /** All knobs of the SNIP pipeline. */
+    struct Config
+    {
+        /** Efficiency target E_t: required FP4 FLOP fraction. */
+        double target_fp4_fraction = 0.5;
+        /** Steps between scheme regenerations (paper: ~100k real
+         *  steps; scaled down here). */
+        int64_t update_interval = 100;
+        /** Regenerate at step 0 (before the first update)? */
+        bool update_at_start = true;
+        OptionSetKind option_set = OptionSetKind::Standard;
+        QualityMetric metric = QualityMetric::Snip;
+        double weight_div_scale = 1.0;
+        ProbeOptions probe;
+        IlpSolveOptions solve;
+        PipelineConstraint pipeline;
+    };
+
+    explicit SnipController(const Config &config) : config_(config) {}
+
+    /**
+     * Run Steps 1-6 once on @p batch and apply the resulting scheme to
+     * the model. Leaves parameter gradients dirty — callers zero them
+     * before their next real training pass.
+     */
+    SchemeSelection updateScheme(LlamaModel &model, AdamW *optimizer,
+                                 const Batch &batch);
+
+    /**
+     * Trainer hook: regenerate the scheme when @p step hits the update
+     * cadence. Returns true when an update ran.
+     */
+    bool maybeUpdate(LlamaModel &model, AdamW *optimizer,
+                     const Batch &batch, int64_t step);
+
+    const Config &config() const { return config_; }
+
+    bool hasSelection() const { return has_selection_; }
+    const SchemeSelection &lastSelection() const { return selection_; }
+    const TrainingStats &lastStats() const { return stats_; }
+    const DivergenceTable &lastTable() const { return table_; }
+    const UpdateOverhead &lastOverhead() const { return overhead_; }
+
+  private:
+    Config config_;
+    SchemeSelection selection_;
+    TrainingStats stats_;
+    DivergenceTable table_;
+    UpdateOverhead overhead_;
+    bool has_selection_ = false;
+};
+
+} // namespace snip
+
+#endif // SNIP_CORE_CONTROLLER_H

@@ -1,0 +1,70 @@
+#include "core/noise_probe.h"
+
+#include "tensor/ops.h"
+#include "util/logging.h"
+
+namespace snip {
+
+std::vector<double>
+ProbeResult::relativeAmplification() const
+{
+    std::vector<double> out(grad_delta.size(), 0.0);
+    if (noise_norm <= 0.0 || inject_point_norm <= 0.0)
+        return out;
+    const double rho = noise_norm / inject_point_norm;
+    for (size_t i = 0; i < grad_delta.size(); ++i)
+        out[i] = grad_delta[i] / rho;
+    return out;
+}
+
+ProbeResult
+runNoiseProbe(LlamaModel &model, const Batch &batch,
+              const TrainingStats &baseline, ProbeKind kind,
+              const ProbeOptions &options)
+{
+    const LayerRegistry &reg = model.registry();
+    SNIP_ASSERT(baseline.layers.size() ==
+                static_cast<size_t>(reg.numLinear()));
+    SNIP_ASSERT(!baseline.layers.empty() &&
+                baseline.layers[0].dw_dump.numel() > 0,
+                "probe requires gradient dumps (StatsOptions::"
+                "dump_gradients)");
+
+    ProbeResult result;
+    result.kind = kind;
+    result.inject_point_norm = kind == ProbeKind::Forward
+                                   ? baseline.hidden_norm
+                                   : baseline.hidden_grad_norm;
+    const double eps = options.relative_eps * result.inject_point_norm;
+    SNIP_ASSERT(eps > 0.0, "degenerate injection point");
+
+    // Probes run at high precision like the stats pass.
+    const PrecisionScheme active = model.currentScheme();
+    model.setScheme(PrecisionScheme::uniform(
+        static_cast<size_t>(reg.numLinear()), Precision::BF16));
+
+    if (kind == ProbeKind::Forward)
+        model.setForwardNoise(eps);
+    else
+        model.setBackwardNoise(eps);
+
+    model.zeroGrad();
+    LossResult loss = model.forwardLoss(batch.tokens, batch.targets,
+                                        batch.batch, batch.seq);
+    model.backward(loss.dlogits);
+
+    model.setForwardNoise(0.0);
+    model.setBackwardNoise(0.0);
+    result.noise_norm = model.lastNoiseNorm();
+    model.setScheme(active);
+
+    result.grad_delta.resize(static_cast<size_t>(reg.numLinear()));
+    for (int i = 0; i < reg.numLinear(); ++i) {
+        const Tensor &noisy = model.linear(i).grad();
+        result.grad_delta[static_cast<size_t>(i)] = diffNorm(
+            noisy, baseline.layers[static_cast<size_t>(i)].dw_dump);
+    }
+    return result;
+}
+
+} // namespace snip

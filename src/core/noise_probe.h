@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Steps 2-3 of the SNIP workflow (Fig. 6): noise-injection probes.
+ *
+ * Computing the second-order derivatives ||d(dL/dW_l)/dX_j||_F exactly
+ * is prohibitive, so the paper estimates them stochastically via
+ * Theorem 4.2: inject a small Gaussian perturbation at the last layer —
+ * into the backward gradient stream (Step 2) or the forward activations
+ * (Step 3) — rerun forward+backward on the *same batch* without
+ * updating weights, and measure the per-layer Frobenius norm of the
+ * change in each weight gradient against the Step-1 dump.
+ */
+#ifndef SNIP_CORE_NOISE_PROBE_H
+#define SNIP_CORE_NOISE_PROBE_H
+
+#include <vector>
+
+#include "core/stats_collector.h"
+
+namespace snip {
+
+/** Where the probe injects its perturbation. */
+enum class ProbeKind
+{
+    Backward, ///< Step 2: noise into the last block's incoming gradient
+    Forward,  ///< Step 3: noise into the last block's output activation
+};
+
+/** Result of one probe pass. */
+struct ProbeResult
+{
+    ProbeKind kind = ProbeKind::Backward;
+    /** ||dW_l(noisy) - dW_l(baseline)||_F per layer. */
+    std::vector<double> grad_delta;
+    /** Actual norm of the injected noise (the eps of Theorem 4.2). */
+    double noise_norm = 0.0;
+    /** Norm of the stream at the injection point (baseline pass). */
+    double inject_point_norm = 0.0;
+
+    /**
+     * Per-layer sensitivity to a *unit-relative* perturbation of the
+     * injected stream: grad_delta[l] / (noise_norm/inject_point_norm).
+     */
+    std::vector<double> relativeAmplification() const;
+};
+
+/** Probe controls. */
+struct ProbeOptions
+{
+    /** Noise norm as a fraction of the injection-point norm. */
+    double relative_eps = 1e-3;
+};
+
+/**
+ * Run one probe: injects noise of norm relative_eps * (injection-point
+ * norm from @p baseline), reruns forward+backward in uniform BF16 on
+ * the same batch, and diffs each layer's dW against the dumps stored in
+ * @p baseline. Weights are not updated; gradients are left dirty (the
+ * caller snapshots/zeroes as needed). The model's active scheme is
+ * restored on return.
+ */
+ProbeResult runNoiseProbe(LlamaModel &model, const Batch &batch,
+                          const TrainingStats &baseline, ProbeKind kind,
+                          const ProbeOptions &options = {});
+
+} // namespace snip
+
+#endif // SNIP_CORE_NOISE_PROBE_H

@@ -1,0 +1,41 @@
+#include "data/batch.h"
+
+#include <cstddef>
+
+namespace snip {
+
+BatchIterator::BatchIterator(const SyntheticCorpus &corpus,
+                             int64_t batch_size, uint64_t stream_seed)
+    : corpus_(corpus),
+      batch_size_(batch_size),
+      stream_seed_(stream_seed),
+      rng_(stream_seed)
+{
+}
+
+Batch
+BatchIterator::next()
+{
+    const int64_t seq = corpus_.config().seq_len;
+    Batch b;
+    b.batch = batch_size_;
+    b.seq = seq;
+    b.tokens.reserve(static_cast<size_t>(batch_size_ * seq));
+    b.targets.reserve(static_cast<size_t>(batch_size_ * seq));
+    for (int64_t i = 0; i < batch_size_; ++i) {
+        std::vector<int32_t> row = corpus_.sampleSequence(rng_);
+        for (int64_t s = 0; s < seq; ++s) {
+            b.tokens.push_back(row[static_cast<size_t>(s)]);
+            b.targets.push_back(row[static_cast<size_t>(s + 1)]);
+        }
+    }
+    return b;
+}
+
+void
+BatchIterator::reset()
+{
+    rng_ = Rng(stream_seed_);
+}
+
+} // namespace snip

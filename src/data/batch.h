@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Training batches and the corpus-backed batch iterator.
+ */
+#ifndef SNIP_DATA_BATCH_H
+#define SNIP_DATA_BATCH_H
+
+#include <cstdint>
+#include <vector>
+
+#include "data/corpus.h"
+
+namespace snip {
+
+/** One training batch: batch*seq input tokens and shifted targets. */
+struct Batch
+{
+    std::vector<int32_t> tokens;
+    std::vector<int32_t> targets;
+    int64_t batch = 0;
+    int64_t seq = 0;
+};
+
+/**
+ * Draws fixed-shape next-token-prediction batches from a corpus.
+ *
+ * Deterministic: the sequence of batches depends only on the corpus
+ * seed and this iterator's stream seed, so BF16 and quantized runs can
+ * consume *identical* data (the paper's divergence metrics compare runs
+ * on the same batches).
+ */
+class BatchIterator
+{
+  public:
+    BatchIterator(const SyntheticCorpus &corpus, int64_t batch_size,
+                  uint64_t stream_seed);
+
+    /** Produce the next batch. */
+    Batch next();
+
+    /** Restart the stream from its seed (replays the same batches). */
+    void reset();
+
+    int64_t batchSize() const { return batch_size_; }
+
+  private:
+    const SyntheticCorpus &corpus_;
+    int64_t batch_size_;
+    uint64_t stream_seed_;
+    Rng rng_;
+};
+
+} // namespace snip
+
+#endif // SNIP_DATA_BATCH_H

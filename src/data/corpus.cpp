@@ -1,0 +1,157 @@
+#include "data/corpus.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace snip {
+
+SyntheticCorpus::SyntheticCorpus(const CorpusConfig &config)
+    : config_(config)
+{
+    SNIP_ASSERT(config.vocab_size > tokens::kText0 + 8,
+                "vocab too small for the synthetic corpus");
+    Rng structure_rng(config.seed);
+    const int32_t lo = textLo(), hi = textHi();
+    const int32_t n_text = hi - lo;
+    successors_.resize(static_cast<size_t>(n_text));
+    for (int32_t t = 0; t < n_text; ++t) {
+        auto &succ = successors_[static_cast<size_t>(t)];
+        double remaining = 1.0;
+        for (int b = 0; b < config.branching; ++b) {
+            int32_t next =
+                lo + static_cast<int32_t>(
+                         structure_rng.nextBelow(
+                             static_cast<uint64_t>(n_text)));
+            double p = (b + 1 == config.branching)
+                           ? remaining
+                           : remaining *
+                                 (0.3 + 0.5 * structure_rng.nextDouble());
+            succ.emplace_back(next, static_cast<float>(p));
+            remaining -= p;
+        }
+    }
+}
+
+const std::vector<std::pair<int32_t, float>> &
+SyntheticCorpus::successors(int32_t token) const
+{
+    SNIP_ASSERT(token >= textLo() && token < textHi());
+    return successors_[static_cast<size_t>(token - textLo())];
+}
+
+int32_t
+SyntheticCorpus::sampleMarkovNext(int32_t token, Rng &rng) const
+{
+    const auto &succ = successors(token);
+    double u = rng.nextDouble();
+    for (const auto &[next, p] : succ) {
+        u -= p;
+        if (u <= 0.0)
+            return next;
+    }
+    return succ.back().first;
+}
+
+std::vector<int32_t>
+SyntheticCorpus::sampleSegment(SegmentKind kind, Rng &rng) const
+{
+    const int32_t lo = textLo(), hi = textHi();
+    auto rand_text = [&] {
+        return lo + static_cast<int32_t>(rng.nextBelow(
+                        static_cast<uint64_t>(hi - lo)));
+    };
+    std::vector<int32_t> seg;
+    switch (kind) {
+      case SegmentKind::Markov: {
+        int len = static_cast<int>(rng.nextRange(8, 16));
+        int32_t t = rand_text();
+        seg.push_back(t);
+        for (int i = 1; i < len; ++i) {
+            t = sampleMarkovNext(t, rng);
+            seg.push_back(t);
+        }
+        break;
+      }
+      case SegmentKind::Copy: {
+        int len = static_cast<int>(rng.nextRange(3, 6));
+        std::vector<int32_t> pat;
+        for (int i = 0; i < len; ++i)
+            pat.push_back(rand_text());
+        seg.push_back(tokens::kBos);
+        seg.insert(seg.end(), pat.begin(), pat.end());
+        seg.push_back(tokens::kSep);
+        seg.insert(seg.end(), pat.begin(), pat.end());
+        break;
+      }
+      case SegmentKind::Reverse: {
+        int len = static_cast<int>(rng.nextRange(3, 6));
+        std::vector<int32_t> pat;
+        for (int i = 0; i < len; ++i)
+            pat.push_back(rand_text());
+        seg.push_back(tokens::kBos);
+        seg.insert(seg.end(), pat.begin(), pat.end());
+        seg.push_back(tokens::kSep);
+        seg.insert(seg.end(), pat.rbegin(), pat.rend());
+        break;
+      }
+      case SegmentKind::ModularAdd: {
+        int a = static_cast<int>(rng.nextBelow(10));
+        int b = static_cast<int>(rng.nextBelow(10));
+        seg = {tokens::kBos, tokens::kDigit0 + a, tokens::kDigit0 + b,
+               tokens::kSep, tokens::kDigit0 + (a + b) % 10};
+        break;
+      }
+      case SegmentKind::Parity: {
+        int len = static_cast<int>(rng.nextRange(4, 9));
+        int ones = 0;
+        seg.push_back(tokens::kBos);
+        for (int i = 0; i < len; ++i) {
+            int bit = static_cast<int>(rng.nextBelow(2));
+            ones += bit;
+            seg.push_back(tokens::kDigit0 + bit);
+        }
+        seg.push_back(tokens::kSep);
+        seg.push_back(ones % 2 ? tokens::kTrue : tokens::kFalse);
+        break;
+      }
+      case SegmentKind::Induction: {
+        // A B ... A -> B: repeated bigram the model must recall.
+        int32_t a = rand_text(), b = rand_text();
+        int filler = static_cast<int>(rng.nextRange(2, 5));
+        seg.push_back(tokens::kBos);
+        seg.push_back(a);
+        seg.push_back(b);
+        for (int i = 0; i < filler; ++i)
+            seg.push_back(rand_text());
+        seg.push_back(a);
+        seg.push_back(b);
+        break;
+      }
+    }
+    return seg;
+}
+
+std::vector<int32_t>
+SyntheticCorpus::sampleSequence(Rng &rng) const
+{
+    std::vector<int32_t> out;
+    out.reserve(static_cast<size_t>(config_.seq_len) + 1);
+    while (out.size() < static_cast<size_t>(config_.seq_len) + 1) {
+        SegmentKind kind;
+        if (rng.nextDouble() < config_.markov_frac) {
+            kind = SegmentKind::Markov;
+        } else {
+            kind = static_cast<SegmentKind>(1 + rng.nextBelow(5));
+        }
+        std::vector<int32_t> seg = sampleSegment(kind, rng);
+        for (int32_t t : seg) {
+            if (out.size() >= static_cast<size_t>(config_.seq_len) + 1)
+                break;
+            out.push_back(t);
+        }
+    }
+    return out;
+}
+
+} // namespace snip

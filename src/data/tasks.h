@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Synthetic multiple-choice evaluation tasks.
+ *
+ * Substitute for the LM-Evaluation-Harness benchmarks (Sec. 6.1): eight
+ * task families whose skills the synthetic corpus teaches, scored the
+ * way lm-eval scores 0-shot multiple choice — per-option length-
+ * normalized log-likelihood. The family names record which paper
+ * benchmark each one stands in for.
+ */
+#ifndef SNIP_DATA_TASKS_H
+#define SNIP_DATA_TASKS_H
+
+#include <string>
+#include <vector>
+
+#include "data/corpus.h"
+
+namespace snip {
+
+/** One multiple-choice item: context + candidate completions. */
+struct EvalItem
+{
+    std::vector<int32_t> context;
+    std::vector<std::vector<int32_t>> options;
+    int correct = 0;
+};
+
+/** A named set of items. */
+struct EvalTask
+{
+    std::string name;      ///< e.g. "RevSeq"
+    std::string analog_of; ///< e.g. "ARC_c"
+    std::vector<EvalItem> items;
+};
+
+/** The eight synthetic task families. */
+enum class TaskFamily
+{
+    CopySeq = 0,   ///< ARC_e analog: copy the shown pattern
+    RevSeq,        ///< ARC_c analog: reverse the shown pattern
+    ModAdd,        ///< MMLU analog: modular addition
+    ParityQ,       ///< BoolQ analog: yes/no parity question
+    MarkovCont,    ///< HellaSwag analog: most plausible continuation
+    InductRecall,  ///< OpenBookQA analog: recall the bigram
+    MaxToken,      ///< PiQA analog: pick the max token seen
+    PairMatch,     ///< WinoGrande analog: 2-way disambiguation
+};
+
+/** Number of task families. */
+inline constexpr int kNumTaskFamilies = 8;
+
+/** Name of the family ("CopySeq"...). */
+const char *taskFamilyName(TaskFamily family);
+
+/** Paper benchmark each family stands in for ("ARC_e"...). */
+const char *taskFamilyAnalog(TaskFamily family);
+
+/** Generate @p n_items items for one family. */
+EvalTask makeTask(TaskFamily family, const SyntheticCorpus &corpus,
+                  int n_items, uint64_t seed);
+
+/** Generate the full 8-task suite. */
+std::vector<EvalTask> makeEvalSuite(const SyntheticCorpus &corpus,
+                                    int n_items_per_task, uint64_t seed);
+
+} // namespace snip
+
+#endif // SNIP_DATA_TASKS_H

@@ -1,0 +1,90 @@
+#include "eval/harness.h"
+
+#include "nn/loss.h"
+#include "util/logging.h"
+
+namespace snip {
+
+double
+EvalResult::taskAccuracy(const std::string &name) const
+{
+    for (const auto &t : tasks) {
+        if (t.name == name || t.analog_of == name)
+            return t.accuracy;
+    }
+    fatal("no such eval task: ", name);
+}
+
+bool
+scoreItem(LlamaModel &model, const EvalItem &item)
+{
+    SNIP_ASSERT(!item.options.empty());
+    double best = -1e300;
+    int best_idx = 0;
+    for (size_t o = 0; o < item.options.size(); ++o) {
+        const auto &opt = item.options[o];
+        std::vector<int32_t> seq = item.context;
+        seq.insert(seq.end(), opt.begin(), opt.end());
+        const int64_t len = static_cast<int64_t>(seq.size());
+        SNIP_ASSERT(len >= 2 && len <= model.config().max_seq,
+                    "item length out of range");
+
+        Tensor logits = model.forward(seq, /*batch=*/1, /*seq=*/len);
+        // Row r predicts token r+1: option tokens live at positions
+        // [ctx, len); the rows scoring them are [ctx-1, len-1).
+        const int64_t ctx = static_cast<int64_t>(item.context.size());
+        std::vector<int32_t> shifted(static_cast<size_t>(len), 0);
+        for (int64_t r = 0; r + 1 < len; ++r)
+            shifted[static_cast<size_t>(r)] =
+                seq[static_cast<size_t>(r + 1)];
+        double lp = sequenceLogProb(logits, shifted, ctx - 1, len - 1);
+        lp /= static_cast<double>(opt.size()); // length normalization
+        if (lp > best) {
+            best = lp;
+            best_idx = static_cast<int>(o);
+        }
+    }
+    return best_idx == item.correct;
+}
+
+TaskScore
+evaluateTask(LlamaModel &model, const EvalTask &task)
+{
+    TaskScore score;
+    score.name = task.name;
+    score.analog_of = task.analog_of;
+    score.n_items = static_cast<int>(task.items.size());
+    int correct = 0;
+    for (const auto &item : task.items)
+        correct += scoreItem(model, item);
+    score.accuracy = score.n_items > 0
+                         ? 100.0 * correct / score.n_items
+                         : 0.0;
+    return score;
+}
+
+EvalResult
+evaluate(LlamaModel &model, const std::vector<EvalTask> &suite)
+{
+    // lm-eval scores trained checkpoints at high precision; the
+    // quantization scheme affects *training*, not inference. Run the
+    // suite in uniform BF16 and restore the active scheme after.
+    const PrecisionScheme active = model.currentScheme();
+    model.setScheme(PrecisionScheme::uniform(
+        static_cast<size_t>(model.registry().numLinear()),
+        Precision::BF16));
+
+    EvalResult result;
+    double sum = 0.0;
+    for (const auto &task : suite) {
+        result.tasks.push_back(evaluateTask(model, task));
+        sum += result.tasks.back().accuracy;
+    }
+    result.average = suite.empty()
+                         ? 0.0
+                         : sum / static_cast<double>(suite.size());
+    model.setScheme(active);
+    return result;
+}
+
+} // namespace snip

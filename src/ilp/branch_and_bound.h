@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Exact branch & bound for the single-constraint multiple-choice
+ * knapsack, using the LP relaxation for bounding and its rounding for
+ * the initial incumbent.
+ */
+#ifndef SNIP_ILP_BRANCH_AND_BOUND_H
+#define SNIP_ILP_BRANCH_AND_BOUND_H
+
+#include "ilp/problem.h"
+
+namespace snip {
+
+/** Limits on the search. */
+struct BnbLimits
+{
+    /** Hard wall-clock limit (paper: 30 s per solve, Sec. 6.1). */
+    double time_limit_seconds = 30.0;
+    /** Node cap as a second backstop. */
+    int64_t max_nodes = 10'000'000;
+};
+
+/**
+ * Solve a single-constraint instance exactly (up to the limits; if a
+ * limit is hit, the best incumbent is returned and the solution is
+ * still feasible, just possibly not optimal).
+ */
+IlpSolution solveBranchAndBound(const IlpProblem &problem,
+                                const BnbLimits &limits = {});
+
+} // namespace snip
+
+#endif // SNIP_ILP_BRANCH_AND_BOUND_H

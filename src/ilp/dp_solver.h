@@ -1,0 +1,26 @@
+/**
+ * @file
+ * Dynamic-programming solver for the multiple-choice knapsack.
+ *
+ * The efficiency axis is discretized into `resolution` units of the
+ * target; option efficiencies are rounded *down* and the target is kept
+ * whole, so every DP-feasible solution is feasible for the original
+ * continuous constraint (conservative). At the default resolution the
+ * discretization error is negligible for SNIP-sized instances, and on
+ * instances whose efficiencies are exact multiples of target/resolution
+ * the DP is exact — the cross-validation tests against branch & bound
+ * exploit this.
+ */
+#ifndef SNIP_ILP_DP_SOLVER_H
+#define SNIP_ILP_DP_SOLVER_H
+
+#include "ilp/problem.h"
+
+namespace snip {
+
+/** Solve a single-constraint instance by DP over discretized units. */
+IlpSolution solveDp(const IlpProblem &problem, int resolution = 20000);
+
+} // namespace snip
+
+#endif // SNIP_ILP_DP_SOLVER_H

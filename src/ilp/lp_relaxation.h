@@ -1,0 +1,54 @@
+/**
+ * @file
+ * LP relaxation of the multiple-choice knapsack.
+ *
+ * The classic MCKP result: after removing dominated options and taking
+ * the lower convex hull of each item's (efficiency, quality) point set,
+ * the LP optimum is obtained greedily by applying hull "upgrade"
+ * increments in order of increasing marginal cost dq/de until the
+ * efficiency target is met; at most one increment is fractional. The
+ * bound is used by branch & bound for pruning; its greedy rounding
+ * provides the initial incumbent.
+ */
+#ifndef SNIP_ILP_LP_RELAXATION_H
+#define SNIP_ILP_LP_RELAXATION_H
+
+#include <vector>
+
+#include "ilp/problem.h"
+
+namespace snip {
+
+/** Result of the LP relaxation on a single-constraint problem. */
+struct LpResult
+{
+    bool feasible = false;
+    /** Optimal LP objective (lower bound on the ILP). */
+    double bound = 0.0;
+    /** Integral base choice per item (hull start). */
+    std::vector<int> base_choice;
+    /**
+     * Item with the fractional upgrade, or -1 if the LP solution is
+     * integral; frac_from/frac_to are the two options it mixes.
+     */
+    int frac_item = -1;
+    int frac_from = -1;
+    int frac_to = -1;
+    double frac_weight = 0.0; ///< fraction assigned to frac_to
+    /** Greedy-rounded (integral, feasible) choice, if one exists. */
+    std::vector<int> rounded_choice;
+    bool rounded_feasible = false;
+};
+
+/**
+ * Solve the LP relaxation of a *single-constraint* problem (groups are
+ * handled by decomposition before this is called). @p fixed, when
+ * non-empty, pins item i to option fixed[i] (>= 0) — used inside branch
+ * & bound; -1 leaves the item free.
+ */
+LpResult solveLpRelaxation(const IlpProblem &problem,
+                           const std::vector<int> &fixed = {});
+
+} // namespace snip
+
+#endif // SNIP_ILP_LP_RELAXATION_H

@@ -1,0 +1,63 @@
+#include "ilp/solver.h"
+
+#include "util/logging.h"
+
+namespace snip {
+
+IlpBackend
+ilpBackendByName(const std::string &name)
+{
+    if (name == "bnb")
+        return IlpBackend::BranchAndBound;
+    if (name == "dp")
+        return IlpBackend::Dp;
+    fatal("unknown ILP backend: ", name);
+}
+
+namespace {
+
+IlpSolution
+solveSingle(const IlpProblem &problem, const IlpSolveOptions &options)
+{
+    switch (options.backend) {
+      case IlpBackend::BranchAndBound:
+        return solveBranchAndBound(problem, options.bnb_limits);
+      case IlpBackend::Dp:
+        return solveDp(problem, options.dp_resolution);
+    }
+    panic("bad backend");
+}
+
+} // namespace
+
+IlpSolution
+solveIlp(const IlpProblem &problem, const IlpSolveOptions &options)
+{
+    problem.validate();
+    if (problem.groups.empty())
+        return solveSingle(problem, options);
+
+    IlpSolution total;
+    total.feasible = true;
+    total.choice.assign(static_cast<size_t>(problem.numItems()), 0);
+    for (const auto &g : problem.groups) {
+        IlpProblem sub = problem.slice(g.first, g.count, g.target);
+        IlpSolution s = solveSingle(sub, options);
+        total.nodes_explored += s.nodes_explored;
+        total.solve_seconds += s.solve_seconds;
+        if (!s.feasible) {
+            total.feasible = false;
+            total.choice.clear();
+            return total;
+        }
+        for (int i = 0; i < g.count; ++i) {
+            total.choice[static_cast<size_t>(g.first + i)] =
+                s.choice[static_cast<size_t>(i)];
+        }
+        total.objective += s.objective;
+        total.achieved_efficiency += s.achieved_efficiency;
+    }
+    return total;
+}
+
+} // namespace snip

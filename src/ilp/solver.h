@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Solver front-end: group decomposition + backend selection.
+ *
+ * Grouped (pipeline-aware, Sec. 5.3) instances decompose into one
+ * independent subproblem per group, because each group has its own
+ * efficiency constraint and items appear in exactly one group.
+ */
+#ifndef SNIP_ILP_SOLVER_H
+#define SNIP_ILP_SOLVER_H
+
+#include <string>
+
+#include "ilp/branch_and_bound.h"
+#include "ilp/dp_solver.h"
+
+namespace snip {
+
+/** Which backend solves each (sub)problem. */
+enum class IlpBackend
+{
+    BranchAndBound,
+    Dp,
+};
+
+/** Parse "bnb"/"dp". */
+IlpBackend ilpBackendByName(const std::string &name);
+
+/** Options for solveIlp. The DP backend is the default: it is exact up
+ *  to a fine discretization and has predictable sub-second runtime,
+ *  whereas branch & bound is exact but can hit its (paper-matching)
+ *  30 s limit on degenerate instances. */
+struct IlpSolveOptions
+{
+    IlpBackend backend = IlpBackend::Dp;
+    BnbLimits bnb_limits;
+    int dp_resolution = 20000;
+};
+
+/**
+ * Solve a (possibly grouped) instance. Statistics are summed across
+ * subproblems; the solution is feasible iff every subproblem was.
+ */
+IlpSolution solveIlp(const IlpProblem &problem,
+                     const IlpSolveOptions &options = {});
+
+} // namespace snip
+
+#endif // SNIP_ILP_SOLVER_H

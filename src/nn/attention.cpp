@@ -1,0 +1,243 @@
+#include "nn/attention.h"
+
+#include <cmath>
+
+#include "tensor/gemm.h"
+#include "util/rng.h"
+#include "util/string_util.h"
+
+namespace snip {
+
+namespace {
+
+/**
+ * Copy the [seq, width] slice for (batch b, head h) out of a
+ * [batch*seq, n_heads*width] tensor into a contiguous buffer.
+ */
+void
+gatherHead(const float *src, float *dst, int64_t b, int64_t h, int64_t seq,
+           int64_t n_heads, int64_t width)
+{
+    const int64_t cols = n_heads * width;
+    for (int64_t s = 0; s < seq; ++s) {
+        const float *row = src + (b * seq + s) * cols + h * width;
+        float *out = dst + s * width;
+        for (int64_t c = 0; c < width; ++c)
+            out[c] = row[c];
+    }
+}
+
+/** Accumulate a contiguous [seq, width] buffer back into the slice. */
+void
+scatterHeadAdd(float *dst, const float *src, int64_t b, int64_t h,
+               int64_t seq, int64_t n_heads, int64_t width)
+{
+    const int64_t cols = n_heads * width;
+    for (int64_t s = 0; s < seq; ++s) {
+        float *row = dst + (b * seq + s) * cols + h * width;
+        const float *in = src + s * width;
+        for (int64_t c = 0; c < width; ++c)
+            row[c] += in[c];
+    }
+}
+
+} // namespace
+
+Attention::Attention(const ModelConfig &config, int block, Rng &rng,
+                     FakeQuantizer *quantizer, const Rope *rope)
+    : config_(config), rope_(rope)
+{
+    const int64_t d = config.d_model;
+    const int64_t q_dim = config.n_heads * config.headDim();
+    const int64_t kv_dim = config.kvDim();
+    auto name = [block](const char *role) {
+        return strformat("blk%02d.%s", block, role);
+    };
+    wq_ = std::make_unique<Linear>(name("Q"), q_dim, d, rng,
+                                   config.init_std, quantizer);
+    wk_ = std::make_unique<Linear>(name("K"), kv_dim, d, rng,
+                                   config.init_std, quantizer);
+    wv_ = std::make_unique<Linear>(name("V"), kv_dim, d, rng,
+                                   config.init_std, quantizer);
+    wo_ = std::make_unique<Linear>(name("O"), d, q_dim, rng,
+                                   config.init_std, quantizer);
+}
+
+Linear &
+Attention::linear(LayerRole role)
+{
+    switch (role) {
+      case LayerRole::Q:
+        return *wq_;
+      case LayerRole::K:
+        return *wk_;
+      case LayerRole::V:
+        return *wv_;
+      case LayerRole::O:
+        return *wo_;
+      default:
+        panic("not an attention role");
+    }
+}
+
+ParamList
+Attention::params()
+{
+    return {wq_->param(), wk_->param(), wv_->param(), wo_->param()};
+}
+
+Tensor
+Attention::forward(const Tensor &x, int64_t batch, int64_t seq)
+{
+    batch_ = batch;
+    seq_ = seq;
+    const int64_t hd = config_.headDim();
+    const int64_t n_heads = config_.n_heads;
+    const int64_t n_kv = config_.n_kv_heads;
+
+    q_ = wq_->forward(x);
+    k_ = wk_->forward(x);
+    v_ = wv_->forward(x);
+    rope_->apply(q_, batch, seq, n_heads);
+    rope_->apply(k_, batch, seq, n_kv);
+
+    probs_ = Tensor(batch * n_heads * seq, seq);
+    ctx_ = Tensor(batch * seq, n_heads * hd);
+    const float scale = 1.0f / std::sqrt(static_cast<float>(hd));
+    const int64_t group = n_heads / n_kv;
+
+    std::vector<float> qb(static_cast<size_t>(seq * hd));
+    std::vector<float> kb(static_cast<size_t>(seq * hd));
+    std::vector<float> vb(static_cast<size_t>(seq * hd));
+    std::vector<float> cb(static_cast<size_t>(seq * hd));
+
+    for (int64_t b = 0; b < batch; ++b) {
+        for (int64_t h = 0; h < n_heads; ++h) {
+            const int64_t kvh = h / group;
+            gatherHead(q_.data(), qb.data(), b, h, seq, n_heads, hd);
+            gatherHead(k_.data(), kb.data(), b, kvh, seq, n_kv, hd);
+            gatherHead(v_.data(), vb.data(), b, kvh, seq, n_kv, hd);
+
+            float *prob = probs_.data() + (b * n_heads + h) * seq * seq;
+            gemmNT(qb.data(), kb.data(), prob, seq, seq, hd);
+
+            // Scale, causal mask, rowwise softmax (fp32).
+            for (int64_t i = 0; i < seq; ++i) {
+                float *row = prob + i * seq;
+                float maxv = -1e30f;
+                for (int64_t j = 0; j <= i; ++j) {
+                    row[j] *= scale;
+                    maxv = std::max(maxv, row[j]);
+                }
+                double denom = 0.0;
+                for (int64_t j = 0; j <= i; ++j) {
+                    row[j] = std::exp(row[j] - maxv);
+                    denom += row[j];
+                }
+                const float inv =
+                    static_cast<float>(1.0 / std::max(denom, 1e-30));
+                for (int64_t j = 0; j <= i; ++j)
+                    row[j] *= inv;
+                for (int64_t j = i + 1; j < seq; ++j)
+                    row[j] = 0.0f;
+            }
+
+            gemmNN(prob, vb.data(), cb.data(), seq, hd, seq);
+            // ctx slice is written exactly once per (b,h): plain copy.
+            const int64_t cols = n_heads * hd;
+            for (int64_t s = 0; s < seq; ++s) {
+                float *dst = ctx_.data() + (b * seq + s) * cols + h * hd;
+                const float *src = cb.data() + s * hd;
+                for (int64_t c = 0; c < hd; ++c)
+                    dst[c] = src[c];
+            }
+        }
+    }
+    return wo_->forward(ctx_);
+}
+
+Tensor
+Attention::backward(const Tensor &dy)
+{
+    SNIP_ASSERT(batch_ > 0, "backward before forward");
+    const int64_t batch = batch_, seq = seq_;
+    const int64_t hd = config_.headDim();
+    const int64_t n_heads = config_.n_heads;
+    const int64_t n_kv = config_.n_kv_heads;
+    const int64_t group = n_heads / n_kv;
+    const float scale = 1.0f / std::sqrt(static_cast<float>(hd));
+
+    Tensor dctx = wo_->backward(dy);
+
+    Tensor dq(batch * seq, n_heads * hd);
+    Tensor dk(batch * seq, n_kv * hd);
+    Tensor dv(batch * seq, n_kv * hd);
+
+    std::vector<float> qb(static_cast<size_t>(seq * hd));
+    std::vector<float> kb(static_cast<size_t>(seq * hd));
+    std::vector<float> vb(static_cast<size_t>(seq * hd));
+    std::vector<float> dcb(static_cast<size_t>(seq * hd));
+    std::vector<float> dqb(static_cast<size_t>(seq * hd));
+    std::vector<float> dkb(static_cast<size_t>(seq * hd));
+    std::vector<float> dvb(static_cast<size_t>(seq * hd));
+    std::vector<float> dp(static_cast<size_t>(seq * seq));
+    std::vector<float> ds(static_cast<size_t>(seq * seq));
+
+    for (int64_t b = 0; b < batch; ++b) {
+        for (int64_t h = 0; h < n_heads; ++h) {
+            const int64_t kvh = h / group;
+            gatherHead(q_.data(), qb.data(), b, h, seq, n_heads, hd);
+            gatherHead(k_.data(), kb.data(), b, kvh, seq, n_kv, hd);
+            gatherHead(v_.data(), vb.data(), b, kvh, seq, n_kv, hd);
+            gatherHead(dctx.data(), dcb.data(), b, h, seq, n_heads, hd);
+
+            const float *prob =
+                probs_.data() + (b * n_heads + h) * seq * seq;
+
+            // dV = P^T dCtx ; dP = dCtx V^T.
+            gemmTN(prob, dcb.data(), dvb.data(), seq, hd, seq);
+            gemmNT(dcb.data(), vb.data(), dp.data(), seq, seq, hd);
+
+            // Softmax backward: dS = P .* (dP - rowdot(dP, P)).
+            for (int64_t i = 0; i < seq; ++i) {
+                const float *prow = prob + i * seq;
+                const float *dprow = dp.data() + i * seq;
+                float *dsrow = ds.data() + i * seq;
+                double dot = 0.0;
+                for (int64_t j = 0; j <= i; ++j)
+                    dot += static_cast<double>(dprow[j]) * prow[j];
+                for (int64_t j = 0; j < seq; ++j) {
+                    dsrow[j] =
+                        j <= i
+                            ? prow[j] * (dprow[j] -
+                                         static_cast<float>(dot)) * scale
+                            : 0.0f;
+                }
+            }
+
+            // dQ = dS_raw K ; dK = dS_raw^T Q (scale folded into ds).
+            gemmNN(ds.data(), kb.data(), dqb.data(), seq, hd, seq);
+            gemmTN(ds.data(), qb.data(), dkb.data(), seq, hd, seq);
+
+            scatterHeadAdd(dq.data(), dqb.data(), b, h, seq, n_heads, hd);
+            scatterHeadAdd(dk.data(), dkb.data(), b, kvh, seq, n_kv, hd);
+            scatterHeadAdd(dv.data(), dvb.data(), b, kvh, seq, n_kv, hd);
+        }
+    }
+
+    // Undo RoPE on the gradients (rotations are orthogonal).
+    rope_->apply(dq, batch, seq, n_heads, /*inverse=*/true);
+    rope_->apply(dk, batch, seq, n_kv, /*inverse=*/true);
+
+    Tensor dx = wq_->backward(dq);
+    Tensor dxk = wk_->backward(dk);
+    Tensor dxv = wv_->backward(dv);
+    const float *pk = dxk.data();
+    const float *pv = dxv.data();
+    float *px = dx.data();
+    for (int64_t i = 0; i < dx.numel(); ++i)
+        px[i] += pk[i] + pv[i];
+    return dx;
+}
+
+} // namespace snip

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Causal multi-head self-attention with RoPE and optional grouped-query
+ * attention (GQA).
+ *
+ * The four projections (Q, K, V, O) are quantizable Linear layers; the
+ * attention math itself (scores, softmax, context) stays in high
+ * precision, as in the paper's framework (Sec. 2.2).
+ */
+#ifndef SNIP_NN_ATTENTION_H
+#define SNIP_NN_ATTENTION_H
+
+#include <memory>
+
+#include "nn/layer_registry.h"
+#include "nn/linear.h"
+#include "nn/rope.h"
+
+namespace snip {
+
+/** Self-attention sub-block of one transformer block. */
+class Attention
+{
+  public:
+    /**
+     * @param config    model hyperparameters
+     * @param block     owning block index (for layer names)
+     * @param rng       weight init stream
+     * @param quantizer shared fake quantizer for the projections
+     * @param rope      shared rotary tables (non-owning, must outlive)
+     */
+    Attention(const ModelConfig &config, int block, Rng &rng,
+              FakeQuantizer *quantizer, const Rope *rope);
+
+    /** x is [batch*seq, d_model]; returns the same shape. */
+    Tensor forward(const Tensor &x, int64_t batch, int64_t seq);
+
+    /** Backprop through projections and attention math. */
+    Tensor backward(const Tensor &dy);
+
+    /** Access a projection by role (Q/K/V/O only). */
+    Linear &linear(LayerRole role);
+
+    /** Parameters of the four projections. */
+    ParamList params();
+
+  private:
+    ModelConfig config_;
+    const Rope *rope_;
+    std::unique_ptr<Linear> wq_, wk_, wv_, wo_;
+
+    // Saved forward state.
+    int64_t batch_ = 0, seq_ = 0;
+    Tensor q_, k_, v_;   ///< post-RoPE projections, [T, dims]
+    Tensor probs_;       ///< softmax probabilities, [B*H*S, S]
+    Tensor ctx_;         ///< attention output pre-O, [T, H*hd]
+};
+
+} // namespace snip
+
+#endif // SNIP_NN_ATTENTION_H

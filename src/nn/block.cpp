@@ -1,0 +1,70 @@
+#include "nn/block.h"
+
+#include "tensor/ops.h"
+#include "util/string_util.h"
+
+namespace snip {
+
+TransformerBlock::TransformerBlock(const ModelConfig &config, int block,
+                                   Rng &rng, FakeQuantizer *quantizer,
+                                   const Rope *rope)
+{
+    norm1_ = std::make_unique<RMSNorm>(
+        strformat("blk%02d.norm1", block), config.d_model,
+        config.norm_eps);
+    norm2_ = std::make_unique<RMSNorm>(
+        strformat("blk%02d.norm2", block), config.d_model,
+        config.norm_eps);
+    attn_ = std::make_unique<Attention>(config, block, rng, quantizer,
+                                        rope);
+    mlp_ = std::make_unique<SwiGluMlp>(config, block, rng, quantizer);
+}
+
+Linear &
+TransformerBlock::linear(LayerRole role)
+{
+    switch (role) {
+      case LayerRole::Q:
+      case LayerRole::K:
+      case LayerRole::V:
+      case LayerRole::O:
+        return attn_->linear(role);
+      default:
+        return mlp_->linear(role);
+    }
+}
+
+ParamList
+TransformerBlock::params()
+{
+    ParamList out;
+    out.push_back(norm1_->param());
+    for (auto &p : attn_->params())
+        out.push_back(p);
+    out.push_back(norm2_->param());
+    for (auto &p : mlp_->params())
+        out.push_back(p);
+    return out;
+}
+
+Tensor
+TransformerBlock::forward(const Tensor &x, int64_t batch, int64_t seq)
+{
+    Tensor h = attn_->forward(norm1_->forward(x), batch, seq);
+    addInPlace(h, x);
+    Tensor y = mlp_->forward(norm2_->forward(h));
+    addInPlace(y, h);
+    return y;
+}
+
+Tensor
+TransformerBlock::backward(const Tensor &dy)
+{
+    Tensor dh = norm2_->backward(mlp_->backward(dy));
+    addInPlace(dh, dy);
+    Tensor dx = norm1_->backward(attn_->backward(dh));
+    addInPlace(dx, dh);
+    return dx;
+}
+
+} // namespace snip

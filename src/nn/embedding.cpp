@@ -1,0 +1,54 @@
+#include "nn/embedding.h"
+
+#include <cstring>
+
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace snip {
+
+Embedding::Embedding(std::string name, int64_t vocab, int64_t dim,
+                     Rng &rng, float init_std)
+    : name_(std::move(name)),
+      vocab_(vocab),
+      dim_(dim),
+      table_(Tensor::randn({vocab, dim}, rng, init_std)),
+      grad_table_(vocab, dim)
+{
+}
+
+Tensor
+Embedding::forward(const std::vector<int32_t> &tokens)
+{
+    saved_tokens_ = tokens;
+    Tensor out(static_cast<int64_t>(tokens.size()), dim_);
+    const float *pt = table_.data();
+    float *po = out.data();
+    for (size_t i = 0; i < tokens.size(); ++i) {
+        int32_t id = tokens[i];
+        SNIP_ASSERT(id >= 0 && id < vocab_, "token id out of range: ", id);
+        std::memcpy(po + static_cast<int64_t>(i) * dim_, pt + id * dim_,
+                    sizeof(float) * static_cast<size_t>(dim_));
+    }
+    return out;
+}
+
+void
+Embedding::backward(const Tensor &d_out)
+{
+    SNIP_ASSERT(d_out.rank() == 2 &&
+                d_out.size(0) ==
+                    static_cast<int64_t>(saved_tokens_.size()) &&
+                d_out.size(1) == dim_);
+    const float *pd = d_out.data();
+    float *pg = grad_table_.data();
+    for (size_t i = 0; i < saved_tokens_.size(); ++i) {
+        int32_t id = saved_tokens_[i];
+        const float *src = pd + static_cast<int64_t>(i) * dim_;
+        float *dst = pg + id * dim_;
+        for (int64_t c = 0; c < dim_; ++c)
+            dst[c] += src[c];
+    }
+}
+
+} // namespace snip

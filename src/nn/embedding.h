@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Token embedding table (kept in high precision per the paper).
+ */
+#ifndef SNIP_NN_EMBEDDING_H
+#define SNIP_NN_EMBEDDING_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "nn/param.h"
+#include "tensor/tensor.h"
+
+namespace snip {
+
+class Rng;
+
+/** Lookup table: token id -> d_model vector. */
+class Embedding
+{
+  public:
+    Embedding(std::string name, int64_t vocab, int64_t dim, Rng &rng,
+              float init_std);
+
+    /** Gather rows for @p tokens; output is [tokens.size(), dim]. */
+    Tensor forward(const std::vector<int32_t> &tokens);
+
+    /** Scatter-add gradients back into the table. */
+    void backward(const Tensor &d_out);
+
+    Tensor &table() { return table_; }
+    Tensor &grad() { return grad_table_; }
+
+    void zeroGrad() { grad_table_.zero(); }
+
+    ParamRef param() { return {name_, &table_, &grad_table_}; }
+
+  private:
+    std::string name_;
+    int64_t vocab_;
+    int64_t dim_;
+    Tensor table_;
+    Tensor grad_table_;
+    std::vector<int32_t> saved_tokens_;
+};
+
+} // namespace snip
+
+#endif // SNIP_NN_EMBEDDING_H

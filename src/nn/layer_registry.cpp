@@ -1,0 +1,114 @@
+#include "nn/layer_registry.h"
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace snip {
+
+int64_t
+ModelConfig::parameterCount() const
+{
+    int64_t head_dim = headDim();
+    int64_t kv_dim = kvDim();
+    int64_t per_block = d_model * d_model            // Q
+                        + kv_dim * d_model           // K
+                        + kv_dim * d_model           // V
+                        + d_model * n_heads * head_dim // O
+                        + 2 * ffn_hidden * d_model   // Gate, Up
+                        + d_model * ffn_hidden       // Down
+                        + 2 * d_model;               // two RMSNorm gains
+    return vocab_size * d_model       // embedding
+           + n_blocks * per_block
+           + d_model                  // final norm
+           + vocab_size * d_model;    // lm head
+}
+
+void
+ModelConfig::validate() const
+{
+    if (d_model % n_heads != 0)
+        fatal("d_model (", d_model, ") not divisible by n_heads (",
+              n_heads, ")");
+    if (n_heads % n_kv_heads != 0)
+        fatal("n_heads (", n_heads, ") not divisible by n_kv_heads (",
+              n_kv_heads, ")");
+    if (vocab_size <= 0 || d_model <= 0 || n_blocks <= 0 ||
+        ffn_hidden <= 0 || max_seq <= 0)
+        fatal("model dimensions must be positive");
+}
+
+LayerRegistry::LayerRegistry(const ModelConfig &config) : config_(config)
+{
+    config_.validate();
+}
+
+int
+LayerRegistry::index(int block, LayerRole role) const
+{
+    SNIP_ASSERT(block >= 0 && block < config_.n_blocks);
+    return block * kRolesPerBlock + static_cast<int>(role);
+}
+
+std::string
+LayerRegistry::layerName(int idx) const
+{
+    return strformat("blk%02d.%s", blockOf(idx),
+                     layerRoleName(roleOf(idx)));
+}
+
+int64_t
+LayerRegistry::outFeatures(int idx) const
+{
+    switch (roleOf(idx)) {
+      case LayerRole::Q:
+        return config_.n_heads * config_.headDim();
+      case LayerRole::K:
+      case LayerRole::V:
+        return config_.kvDim();
+      case LayerRole::O:
+        return config_.d_model;
+      case LayerRole::Gate:
+      case LayerRole::Up:
+        return config_.ffn_hidden;
+      case LayerRole::Down:
+        return config_.d_model;
+    }
+    panic("bad role");
+}
+
+int64_t
+LayerRegistry::inFeatures(int idx) const
+{
+    switch (roleOf(idx)) {
+      case LayerRole::Q:
+      case LayerRole::K:
+      case LayerRole::V:
+      case LayerRole::Gate:
+      case LayerRole::Up:
+        return config_.d_model;
+      case LayerRole::O:
+        return config_.n_heads * config_.headDim();
+      case LayerRole::Down:
+        return config_.ffn_hidden;
+    }
+    panic("bad role");
+}
+
+double
+LayerRegistry::flopsPerToken(int idx) const
+{
+    return static_cast<double>(kGemmsPerLayer) * 2.0 *
+           static_cast<double>(outFeatures(idx)) *
+           static_cast<double>(inFeatures(idx));
+}
+
+std::vector<double>
+LayerRegistry::allFlopsPerToken() const
+{
+    std::vector<double> out(static_cast<size_t>(numLinear()));
+    for (int i = 0; i < numLinear(); ++i)
+        out[static_cast<size_t>(i)] = flopsPerToken(i);
+    return out;
+}
+
+} // namespace snip

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Model configuration and the global linear-layer index registry.
+ *
+ * Every quantizable linear layer in the model has a global index
+ * (block * 7 + role) used consistently by the stats collector, the
+ * divergence analyzer, the ILP, and the heatmap renderers.
+ */
+#ifndef SNIP_NN_LAYER_REGISTRY_H
+#define SNIP_NN_LAYER_REGISTRY_H
+
+#include <cstdint>
+#include <string>
+
+#include "schemes/scheme.h"
+
+namespace snip {
+
+/** Architecture hyperparameters of a Llama-like model. */
+struct ModelConfig
+{
+    /** Name used in logs/checkpoints, e.g. "tinyllama_sim". */
+    std::string name = "model";
+    int64_t vocab_size = 128;
+    int64_t d_model = 64;
+    int64_t n_blocks = 4;
+    int64_t n_heads = 4;
+    /** Key/value heads; < n_heads enables grouped-query attention. */
+    int64_t n_kv_heads = 4;
+    int64_t ffn_hidden = 128;
+    int64_t max_seq = 64;
+    double rope_theta = 10000.0;
+    float init_std = 0.02f;
+    /** RMSNorm epsilon. */
+    float norm_eps = 1e-5f;
+
+    int64_t headDim() const { return d_model / n_heads; }
+    int64_t kvDim() const { return n_kv_heads * headDim(); }
+
+    /** Total parameter count of the transformer (for reporting). */
+    int64_t parameterCount() const;
+
+    /** Abort with fatal() if the configuration is inconsistent. */
+    void validate() const;
+};
+
+/**
+ * Maps (block, role) <-> global linear-layer index and reports layer
+ * shapes and FLOPs.
+ */
+class LayerRegistry
+{
+  public:
+    explicit LayerRegistry(const ModelConfig &config);
+
+    /** Number of quantizable linear layers (blocks * 7). */
+    int numLinear() const
+    {
+        return static_cast<int>(config_.n_blocks) * kRolesPerBlock;
+    }
+
+    /** Global index of (block, role). */
+    int index(int block, LayerRole role) const;
+
+    /** Block id of a global index. */
+    int blockOf(int idx) const { return idx / kRolesPerBlock; }
+
+    /** Role of a global index. */
+    LayerRole roleOf(int idx) const
+    {
+        return static_cast<LayerRole>(idx % kRolesPerBlock);
+    }
+
+    /** Human-readable name like "blk03.Down". */
+    std::string layerName(int idx) const;
+
+    /** Output features (rows of W) of the layer. */
+    int64_t outFeatures(int idx) const;
+
+    /** Input features (cols of W) of the layer. */
+    int64_t inFeatures(int idx) const;
+
+    /**
+     * GEMM FLOPs this layer executes per token per training step:
+     * 3 GEMMs x 2*out*in (Fwd, Dgrad, Wgrad have identical shapes).
+     */
+    double flopsPerToken(int idx) const;
+
+    /** flopsPerToken for every layer, in index order. */
+    std::vector<double> allFlopsPerToken() const;
+
+    const ModelConfig &config() const { return config_; }
+
+  private:
+    ModelConfig config_;
+};
+
+} // namespace snip
+
+#endif // SNIP_NN_LAYER_REGISTRY_H

@@ -1,0 +1,69 @@
+#include "nn/linear.h"
+
+#include "tensor/gemm.h"
+#include "tensor/ops.h"
+#include "util/rng.h"
+
+namespace snip {
+
+Linear::Linear(std::string name, int64_t out_features, int64_t in_features,
+               Rng &rng, float init_std, FakeQuantizer *quantizer)
+    : name_(std::move(name)),
+      w_(Tensor::randn({out_features, in_features}, rng, init_std)),
+      grad_w_(out_features, in_features),
+      quantizer_(quantizer)
+{
+}
+
+Tensor
+Linear::quantized(const Tensor &t, GemmKind kind, TensorRole role)
+{
+    const Precision p = scheme_.of(kind);
+    // BF16 GEMMs are the high-precision reference: the FP32 master is
+    // used directly (bf16 rounding of FP32 master weights is treated as
+    // exact, as the paper treats its BF16 baseline).
+    if (quantizer_ == nullptr || p == Precision::BF16)
+        return t;
+    return quantizer_->quantize(t, rolePolicy(p, role));
+}
+
+Tensor
+Linear::forward(const Tensor &x)
+{
+    SNIP_ASSERT(x.rank() == 2 && x.size(1) == inFeatures(),
+                "bad input shape for ", name_);
+    saved_x_ = x;
+    Tensor xq = quantized(x, GemmKind::Fwd, TensorRole::Activation);
+    Tensor wq = quantized(w_, GemmKind::Fwd, TensorRole::Weight);
+    Tensor y = matmulNT(xq, wq);
+    if (tap_)
+        tap_->onForward(tap_idx_, x, w_, y);
+    return y;
+}
+
+Tensor
+Linear::backward(const Tensor &dy)
+{
+    SNIP_ASSERT(dy.rank() == 2 && dy.size(1) == outFeatures(),
+                "bad grad shape for ", name_);
+    SNIP_ASSERT(saved_x_.numel() > 0, "backward before forward in ",
+                name_);
+
+    // dX = dY W (Dgrad GEMM).
+    Tensor dyq_d = quantized(dy, GemmKind::Dgrad, TensorRole::OutputGrad);
+    Tensor wq_d = quantized(w_, GemmKind::Dgrad, TensorRole::Weight);
+    Tensor dx = matmulNN(dyq_d, wq_d);
+
+    // dW = dY^T X (Wgrad GEMM).
+    Tensor dyq_w = quantized(dy, GemmKind::Wgrad, TensorRole::OutputGrad);
+    Tensor xq_w =
+        quantized(saved_x_, GemmKind::Wgrad, TensorRole::Activation);
+    Tensor dw = matmulTN(dyq_w, xq_w);
+    addInPlace(grad_w_, dw);
+
+    if (tap_)
+        tap_->onBackward(tap_idx_, dy, dx, dw);
+    return dx;
+}
+
+} // namespace snip

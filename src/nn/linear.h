@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Quantized linear layer — the operator SNIP tunes.
+ *
+ * Implements the mixed-precision GEMM recipe of Fig. 5: before each of
+ * the three GEMMs, operands are fake-quantized according to the layer's
+ * assigned LayerScheme; the GEMM output stays in high precision; the
+ * master weight remains FP32. Gradients flow straight-through the
+ * quantizers (standard STE), matching the paper's training framework.
+ */
+#ifndef SNIP_NN_LINEAR_H
+#define SNIP_NN_LINEAR_H
+
+#include <string>
+
+#include "nn/param.h"
+#include "quant/quantizer.h"
+#include "schemes/scheme.h"
+#include "tensor/tensor.h"
+
+namespace snip {
+
+class Rng;
+
+/**
+ * Observer interface over linear-layer tensors.
+ *
+ * SNIP's statistics pass (Step 1 of Fig. 6) registers a tap on every
+ * linear layer and receives the exact tensors each GEMM consumes or
+ * produces, without Linear knowing anything about statistics.
+ */
+class LinearTap
+{
+  public:
+    virtual ~LinearTap() = default;
+
+    /** Called after the forward GEMM of layer @p idx. */
+    virtual void onForward(int idx, const Tensor &x, const Tensor &w,
+                           const Tensor &y) = 0;
+
+    /** Called after the backward GEMMs of layer @p idx. */
+    virtual void onBackward(int idx, const Tensor &dy, const Tensor &dx,
+                            const Tensor &dw) = 0;
+};
+
+/**
+ * y = x W^T with per-GEMM fake quantization.
+ *
+ * One forward() must be followed by at most one backward() (the layer
+ * saves its input activation in between).
+ */
+class Linear
+{
+  public:
+    /**
+     * @param name         diagnostic name ("blk00.Q")
+     * @param out_features rows of W
+     * @param in_features  cols of W
+     * @param rng          weight initialization stream
+     * @param init_std     Gaussian init stddev
+     * @param quantizer    shared fake quantizer (may be null: all GEMMs
+     *                     then run unquantized FP32, used by tests)
+     */
+    Linear(std::string name, int64_t out_features, int64_t in_features,
+           Rng &rng, float init_std, FakeQuantizer *quantizer = nullptr);
+
+    /** Forward GEMM; saves @p x for the backward pass. */
+    Tensor forward(const Tensor &x);
+
+    /** Backward GEMMs; accumulates into grad(), returns dX. */
+    Tensor backward(const Tensor &dy);
+
+    /** Assign this layer's precision scheme. */
+    void setScheme(const LayerScheme &scheme) { scheme_ = scheme; }
+
+    const LayerScheme &scheme() const { return scheme_; }
+
+    /** Attach/detach the stats tap; @p idx is the global layer index. */
+    void
+    setTap(LinearTap *tap, int idx)
+    {
+        tap_ = tap;
+        tap_idx_ = idx;
+    }
+
+    /** Master (FP32) weight [out, in]. */
+    Tensor &weight() { return w_; }
+    const Tensor &weight() const { return w_; }
+
+    /** Weight gradient (same shape as weight). */
+    Tensor &grad() { return grad_w_; }
+    const Tensor &grad() const { return grad_w_; }
+
+    /** Most recent saved input activation (valid after forward()). */
+    const Tensor &savedInput() const { return saved_x_; }
+
+    void zeroGrad() { grad_w_.zero(); }
+
+    int64_t outFeatures() const { return w_.size(0); }
+    int64_t inFeatures() const { return w_.size(1); }
+
+    /** Parameter reference for the optimizer. */
+    ParamRef param() { return {name_, &w_, &grad_w_}; }
+
+    const std::string &name() const { return name_; }
+
+  private:
+    /** Fake-quantize @p t for one GEMM under the current scheme. */
+    Tensor quantized(const Tensor &t, GemmKind kind, TensorRole role);
+
+    std::string name_;
+    Tensor w_;
+    Tensor grad_w_;
+    Tensor saved_x_;
+    LayerScheme scheme_;
+    FakeQuantizer *quantizer_ = nullptr;
+    LinearTap *tap_ = nullptr;
+    int tap_idx_ = -1;
+};
+
+} // namespace snip
+
+#endif // SNIP_NN_LINEAR_H

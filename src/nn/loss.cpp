@@ -1,0 +1,93 @@
+#include "nn/loss.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace snip {
+
+namespace {
+
+/** Row max and log-sum-exp for one logits row. */
+void
+rowLogSumExp(const float *row, int64_t vocab, double &max_out,
+             double &lse_out)
+{
+    double maxv = row[0];
+    for (int64_t v = 1; v < vocab; ++v)
+        maxv = std::max(maxv, static_cast<double>(row[v]));
+    double sum = 0.0;
+    for (int64_t v = 0; v < vocab; ++v)
+        sum += std::exp(static_cast<double>(row[v]) - maxv);
+    max_out = maxv;
+    lse_out = maxv + std::log(sum);
+}
+
+} // namespace
+
+LossResult
+softmaxCrossEntropy(const Tensor &logits,
+                    const std::vector<int32_t> &targets,
+                    int32_t ignore_index)
+{
+    SNIP_ASSERT(logits.rank() == 2);
+    const int64_t rows = logits.size(0);
+    const int64_t vocab = logits.size(1);
+    SNIP_ASSERT(rows == static_cast<int64_t>(targets.size()));
+
+    LossResult res;
+    res.dlogits = Tensor(logits.shape());
+
+    int64_t valid = 0;
+    for (int64_t r = 0; r < rows; ++r)
+        valid += (targets[static_cast<size_t>(r)] != ignore_index);
+    res.valid_count = valid;
+    if (valid == 0)
+        return res;
+
+    const float *pl = logits.data();
+    float *pd = res.dlogits.data();
+    const float inv_valid = 1.0f / static_cast<float>(valid);
+    double total = 0.0;
+
+    for (int64_t r = 0; r < rows; ++r) {
+        const int32_t t = targets[static_cast<size_t>(r)];
+        if (t == ignore_index)
+            continue;
+        SNIP_ASSERT(t >= 0 && t < vocab, "target out of range");
+        const float *row = pl + r * vocab;
+        float *drow = pd + r * vocab;
+        double maxv, lse;
+        rowLogSumExp(row, vocab, maxv, lse);
+        total += lse - row[t];
+        for (int64_t v = 0; v < vocab; ++v) {
+            const double p = std::exp(static_cast<double>(row[v]) - lse);
+            drow[v] = static_cast<float>(p) * inv_valid;
+        }
+        drow[t] -= inv_valid;
+    }
+    res.loss = total / static_cast<double>(valid);
+    return res;
+}
+
+double
+sequenceLogProb(const Tensor &logits, const std::vector<int32_t> &targets,
+                int64_t row0, int64_t row1)
+{
+    SNIP_ASSERT(logits.rank() == 2);
+    const int64_t vocab = logits.size(1);
+    SNIP_ASSERT(row0 >= 0 && row1 <= logits.size(0) && row0 <= row1);
+    const float *pl = logits.data();
+    double total = 0.0;
+    for (int64_t r = row0; r < row1; ++r) {
+        const int32_t t = targets[static_cast<size_t>(r)];
+        SNIP_ASSERT(t >= 0 && t < vocab);
+        const float *row = pl + r * vocab;
+        double maxv, lse;
+        rowLogSumExp(row, vocab, maxv, lse);
+        total += static_cast<double>(row[t]) - lse;
+    }
+    return total;
+}
+
+} // namespace snip

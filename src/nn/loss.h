@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Softmax cross-entropy over the vocabulary.
+ */
+#ifndef SNIP_NN_LOSS_H
+#define SNIP_NN_LOSS_H
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace snip {
+
+/** Loss value plus the gradient with respect to the logits. */
+struct LossResult
+{
+    /** Mean negative log-likelihood over non-ignored positions. */
+    double loss = 0.0;
+    /** dLoss/dLogits, same shape as the logits. */
+    Tensor dlogits;
+    /** Positions that contributed (targets != ignore_index). */
+    int64_t valid_count = 0;
+};
+
+/**
+ * Mean token cross-entropy.
+ *
+ * @param logits       [T, vocab]
+ * @param targets      T target ids; entries equal to @p ignore_index are
+ *                     skipped (used to mask prompt tokens in eval)
+ * @param ignore_index sentinel for masked positions
+ */
+LossResult softmaxCrossEntropy(const Tensor &logits,
+                               const std::vector<int32_t> &targets,
+                               int32_t ignore_index = -1);
+
+/**
+ * Sum of log-probabilities of @p targets under @p logits restricted to
+ * rows [row0, row1) — the scoring primitive of the eval harness
+ * (LM-Evaluation-Harness-style option log-likelihood).
+ */
+double sequenceLogProb(const Tensor &logits,
+                       const std::vector<int32_t> &targets, int64_t row0,
+                       int64_t row1);
+
+} // namespace snip
+
+#endif // SNIP_NN_LOSS_H

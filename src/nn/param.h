@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Named references to trainable parameter tensors.
+ *
+ * Modules own their weight and gradient storage; the optimizer and the
+ * checkpointer operate on flat lists of these non-owning references.
+ */
+#ifndef SNIP_NN_PARAM_H
+#define SNIP_NN_PARAM_H
+
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace snip {
+
+/** Non-owning view of one trainable parameter and its gradient. */
+struct ParamRef
+{
+    std::string name;
+    Tensor *value = nullptr;
+    Tensor *grad = nullptr;
+};
+
+/** Convenience alias for a module's full parameter list. */
+using ParamList = std::vector<ParamRef>;
+
+} // namespace snip
+
+#endif // SNIP_NN_PARAM_H

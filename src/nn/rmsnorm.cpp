@@ -1,0 +1,79 @@
+#include "nn/rmsnorm.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace snip {
+
+RMSNorm::RMSNorm(std::string name, int64_t dim, float eps)
+    : name_(std::move(name)),
+      dim_(dim),
+      eps_(eps),
+      gain_(Tensor::full({dim}, 1.0f)),
+      grad_gain_(Tensor::zeros({dim}))
+{
+}
+
+Tensor
+RMSNorm::forward(const Tensor &x)
+{
+    SNIP_ASSERT(x.rank() == 2 && x.size(1) == dim_);
+    const int64_t rows = x.size(0);
+    saved_x_ = x;
+    saved_inv_rms_.assign(static_cast<size_t>(rows), 0.0f);
+
+    Tensor y(x.shape());
+    const float *px = x.data();
+    const float *pg = gain_.data();
+    float *py = y.data();
+    for (int64_t r = 0; r < rows; ++r) {
+        const float *row = px + r * dim_;
+        double ss = 0.0;
+        for (int64_t c = 0; c < dim_; ++c)
+            ss += static_cast<double>(row[c]) * row[c];
+        float inv_rms = static_cast<float>(
+            1.0 / std::sqrt(ss / static_cast<double>(dim_) + eps_));
+        saved_inv_rms_[static_cast<size_t>(r)] = inv_rms;
+        float *out = py + r * dim_;
+        for (int64_t c = 0; c < dim_; ++c)
+            out[c] = row[c] * inv_rms * pg[c];
+    }
+    return y;
+}
+
+Tensor
+RMSNorm::backward(const Tensor &dy)
+{
+    SNIP_ASSERT(dy.sameShape(saved_x_), "backward before forward");
+    const int64_t rows = dy.size(0);
+
+    Tensor dx(dy.shape());
+    const float *px = saved_x_.data();
+    const float *pdy = dy.data();
+    const float *pg = gain_.data();
+    float *pdx = dx.data();
+    float *pdg = grad_gain_.data();
+
+    for (int64_t r = 0; r < rows; ++r) {
+        const float *xrow = px + r * dim_;
+        const float *dyrow = pdy + r * dim_;
+        float *dxrow = pdx + r * dim_;
+        const float inv_rms = saved_inv_rms_[static_cast<size_t>(r)];
+
+        // dgain_c += dy_c * x_c * inv_rms
+        // dx_c = g_c*dy_c*inv_rms - x_c * inv_rms^3/dim * sum_j(g_j dy_j x_j)
+        double dot = 0.0;
+        for (int64_t c = 0; c < dim_; ++c)
+            dot += static_cast<double>(pg[c]) * dyrow[c] * xrow[c];
+        const float k = static_cast<float>(
+            dot * inv_rms * inv_rms * inv_rms / static_cast<double>(dim_));
+        for (int64_t c = 0; c < dim_; ++c) {
+            pdg[c] += dyrow[c] * xrow[c] * inv_rms;
+            dxrow[c] = pg[c] * dyrow[c] * inv_rms - xrow[c] * k;
+        }
+    }
+    return dx;
+}
+
+} // namespace snip

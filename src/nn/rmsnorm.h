@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Root-mean-square layer normalization (the Llama norm).
+ *
+ * RMSNorm stays in high precision per the paper's framework (Sec. 2.2):
+ * only linear-layer GEMMs are quantized.
+ */
+#ifndef SNIP_NN_RMSNORM_H
+#define SNIP_NN_RMSNORM_H
+
+#include <string>
+#include <vector>
+
+#include "nn/param.h"
+#include "tensor/tensor.h"
+
+namespace snip {
+
+/** y = x / rms(x) * gain, rowwise; gain is learnable. */
+class RMSNorm
+{
+  public:
+    RMSNorm(std::string name, int64_t dim, float eps = 1e-5f);
+
+    /** Normalize each row of x [rows, dim]. */
+    Tensor forward(const Tensor &x);
+
+    /** Backprop; accumulates gain gradient, returns dX. */
+    Tensor backward(const Tensor &dy);
+
+    Tensor &gain() { return gain_; }
+    Tensor &grad() { return grad_gain_; }
+
+    void zeroGrad() { grad_gain_.zero(); }
+
+    ParamRef param() { return {name_, &gain_, &grad_gain_}; }
+
+  private:
+    std::string name_;
+    int64_t dim_;
+    float eps_;
+    Tensor gain_;
+    Tensor grad_gain_;
+    Tensor saved_x_;
+    std::vector<float> saved_inv_rms_;
+};
+
+} // namespace snip
+
+#endif // SNIP_NN_RMSNORM_H

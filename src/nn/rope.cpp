@@ -1,0 +1,60 @@
+#include "nn/rope.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace snip {
+
+Rope::Rope(int64_t max_seq, int64_t head_dim, double theta)
+    : max_seq_(max_seq), head_dim_(head_dim)
+{
+    SNIP_ASSERT(head_dim % 2 == 0, "RoPE needs even head_dim");
+    const int64_t pairs = head_dim / 2;
+    cos_.resize(static_cast<size_t>(max_seq * pairs));
+    sin_.resize(static_cast<size_t>(max_seq * pairs));
+    for (int64_t pos = 0; pos < max_seq; ++pos) {
+        for (int64_t p = 0; p < pairs; ++p) {
+            double freq = std::pow(
+                theta, -2.0 * static_cast<double>(p) /
+                           static_cast<double>(head_dim));
+            double angle = static_cast<double>(pos) * freq;
+            cos_[static_cast<size_t>(pos * pairs + p)] =
+                static_cast<float>(std::cos(angle));
+            sin_[static_cast<size_t>(pos * pairs + p)] =
+                static_cast<float>(std::sin(angle));
+        }
+    }
+}
+
+void
+Rope::apply(Tensor &x, int64_t batch, int64_t seq, int64_t n_heads,
+            bool inverse) const
+{
+    SNIP_ASSERT(x.rank() == 2 && x.size(0) == batch * seq &&
+                x.size(1) == n_heads * head_dim_);
+    SNIP_ASSERT(seq <= max_seq_, "sequence longer than RoPE table");
+    const int64_t pairs = head_dim_ / 2;
+    float *px = x.data();
+    const int64_t cols = n_heads * head_dim_;
+
+    for (int64_t row = 0; row < batch * seq; ++row) {
+        const int64_t pos = row % seq;
+        const float *crow = cos_.data() + pos * pairs;
+        const float *srow = sin_.data() + pos * pairs;
+        float *base = px + row * cols;
+        for (int64_t h = 0; h < n_heads; ++h) {
+            float *head = base + h * head_dim_;
+            for (int64_t p = 0; p < pairs; ++p) {
+                const float c = crow[p];
+                const float s = inverse ? -srow[p] : srow[p];
+                const float a = head[p];
+                const float b = head[p + pairs];
+                head[p] = a * c - b * s;
+                head[p + pairs] = a * s + b * c;
+            }
+        }
+    }
+}
+
+} // namespace snip

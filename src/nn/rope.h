@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Rotary position embeddings (RoPE), Llama-style half rotation.
+ *
+ * RoPE is an orthogonal per-position rotation, so its backward pass is
+ * the inverse rotation applied to the gradient.
+ */
+#ifndef SNIP_NN_ROPE_H
+#define SNIP_NN_ROPE_H
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace snip {
+
+/** Precomputed cos/sin tables for a (max_seq, head_dim) pair. */
+class Rope
+{
+  public:
+    Rope(int64_t max_seq, int64_t head_dim, double theta = 10000.0);
+
+    /**
+     * Rotate q/k projections in place.
+     *
+     * @param x        [batch*seq, n_heads*head_dim]
+     * @param batch    batch size
+     * @param seq      sequence length (position = row % seq)
+     * @param n_heads  heads contained in x's feature dimension
+     * @param inverse  apply the inverse rotation (backward pass)
+     */
+    void apply(Tensor &x, int64_t batch, int64_t seq, int64_t n_heads,
+               bool inverse = false) const;
+
+    int64_t headDim() const { return head_dim_; }
+    int64_t maxSeq() const { return max_seq_; }
+
+  private:
+    int64_t max_seq_;
+    int64_t head_dim_;
+    /** cos/sin per (position, pair index), pair count = head_dim/2. */
+    std::vector<float> cos_;
+    std::vector<float> sin_;
+};
+
+} // namespace snip
+
+#endif // SNIP_NN_ROPE_H

@@ -1,0 +1,97 @@
+#include "nn/swiglu.h"
+
+#include <cmath>
+
+#include "util/rng.h"
+#include "util/string_util.h"
+
+namespace snip {
+
+SwiGluMlp::SwiGluMlp(const ModelConfig &config, int block, Rng &rng,
+                     FakeQuantizer *quantizer)
+{
+    const int64_t d = config.d_model;
+    const int64_t f = config.ffn_hidden;
+    auto name = [block](const char *role) {
+        return strformat("blk%02d.%s", block, role);
+    };
+    gate_ = std::make_unique<Linear>(name("Gate"), f, d, rng,
+                                     config.init_std, quantizer);
+    up_ = std::make_unique<Linear>(name("Up"), f, d, rng, config.init_std,
+                                   quantizer);
+    down_ = std::make_unique<Linear>(name("Down"), d, f, rng,
+                                     config.init_std, quantizer);
+}
+
+Linear &
+SwiGluMlp::linear(LayerRole role)
+{
+    switch (role) {
+      case LayerRole::Gate:
+        return *gate_;
+      case LayerRole::Up:
+        return *up_;
+      case LayerRole::Down:
+        return *down_;
+      default:
+        panic("not an MLP role");
+    }
+}
+
+ParamList
+SwiGluMlp::params()
+{
+    return {gate_->param(), up_->param(), down_->param()};
+}
+
+Tensor
+SwiGluMlp::forward(const Tensor &x)
+{
+    g_ = gate_->forward(x);
+    u_ = up_->forward(x);
+
+    s_ = Tensor(g_.shape());
+    Tensor h(g_.shape());
+    const float *pg = g_.data();
+    const float *pu = u_.data();
+    float *ps = s_.data();
+    float *ph = h.data();
+    for (int64_t i = 0; i < g_.numel(); ++i) {
+        const float sig = 1.0f / (1.0f + std::exp(-pg[i]));
+        ps[i] = pg[i] * sig;
+        ph[i] = ps[i] * pu[i];
+    }
+    return down_->forward(h);
+}
+
+Tensor
+SwiGluMlp::backward(const Tensor &dy)
+{
+    Tensor dh = down_->backward(dy);
+
+    Tensor dgp(g_.shape());
+    Tensor dup(g_.shape());
+    const float *pdh = dh.data();
+    const float *pg = g_.data();
+    const float *pu = u_.data();
+    const float *ps = s_.data();
+    float *pdg = dgp.data();
+    float *pdu = dup.data();
+    for (int64_t i = 0; i < g_.numel(); ++i) {
+        pdu[i] = pdh[i] * ps[i];
+        const float sig = 1.0f / (1.0f + std::exp(-pg[i]));
+        // d silu(g)/dg = sig * (1 + g * (1 - sig))
+        const float dsilu = sig * (1.0f + pg[i] * (1.0f - sig));
+        pdg[i] = pdh[i] * pu[i] * dsilu;
+    }
+
+    Tensor dx = gate_->backward(dgp);
+    Tensor dxu = up_->backward(dup);
+    const float *pxu = dxu.data();
+    float *px = dx.data();
+    for (int64_t i = 0; i < dx.numel(); ++i)
+        px[i] += pxu[i];
+    return dx;
+}
+
+} // namespace snip

@@ -1,0 +1,129 @@
+#include "optim/adamw.h"
+
+#include <cmath>
+
+#include "tensor/ops.h"
+#include "util/logging.h"
+
+namespace snip {
+
+AdamW::AdamW(ParamList params, AdamWConfig config)
+    : params_(std::move(params)), config_(config)
+{
+    states_.reserve(params_.size());
+    for (auto &p : params_) {
+        SNIP_ASSERT(p.value && p.grad && p.value->sameShape(*p.grad),
+                    "bad param ref: ", p.name);
+        states_.push_back(
+            {Tensor::zeros(p.value->shape()),
+             Tensor::zeros(p.value->shape())});
+    }
+}
+
+int
+AdamW::paramIndexOf(const Tensor *w) const
+{
+    for (size_t i = 0; i < params_.size(); ++i) {
+        if (params_[i].value == w)
+            return static_cast<int>(i);
+    }
+    return -1;
+}
+
+void
+AdamW::step()
+{
+    ++step_count_;
+    const double b1 = config_.beta1;
+    const double b2 = config_.beta2;
+    const double bias1 =
+        1.0 - std::pow(b1, static_cast<double>(step_count_));
+    const double bias2 =
+        1.0 - std::pow(b2, static_cast<double>(step_count_));
+    const double lr = config_.lr;
+
+    // Global gradient-norm clipping.
+    double clip_scale = 1.0;
+    if (config_.grad_clip > 0.0) {
+        double total_sq = 0.0;
+        for (auto &p : params_)
+            total_sq += sumSquares(*p.grad);
+        const double norm = std::sqrt(total_sq);
+        if (norm > config_.grad_clip)
+            clip_scale = config_.grad_clip / norm;
+    }
+
+    for (size_t i = 0; i < params_.size(); ++i) {
+        float *w = params_[i].value->data();
+        const float *g = params_[i].grad->data();
+        float *m = states_[i].m.data();
+        float *v = states_[i].v.data();
+        const int64_t n = params_[i].value->numel();
+        for (int64_t j = 0; j < n; ++j) {
+            const double gj = static_cast<double>(g[j]) * clip_scale;
+            // Decoupled weight decay.
+            double wj = static_cast<double>(w[j]) *
+                        (1.0 - lr * config_.weight_decay);
+            const double mj = b1 * m[j] + (1.0 - b1) * gj;
+            const double vj = b2 * v[j] + (1.0 - b2) * gj * gj;
+            m[j] = static_cast<float>(mj);
+            v[j] = static_cast<float>(vj);
+            const double mhat = mj / bias1;
+            const double vhat = vj / bias2;
+            wj -= lr * mhat / (std::sqrt(vhat) + config_.eps);
+            w[j] = static_cast<float>(wj);
+        }
+    }
+}
+
+double
+AdamW::updateSensitivityNorm(size_t idx) const
+{
+    SNIP_ASSERT(idx < params_.size());
+    const float *g = params_[idx].grad->data();
+    const float *m = states_[idx].m.data();
+    const float *v = states_[idx].v.data();
+    const int64_t n = params_[idx].value->numel();
+    const double b1 = config_.beta1;
+    const double b2 = config_.beta2;
+    const double eps = config_.eps;
+
+    double acc = 0.0;
+    for (int64_t j = 0; j < n; ++j) {
+        const double sv = std::sqrt(static_cast<double>(v[j]));
+        const double denom = sv + eps;
+        const double t1 = (1.0 - b1) / denom;
+        const double t2 =
+            sv > 0.0 ? (1.0 - b2) * static_cast<double>(m[j]) * g[j] /
+                           (sv * denom * denom)
+                     : 0.0;
+        const double d = t1 - t2;
+        acc += d * d;
+    }
+    // Theorem 4.1: ||h(g+dg)-h(g)|| ~ ||dh/dg||_F ||dg|| / sqrt(NK);
+    // we return the norm already divided by sqrt(numel).
+    return std::sqrt(acc) /
+           std::sqrt(static_cast<double>(std::max<int64_t>(1, n)));
+}
+
+double
+AdamW::updateScaleFactor() const
+{
+    const double t = static_cast<double>(step_count_ + 1);
+    const double bias1 = 1.0 - std::pow(config_.beta1, t);
+    const double bias2 = 1.0 - std::pow(config_.beta2, t);
+    return config_.lr * std::sqrt(bias2) / bias1;
+}
+
+void
+AdamW::restore(const std::vector<State> &states, int64_t step_count)
+{
+    SNIP_ASSERT(states.size() == states_.size());
+    for (size_t i = 0; i < states.size(); ++i) {
+        SNIP_ASSERT(states[i].m.sameShape(states_[i].m));
+        states_[i] = states[i];
+    }
+    step_count_ = step_count;
+}
+
+} // namespace snip

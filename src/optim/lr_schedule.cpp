@@ -1,0 +1,59 @@
+#include "optim/lr_schedule.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace snip {
+
+LrSchedule::LrSchedule(LrScheduleKind kind, double base_lr,
+                       int64_t total_steps, int64_t warmup_steps,
+                       double min_lr)
+    : kind_(kind),
+      base_lr_(base_lr),
+      total_steps_(total_steps),
+      warmup_steps_(warmup_steps),
+      min_lr_(min_lr)
+{
+    SNIP_ASSERT(total_steps >= 0 && warmup_steps >= 0);
+}
+
+double
+LrSchedule::at(int64_t step) const
+{
+    switch (kind_) {
+      case LrScheduleKind::Constant:
+        return base_lr_;
+      case LrScheduleKind::Cosine:
+      case LrScheduleKind::WarmupCosine:
+        break;
+    }
+    if (kind_ == LrScheduleKind::WarmupCosine && step < warmup_steps_ &&
+        warmup_steps_ > 0) {
+        return base_lr_ * static_cast<double>(step + 1) /
+               static_cast<double>(warmup_steps_);
+    }
+    const int64_t decay_start =
+        kind_ == LrScheduleKind::WarmupCosine ? warmup_steps_ : 0;
+    const int64_t decay_total = std::max<int64_t>(
+        1, total_steps_ - decay_start);
+    const double progress =
+        std::min(1.0, static_cast<double>(step - decay_start) /
+                          static_cast<double>(decay_total));
+    const double cosine = 0.5 * (1.0 + std::cos(M_PI * progress));
+    return min_lr_ + (base_lr_ - min_lr_) * cosine;
+}
+
+LrScheduleKind
+LrSchedule::kindByName(const std::string &name)
+{
+    if (name == "constant")
+        return LrScheduleKind::Constant;
+    if (name == "cosine")
+        return LrScheduleKind::Cosine;
+    if (name == "warmup_cosine")
+        return LrScheduleKind::WarmupCosine;
+    fatal("unknown LR schedule: ", name);
+}
+
+} // namespace snip

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Learning-rate schedules (constant, cosine decay, linear warmup).
+ */
+#ifndef SNIP_OPTIM_LR_SCHEDULE_H
+#define SNIP_OPTIM_LR_SCHEDULE_H
+
+#include <cstdint>
+#include <string>
+
+namespace snip {
+
+/** Shape of the learning-rate curve. */
+enum class LrScheduleKind
+{
+    Constant,
+    Cosine,       ///< cosine decay from base to min over total steps
+    WarmupCosine, ///< linear warmup then cosine decay
+};
+
+/** Stateless LR schedule evaluated per step. */
+class LrSchedule
+{
+  public:
+    LrSchedule(LrScheduleKind kind, double base_lr, int64_t total_steps,
+               int64_t warmup_steps = 0, double min_lr = 0.0);
+
+    /** Learning rate at 0-based step @p step. */
+    double at(int64_t step) const;
+
+    LrScheduleKind kind() const { return kind_; }
+    double baseLr() const { return base_lr_; }
+
+    /** Parse "constant"/"cosine"/"warmup_cosine". */
+    static LrScheduleKind kindByName(const std::string &name);
+
+  private:
+    LrScheduleKind kind_;
+    double base_lr_;
+    int64_t total_steps_;
+    int64_t warmup_steps_;
+    double min_lr_;
+};
+
+} // namespace snip
+
+#endif // SNIP_OPTIM_LR_SCHEDULE_H

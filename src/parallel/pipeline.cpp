@@ -1,0 +1,213 @@
+#include "parallel/pipeline.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "util/logging.h"
+
+namespace snip {
+
+std::vector<int>
+evenStageSplit(int n_blocks, int n_stages)
+{
+    SNIP_ASSERT(n_stages > 0 && n_blocks >= n_stages,
+                "need at least one block per stage");
+    const int base = (n_blocks + n_stages - 1) / n_stages;
+    std::vector<int> split;
+    int assigned = 0;
+    for (int s = 0; s < n_stages; ++s) {
+        int take = std::min(base, n_blocks - assigned);
+        // Never leave a later stage empty.
+        int remaining_stages = n_stages - s - 1;
+        take = std::min(take, n_blocks - assigned - remaining_stages);
+        SNIP_ASSERT(take >= 1);
+        split.push_back(take);
+        assigned += take;
+    }
+    SNIP_ASSERT(assigned == n_blocks);
+    return split;
+}
+
+std::vector<PipelineStage>
+buildStages(const FlopsModel &flops, const PrecisionScheme &scheme,
+            const std::vector<int> &split)
+{
+    std::vector<PipelineStage> stages;
+    int first = 0;
+    for (int take : split) {
+        PipelineStage st;
+        st.first_block = first;
+        st.n_blocks = take;
+        double fwd = 0.0;
+        double stage_flops = 0.0, stage_fp4 = 0.0;
+        for (int b = first; b < first + take; ++b) {
+            for (int r = 0; r < kRolesPerBlock; ++r) {
+                const int idx = b * kRolesPerBlock + r;
+                const LayerScheme &ls =
+                    scheme.layers[static_cast<size_t>(idx)];
+                const double lf =
+                    flops.layerFlops()[static_cast<size_t>(idx)];
+                // Forward is one of the three GEMMs; backward the
+                // other two.
+                const double per_gemm = lf / kGemmsPerLayer;
+                fwd += per_gemm /
+                       precisionThroughput(ls.of(GemmKind::Fwd));
+                st.bwd_time +=
+                    per_gemm /
+                        precisionThroughput(ls.of(GemmKind::Dgrad)) +
+                    per_gemm /
+                        precisionThroughput(ls.of(GemmKind::Wgrad));
+                stage_flops += lf;
+                stage_fp4 += lf * ls.fp4Fraction();
+            }
+        }
+        st.fwd_time = fwd;
+        st.fp4_fraction = stage_flops > 0 ? stage_fp4 / stage_flops : 0.0;
+        stages.push_back(st);
+        first += take;
+    }
+    return stages;
+}
+
+PipelineTimeline
+simulatePipeline(const std::vector<PipelineStage> &stages,
+                 int n_microbatches)
+{
+    const int S = static_cast<int>(stages.size());
+    const int M = n_microbatches;
+    SNIP_ASSERT(S > 0 && M > 0);
+
+    // Static 1F1B op order per stage.
+    struct Op
+    {
+        bool fwd;
+        int mb;
+    };
+    std::vector<std::vector<Op>> order(static_cast<size_t>(S));
+    for (int s = 0; s < S; ++s) {
+        const int warmup = std::min(S - 1 - s, M);
+        auto &ops = order[static_cast<size_t>(s)];
+        for (int m = 0; m < warmup; ++m)
+            ops.push_back({true, m});
+        int next_fwd = warmup, next_bwd = 0;
+        while (next_fwd < M || next_bwd < M) {
+            if (next_fwd < M)
+                ops.push_back({true, next_fwd++});
+            if (next_bwd < M && (next_bwd < next_fwd || next_fwd >= M))
+                ops.push_back({false, next_bwd++});
+        }
+    }
+
+    constexpr double kUnset = -1.0;
+    std::vector<std::vector<double>> fwd_done(
+        static_cast<size_t>(S),
+        std::vector<double>(static_cast<size_t>(M), kUnset));
+    std::vector<std::vector<double>> bwd_done = fwd_done;
+    std::vector<double> stage_free(static_cast<size_t>(S), 0.0);
+    std::vector<size_t> cursor(static_cast<size_t>(S), 0);
+
+    PipelineTimeline tl;
+    tl.stages = stages;
+
+    bool progress = true;
+    size_t remaining = 0;
+    for (int s = 0; s < S; ++s)
+        remaining += order[static_cast<size_t>(s)].size();
+    while (remaining > 0) {
+        SNIP_ASSERT(progress, "pipeline schedule deadlocked");
+        progress = false;
+        for (int s = 0; s < S; ++s) {
+            auto &ops = order[static_cast<size_t>(s)];
+            while (cursor[static_cast<size_t>(s)] < ops.size()) {
+                const Op op = ops[cursor[static_cast<size_t>(s)]];
+                double dep = 0.0;
+                if (op.fwd) {
+                    if (s > 0) {
+                        dep = fwd_done[static_cast<size_t>(s - 1)]
+                                      [static_cast<size_t>(op.mb)];
+                        if (dep == kUnset)
+                            break;
+                    }
+                } else {
+                    if (s < S - 1) {
+                        dep = bwd_done[static_cast<size_t>(s + 1)]
+                                      [static_cast<size_t>(op.mb)];
+                    } else {
+                        dep = fwd_done[static_cast<size_t>(s)]
+                                      [static_cast<size_t>(op.mb)];
+                    }
+                    if (dep == kUnset)
+                        break;
+                }
+                const double dur =
+                    op.fwd ? stages[static_cast<size_t>(s)].fwd_time
+                           : stages[static_cast<size_t>(s)].bwd_time;
+                const double start =
+                    std::max(stage_free[static_cast<size_t>(s)], dep);
+                const double end = start + dur;
+                stage_free[static_cast<size_t>(s)] = end;
+                auto &done = op.fwd ? fwd_done : bwd_done;
+                done[static_cast<size_t>(s)]
+                    [static_cast<size_t>(op.mb)] = end;
+                tl.events.push_back(
+                    {s, op.mb, op.fwd, start, end});
+                ++cursor[static_cast<size_t>(s)];
+                --remaining;
+                progress = true;
+            }
+        }
+    }
+
+    double busy = 0.0;
+    for (const auto &e : tl.events) {
+        tl.makespan = std::max(tl.makespan, e.end);
+        busy += e.end - e.start;
+    }
+    tl.bubble_fraction =
+        tl.makespan > 0
+            ? 1.0 - busy / (tl.makespan * static_cast<double>(S))
+            : 0.0;
+    return tl;
+}
+
+std::string
+PipelineTimeline::render(int width) const
+{
+    if (events.empty() || makespan <= 0)
+        return "(empty timeline)\n";
+    const int S = static_cast<int>(stages.size());
+    std::vector<std::string> rows(
+        static_cast<size_t>(S),
+        std::string(static_cast<size_t>(width), '.'));
+    for (const auto &e : events) {
+        int c0 = static_cast<int>(e.start / makespan * width);
+        int c1 = static_cast<int>(e.end / makespan * width);
+        c1 = std::max(c1, c0 + 1);
+        c1 = std::min(c1, width);
+        const char fill =
+            e.is_forward
+                ? static_cast<char>('0' + e.microbatch % 10)
+                : static_cast<char>('a' + e.microbatch % 26);
+        for (int c = c0; c < c1; ++c)
+            rows[static_cast<size_t>(e.stage)][static_cast<size_t>(c)] =
+                fill;
+    }
+    std::ostringstream oss;
+    oss << "time ->  (digits: forward mb, letters: backward mb, '.': "
+           "bubble)\n";
+    for (int s = 0; s < S; ++s) {
+        oss << "stage" << s << " [" << rows[static_cast<size_t>(s)]
+            << "]  blocks " << stages[static_cast<size_t>(s)].first_block
+            << ".."
+            << stages[static_cast<size_t>(s)].first_block +
+                   stages[static_cast<size_t>(s)].n_blocks - 1
+            << "  fp4=" << static_cast<int>(std::lround(
+                              stages[static_cast<size_t>(s)].fp4_fraction *
+                              100))
+            << "%\n";
+    }
+    return oss.str();
+}
+
+} // namespace snip

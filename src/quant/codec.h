@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Scalar value codec: snap a float onto a low-precision format's grid.
+ *
+ * Two rounding modes are provided. Round-to-nearest-even is the default;
+ * stochastic rounding (Croci et al., used by the paper for FP4 output
+ * gradients) rounds to the two neighbouring grid points with probability
+ * proportional to proximity, making the quantizer unbiased in
+ * expectation and preventing training stagnation.
+ */
+#ifndef SNIP_QUANT_CODEC_H
+#define SNIP_QUANT_CODEC_H
+
+#include "quant/format.h"
+
+namespace snip {
+
+class Rng;
+
+/** Rounding rule applied when a value falls between grid points. */
+enum class Rounding
+{
+    /** Round to nearest, ties to even mantissa. */
+    Nearest,
+    /** Stochastic rounding (requires an Rng). */
+    Stochastic,
+};
+
+/** Name for logging/tables. */
+const char *roundingName(Rounding r);
+
+/**
+ * Quantize one value to @p fmt with round-to-nearest-even.
+ *
+ * Magnitudes above maxValue() saturate; subnormals flush onto the
+ * subnormal grid; ±0 is preserved as 0.
+ */
+float quantizeNearest(float x, const FloatFormat &fmt);
+
+/** Quantize one value with stochastic rounding driven by @p rng. */
+float quantizeStochastic(float x, const FloatFormat &fmt, Rng &rng);
+
+/**
+ * Quantize one value with the requested mode. @p rng may be null for
+ * Rounding::Nearest.
+ */
+float quantizeValue(float x, const FloatFormat &fmt, Rounding mode,
+                    Rng *rng);
+
+/** Spacing of the format's grid at value @p x (the ULP). */
+double ulpAt(float x, const FloatFormat &fmt);
+
+} // namespace snip
+
+#endif // SNIP_QUANT_CODEC_H

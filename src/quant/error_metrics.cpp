@@ -1,0 +1,35 @@
+#include "quant/error_metrics.h"
+
+#include <cmath>
+
+#include "tensor/ops.h"
+
+namespace snip {
+
+QuantError
+measureQuantError(const Tensor &t, const QuantConfig &cfg,
+                  FakeQuantizer &quantizer)
+{
+    QuantConfig det = cfg;
+    det.rounding = Rounding::Nearest;
+    Tensor q = quantizer.quantize(t, det);
+
+    QuantError err;
+    err.input_norm = frobeniusNorm(t);
+    const float *pt = t.data();
+    const float *pq = q.data();
+    double acc = 0.0;
+    double max_e = 0.0;
+    for (int64_t i = 0; i < t.numel(); ++i) {
+        double d = static_cast<double>(pq[i]) - pt[i];
+        acc += d * d;
+        max_e = std::max(max_e, std::fabs(d));
+    }
+    err.abs_error = std::sqrt(acc);
+    err.max_error = max_e;
+    err.rel_error = err.input_norm > 0 ? err.abs_error / err.input_norm
+                                       : 0.0;
+    return err;
+}
+
+} // namespace snip

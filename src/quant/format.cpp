@@ -1,0 +1,109 @@
+#include "quant/format.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace snip {
+
+double
+FloatFormat::maxValue() const
+{
+    int codes = (1 << exponent_bits) - 1;
+    int emax;
+    double max_mantissa;
+    if (!finite_only) {
+        // IEEE-like: the all-ones exponent is Inf/NaN.
+        emax = codes - 1 - bias;
+        max_mantissa = 2.0 - std::ldexp(1.0, -mantissa_bits);
+    } else if (has_nan) {
+        // E4M3-FN style: top binade usable, all-ones mantissa is NaN.
+        emax = codes - bias;
+        max_mantissa = 2.0 - std::ldexp(2.0, -mantissa_bits);
+    } else {
+        // MX style: every code is a value.
+        emax = codes - bias;
+        max_mantissa = 2.0 - std::ldexp(1.0, -mantissa_bits);
+    }
+    return std::ldexp(max_mantissa, emax);
+}
+
+double
+FloatFormat::minNormal() const
+{
+    return std::ldexp(1.0, 1 - bias);
+}
+
+double
+FloatFormat::minSubnormal() const
+{
+    return std::ldexp(1.0, 1 - bias - mantissa_bits);
+}
+
+int
+FloatFormat::magnitudeCount() const
+{
+    int codes = (1 << exponent_bits) - 1;
+    int binades = finite_only ? codes : codes - 1;
+    int per_binade = 1 << mantissa_bits;
+    int count = (per_binade - 1) + binades * per_binade;
+    if (finite_only && has_nan)
+        count -= 1; // top mantissa pattern is NaN
+    return count;
+}
+
+const FloatFormat &
+fp4E2m1()
+{
+    static const FloatFormat f{"fp4_e2m1", 2, 1, 1, true, false};
+    return f;
+}
+
+const FloatFormat &
+fp8E4m3()
+{
+    static const FloatFormat f{"fp8_e4m3", 4, 3, 7, true, true};
+    return f;
+}
+
+const FloatFormat &
+fp8E5m2()
+{
+    static const FloatFormat f{"fp8_e5m2", 5, 2, 15, false, true};
+    return f;
+}
+
+const FloatFormat &
+fp6E3m2()
+{
+    static const FloatFormat f{"fp6_e3m2", 3, 2, 3, true, false};
+    return f;
+}
+
+const FloatFormat &
+bf16()
+{
+    static const FloatFormat f{"bf16", 8, 7, 127, false, true};
+    return f;
+}
+
+const FloatFormat &
+fp16()
+{
+    static const FloatFormat f{"fp16", 5, 10, 15, false, true};
+    return f;
+}
+
+const FloatFormat &
+formatByName(const std::string &name)
+{
+    for (const FloatFormat *f :
+         {&fp4E2m1(), &fp8E4m3(), &fp8E5m2(), &fp6E3m2(), &bf16(),
+          &fp16()}) {
+        if (f->name == name)
+            return *f;
+    }
+    fatal("unknown float format: ", name);
+}
+
+} // namespace snip

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Floating-point format descriptions for sub-16-bit training.
+ *
+ * The paper trains with fake quantization into FP8 (E4M3 for forward
+ * tensors, E5M2 for gradients, following common practice and the
+ * DeepSeek-V3 recipe) and FP4 E2M1 (MX specification). A format here is
+ * a generic EeMm description: e exponent bits, m mantissa bits, a bias,
+ * and flags describing how the top exponent code is used:
+ *   - IEEE-like (E5M2, BF16, FP16): all-ones exponent reserved for
+ *     Inf/NaN.
+ *   - finite-only with NaN (E4M3-FN): all-ones exponent holds normal
+ *     values; only the all-ones mantissa in the top binade is NaN.
+ *   - finite-only without NaN (MX E2M1, E3M2): every code is a value.
+ */
+#ifndef SNIP_QUANT_FORMAT_H
+#define SNIP_QUANT_FORMAT_H
+
+#include <string>
+
+namespace snip {
+
+/**
+ * Description of a low-precision floating-point format.
+ *
+ * All quantization in this library is *fake*: values are snapped onto the
+ * representable grid of the format but stored back as float, exactly as
+ * the paper's GPU implementation does (Sec. 6.1).
+ */
+struct FloatFormat
+{
+    /** Human-readable name, e.g. "fp8_e4m3". */
+    std::string name;
+    /** Exponent bits. */
+    int exponent_bits = 0;
+    /** Mantissa (fraction) bits. */
+    int mantissa_bits = 0;
+    /** Exponent bias. */
+    int bias = 0;
+    /** True if the all-ones exponent encodes normal values (no Inf). */
+    bool finite_only = false;
+    /** True if one NaN pattern exists (only relevant when finite_only). */
+    bool has_nan = true;
+
+    /** Largest representable finite magnitude. */
+    double maxValue() const;
+
+    /** Smallest positive *normal* magnitude, 2^(1-bias). */
+    double minNormal() const;
+
+    /** Smallest positive subnormal magnitude (grid spacing at zero). */
+    double minSubnormal() const;
+
+    /** Total bit width including sign. */
+    int bits() const { return 1 + exponent_bits + mantissa_bits; }
+
+    /** Number of distinct positive finite magnitudes (for testing). */
+    int magnitudeCount() const;
+};
+
+/** FP4 E2M1 per the MX specification: ±{0, .5, 1, 1.5, 2, 3, 4, 6}. */
+const FloatFormat &fp4E2m1();
+
+/** FP8 E4M3 (finite-only / FN variant), max 448. */
+const FloatFormat &fp8E4m3();
+
+/** FP8 E5M2 (IEEE-like), max 57344; used for gradients. */
+const FloatFormat &fp8E5m2();
+
+/** FP6 E3M2 (MX), max 28; available as an extra quantization option. */
+const FloatFormat &fp6E3m2();
+
+/** bfloat16: 8 exponent bits, 7 mantissa bits. */
+const FloatFormat &bf16();
+
+/** IEEE half precision (E5M10). */
+const FloatFormat &fp16();
+
+/** Look up a format by name; fatal() on unknown names. */
+const FloatFormat &formatByName(const std::string &name);
+
+} // namespace snip
+
+#endif // SNIP_QUANT_FORMAT_H

@@ -1,0 +1,182 @@
+#include "quant/quantizer.h"
+
+#include <cmath>
+#include <cstring>
+
+#include "util/string_util.h"
+
+namespace snip {
+
+std::string
+QuantConfig::describe() const
+{
+    return strformat("%s/%s%d/%s", format.name.c_str(),
+                     granularityName(scaling.granularity), scaling.block,
+                     roundingName(rounding));
+}
+
+const char *
+precisionName(Precision p)
+{
+    switch (p) {
+      case Precision::BF16:
+        return "BF16";
+      case Precision::FP8:
+        return "FP8";
+      case Precision::FP6:
+        return "FP6";
+      case Precision::FP4:
+        return "FP4";
+    }
+    return "?";
+}
+
+int
+precisionBits(Precision p)
+{
+    switch (p) {
+      case Precision::BF16:
+        return 16;
+      case Precision::FP8:
+        return 8;
+      case Precision::FP6:
+        return 6;
+      case Precision::FP4:
+        return 4;
+    }
+    return 0;
+}
+
+const char *
+tensorRoleName(TensorRole role)
+{
+    switch (role) {
+      case TensorRole::Activation:
+        return "activation";
+      case TensorRole::Weight:
+        return "weight";
+      case TensorRole::OutputGrad:
+        return "output_grad";
+    }
+    return "?";
+}
+
+namespace {
+Rounding g_fp4_grad_rounding = Rounding::Stochastic;
+} // namespace
+
+void
+setFp4GradRounding(Rounding rounding)
+{
+    g_fp4_grad_rounding = rounding;
+}
+
+Rounding
+fp4GradRounding()
+{
+    return g_fp4_grad_rounding;
+}
+
+QuantConfig
+rolePolicy(Precision precision, TensorRole role)
+{
+    QuantConfig cfg;
+    switch (precision) {
+      case Precision::BF16:
+        cfg.format = bf16();
+        cfg.scaling = {Granularity::Tensorwise, 0};
+        cfg.rounding = Rounding::Nearest;
+        return cfg;
+      case Precision::FP8:
+        cfg.format = (role == TensorRole::OutputGrad) ? fp8E5m2()
+                                                      : fp8E4m3();
+        break;
+      case Precision::FP6:
+        cfg.format = fp6E3m2();
+        break;
+      case Precision::FP4:
+        cfg.format = fp4E2m1();
+        break;
+    }
+    if (role == TensorRole::Weight) {
+        cfg.scaling = {Granularity::Blockwise, 128};
+    } else {
+        cfg.scaling = {Granularity::Tilewise, 128};
+    }
+    cfg.rounding = (precision == Precision::FP4 &&
+                    role == TensorRole::OutputGrad)
+                       ? g_fp4_grad_rounding
+                       : Rounding::Nearest;
+    return cfg;
+}
+
+FakeQuantizer::FakeQuantizer(uint64_t seed) : rng_(seed) {}
+
+Tensor
+FakeQuantizer::quantize(const Tensor &t, const QuantConfig &cfg)
+{
+    Tensor out = t;
+    quantizeInPlace(out, cfg);
+    return out;
+}
+
+namespace {
+
+/** Exact bf16 round-to-nearest-even via bit manipulation (fast path:
+ *  bf16 needs no rescaling, so the whole tensor is one tight loop). */
+float
+roundToBf16(float x)
+{
+    uint32_t u;
+    static_assert(sizeof(u) == sizeof(x));
+    std::memcpy(&u, &x, sizeof(u));
+    u += 0x7FFFu + ((u >> 16) & 1u);
+    u &= 0xFFFF0000u;
+    float out;
+    std::memcpy(&out, &u, sizeof(out));
+    return out;
+}
+
+} // namespace
+
+void
+FakeQuantizer::quantizeInPlace(Tensor &t, const QuantConfig &cfg)
+{
+    if (cfg.format.name == "bf16" && cfg.rounding == Rounding::Nearest) {
+        float *p = t.data();
+        for (int64_t i = 0; i < t.numel(); ++i)
+            p[i] = roundToBf16(p[i]);
+        return;
+    }
+    int64_t rows, cols;
+    matrixView(t, rows, cols);
+    if (rows == 0 || cols == 0)
+        return;
+    float *p = t.data();
+    const double fmt_max = cfg.format.maxValue();
+    Rng *rng = cfg.rounding == Rounding::Stochastic ? &rng_ : nullptr;
+
+    forEachRegion(rows, cols, cfg.scaling,
+                  [&](int64_t r0, int64_t r1, int64_t c0, int64_t c1) {
+        double max_abs = 0.0;
+        for (int64_t r = r0; r < r1; ++r) {
+            const float *row = p + r * cols;
+            for (int64_t c = c0; c < c1; ++c)
+                max_abs = std::max(max_abs,
+                                   std::fabs(static_cast<double>(row[c])));
+        }
+        const double scale = regionScale(max_abs, fmt_max);
+        const float fscale = static_cast<float>(scale);
+        const float inv = static_cast<float>(1.0 / scale);
+        for (int64_t r = r0; r < r1; ++r) {
+            float *row = p + r * cols;
+            for (int64_t c = c0; c < c1; ++c) {
+                row[c] = quantizeValue(row[c] * fscale, cfg.format,
+                                       cfg.rounding, rng) *
+                         inv;
+            }
+        }
+    });
+}
+
+} // namespace snip

@@ -1,0 +1,94 @@
+#include "quant/scaling.h"
+
+namespace snip {
+
+const char *
+granularityName(Granularity g)
+{
+    switch (g) {
+      case Granularity::Tensorwise:
+        return "tensorwise";
+      case Granularity::Rowwise:
+        return "rowwise";
+      case Granularity::Columnwise:
+        return "columnwise";
+      case Granularity::Blockwise:
+        return "blockwise";
+      case Granularity::Tilewise:
+        return "tilewise";
+    }
+    return "?";
+}
+
+void
+forEachRegion(
+    int64_t rows, int64_t cols, const ScalingSpec &spec,
+    const std::function<void(int64_t, int64_t, int64_t, int64_t)> &fn)
+{
+    const int64_t nb = std::max<int64_t>(1, spec.block);
+    switch (spec.granularity) {
+      case Granularity::Tensorwise:
+        fn(0, rows, 0, cols);
+        break;
+      case Granularity::Rowwise:
+        for (int64_t r = 0; r < rows; ++r)
+            fn(r, r + 1, 0, cols);
+        break;
+      case Granularity::Columnwise:
+        for (int64_t c = 0; c < cols; ++c)
+            fn(0, rows, c, c + 1);
+        break;
+      case Granularity::Blockwise:
+        for (int64_t r = 0; r < rows; r += nb)
+            for (int64_t c = 0; c < cols; c += nb)
+                fn(r, std::min(r + nb, rows), c, std::min(c + nb, cols));
+        break;
+      case Granularity::Tilewise:
+        for (int64_t r = 0; r < rows; ++r)
+            for (int64_t c = 0; c < cols; c += nb)
+                fn(r, r + 1, c, std::min(c + nb, cols));
+        break;
+    }
+}
+
+double
+regionScale(double max_abs, double fmt_max)
+{
+    if (max_abs <= 0.0)
+        return 1.0;
+    return fmt_max / max_abs;
+}
+
+int64_t
+scaleCount(int64_t rows, int64_t cols, const ScalingSpec &spec)
+{
+    const int64_t nb = std::max<int64_t>(1, spec.block);
+    auto ceil_div = [](int64_t a, int64_t b) { return (a + b - 1) / b; };
+    switch (spec.granularity) {
+      case Granularity::Tensorwise:
+        return 1;
+      case Granularity::Rowwise:
+        return rows;
+      case Granularity::Columnwise:
+        return cols;
+      case Granularity::Blockwise:
+        return ceil_div(rows, nb) * ceil_div(cols, nb);
+      case Granularity::Tilewise:
+        return rows * ceil_div(cols, nb);
+    }
+    return 0;
+}
+
+void
+matrixView(const Tensor &t, int64_t &rows, int64_t &cols)
+{
+    if (t.rank() == 0 || t.numel() == 0) {
+        rows = t.numel() > 0 ? 1 : 0;
+        cols = t.numel();
+        return;
+    }
+    cols = t.size(-1);
+    rows = cols > 0 ? t.numel() / cols : 0;
+}
+
+} // namespace snip

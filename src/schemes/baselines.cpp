@@ -1,0 +1,87 @@
+#include "schemes/baselines.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace snip {
+
+PrecisionScheme
+fillToTarget(const std::vector<int> &layer_order,
+             const std::vector<double> &layer_flops, double target)
+{
+    const size_t m = layer_flops.size();
+    SNIP_ASSERT(layer_order.size() == m, "order/flops size mismatch");
+    PrecisionScheme scheme =
+        PrecisionScheme::uniform(m, Precision::FP8);
+    double total = 0.0;
+    for (double f : layer_flops)
+        total += f;
+    double fp4 = 0.0;
+    for (int idx : layer_order) {
+        if (fp4 >= target * total - 1e-12)
+            break;
+        scheme.layers[static_cast<size_t>(idx)] =
+            LayerScheme::uniform(Precision::FP4);
+        fp4 += layer_flops[static_cast<size_t>(idx)];
+    }
+    return scheme;
+}
+
+PrecisionScheme
+randomScheme(const std::vector<double> &layer_flops, double target,
+             Rng &rng)
+{
+    std::vector<int> order(layer_flops.size());
+    for (size_t i = 0; i < order.size(); ++i)
+        order[i] = static_cast<int>(i);
+    for (size_t i = order.size(); i > 1; --i) {
+        size_t j = rng.nextBelow(i);
+        std::swap(order[i - 1], order[j]);
+    }
+    return fillToTarget(order, layer_flops, target);
+}
+
+PrecisionScheme
+layerIdScheme(const std::vector<double> &layer_flops, double target,
+              int n_blocks)
+{
+    const int m = static_cast<int>(layer_flops.size());
+    SNIP_ASSERT(m == n_blocks * kRolesPerBlock);
+    // Order blocks by distance from the middle (closest first), then
+    // emit each block's seven layers.
+    std::vector<int> blocks(static_cast<size_t>(n_blocks));
+    for (int b = 0; b < n_blocks; ++b)
+        blocks[static_cast<size_t>(b)] = b;
+    const double mid = (n_blocks - 1) / 2.0;
+    std::stable_sort(blocks.begin(), blocks.end(), [mid](int a, int b) {
+        return std::fabs(a - mid) < std::fabs(b - mid);
+    });
+    std::vector<int> order;
+    for (int b : blocks)
+        for (int r = 0; r < kRolesPerBlock; ++r)
+            order.push_back(b * kRolesPerBlock + r);
+    return fillToTarget(order, layer_flops, target);
+}
+
+PrecisionScheme
+layerTypeScheme(const std::vector<double> &layer_flops, double target,
+                int n_blocks)
+{
+    const int m = static_cast<int>(layer_flops.size());
+    SNIP_ASSERT(m == n_blocks * kRolesPerBlock);
+    // Empirical insensitivity order; Down/V are most sensitive
+    // (Fig. 10) so they convert last.
+    static const LayerRole kOrder[kRolesPerBlock] = {
+        LayerRole::Q, LayerRole::K,  LayerRole::Up, LayerRole::Gate,
+        LayerRole::O, LayerRole::V,  LayerRole::Down};
+    std::vector<int> order;
+    for (LayerRole role : kOrder)
+        for (int b = 0; b < n_blocks; ++b)
+            order.push_back(b * kRolesPerBlock + static_cast<int>(role));
+    return fillToTarget(order, layer_flops, target);
+}
+
+} // namespace snip

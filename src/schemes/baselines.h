@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Baseline precision-selection schemes (Sec. 6.1, "Baselines").
+ *
+ * Each baseline produces a PrecisionScheme whose FP4 FLOP fraction meets
+ * a target E_t, assigning whole layers to FP4 (all three GEMMs) in some
+ * priority order:
+ *   - random:      a seeded random layer order;
+ *   - E-layer-id:  middle layers first (the empirical rule that the
+ *                  first/last layers are precision-sensitive);
+ *   - E-layer-type: "non-sensitive" layer types first (Q/K before
+ *                  attention-output and MLP-down projections).
+ * The min-abs-err / min-rel-err baselines run through the same ILP as
+ * SNIP with the error-based quality metrics (see QualityMetric), as the
+ * paper does for fairness.
+ */
+#ifndef SNIP_SCHEMES_BASELINES_H
+#define SNIP_SCHEMES_BASELINES_H
+
+#include "schemes/scheme.h"
+
+namespace snip {
+
+class Rng;
+
+/**
+ * Greedy fill: walk @p layer_order, switching layers to uniform FP4
+ * until the FLOP-weighted FP4 fraction reaches @p target; remaining
+ * layers stay uniform FP8. The layer whose inclusion crosses the target
+ * is included (so the fraction is >= target, matching the ILP's >=
+ * constraint).
+ */
+PrecisionScheme fillToTarget(const std::vector<int> &layer_order,
+                             const std::vector<double> &layer_flops,
+                             double target);
+
+/** Uniformly random layer order (the paper's random0/1/2 seeds). */
+PrecisionScheme randomScheme(const std::vector<double> &layer_flops,
+                             double target, Rng &rng);
+
+/** Middle blocks first, radiating outward (E-layer-id). */
+PrecisionScheme layerIdScheme(const std::vector<double> &layer_flops,
+                              double target, int n_blocks);
+
+/** Layer types in empirical insensitivity order (E-layer-type):
+ *  Q, K, Up, Gate, O, V, Down; within a type, by block order. */
+PrecisionScheme layerTypeScheme(const std::vector<double> &layer_flops,
+                                double target, int n_blocks);
+
+} // namespace snip
+
+#endif // SNIP_SCHEMES_BASELINES_H

@@ -1,0 +1,117 @@
+#include "tensor/gemm.h"
+
+#include <cstring>
+
+namespace snip {
+
+namespace {
+
+/// Block sizes chosen so an A-panel plus a B-panel fit in L1/L2.
+constexpr int64_t kBlockM = 64;
+constexpr int64_t kBlockN = 64;
+constexpr int64_t kBlockK = 128;
+
+} // namespace
+
+void
+gemmNN(const float *a, const float *b, float *c, int64_t m, int64_t n,
+       int64_t k, bool accumulate)
+{
+    if (!accumulate)
+        std::memset(c, 0, sizeof(float) * static_cast<size_t>(m * n));
+    for (int64_t i0 = 0; i0 < m; i0 += kBlockM) {
+        int64_t i1 = std::min(i0 + kBlockM, m);
+        for (int64_t k0 = 0; k0 < k; k0 += kBlockK) {
+            int64_t k1 = std::min(k0 + kBlockK, k);
+            for (int64_t i = i0; i < i1; ++i) {
+                const float *arow = a + i * k;
+                float *crow = c + i * n;
+                for (int64_t kk = k0; kk < k1; ++kk) {
+                    float av = arow[kk];
+                    const float *brow = b + kk * n;
+                    for (int64_t j = 0; j < n; ++j)
+                        crow[j] += av * brow[j];
+                }
+            }
+        }
+    }
+}
+
+void
+gemmNT(const float *a, const float *b, float *c, int64_t m, int64_t n,
+       int64_t k, bool accumulate)
+{
+    if (!accumulate)
+        std::memset(c, 0, sizeof(float) * static_cast<size_t>(m * n));
+    for (int64_t j0 = 0; j0 < n; j0 += kBlockN) {
+        int64_t j1 = std::min(j0 + kBlockN, n);
+        for (int64_t i = 0; i < m; ++i) {
+            const float *arow = a + i * k;
+            float *crow = c + i * n;
+            for (int64_t j = j0; j < j1; ++j) {
+                const float *brow = b + j * k;
+                float acc = 0.0f;
+                for (int64_t kk = 0; kk < k; ++kk)
+                    acc += arow[kk] * brow[kk];
+                crow[j] += acc;
+            }
+        }
+    }
+}
+
+void
+gemmTN(const float *a, const float *b, float *c, int64_t m, int64_t n,
+       int64_t k, bool accumulate)
+{
+    if (!accumulate)
+        std::memset(c, 0, sizeof(float) * static_cast<size_t>(m * n));
+    // C[i,j] += sum_kk A[kk,i] * B[kk,j]; iterate kk outer so both A and
+    // B are read row-wise.
+    for (int64_t k0 = 0; k0 < k; k0 += kBlockK) {
+        int64_t k1 = std::min(k0 + kBlockK, k);
+        for (int64_t kk = k0; kk < k1; ++kk) {
+            const float *arow = a + kk * m;
+            const float *brow = b + kk * n;
+            for (int64_t i = 0; i < m; ++i) {
+                float av = arow[i];
+                if (av == 0.0f)
+                    continue;
+                float *crow = c + i * n;
+                for (int64_t j = 0; j < n; ++j)
+                    crow[j] += av * brow[j];
+            }
+        }
+    }
+}
+
+Tensor
+matmulNT(const Tensor &x, const Tensor &w)
+{
+    SNIP_ASSERT(x.rank() == 2 && w.rank() == 2);
+    SNIP_ASSERT(x.size(1) == w.size(1), "inner dimensions disagree");
+    Tensor y(x.size(0), w.size(0));
+    gemmNT(x.data(), w.data(), y.data(), x.size(0), w.size(0), x.size(1));
+    return y;
+}
+
+Tensor
+matmulNN(const Tensor &a, const Tensor &b)
+{
+    SNIP_ASSERT(a.rank() == 2 && b.rank() == 2);
+    SNIP_ASSERT(a.size(1) == b.size(0), "inner dimensions disagree");
+    Tensor y(a.size(0), b.size(1));
+    gemmNN(a.data(), b.data(), y.data(), a.size(0), b.size(1), a.size(1));
+    return y;
+}
+
+Tensor
+matmulTN(const Tensor &a, const Tensor &b)
+{
+    SNIP_ASSERT(a.rank() == 2 && b.rank() == 2);
+    SNIP_ASSERT(a.size(0) == b.size(0), "inner dimensions disagree");
+    Tensor y(a.size(1), b.size(1));
+    gemmTN(a.data(), b.data(), y.data(), a.size(1), b.size(1), a.size(0));
+    return y;
+}
+
+} // namespace snip

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Single-precision GEMM kernels.
+ *
+ * Three transpose variants cover the needs of linear-layer training:
+ *   - NT: C[M,N] = A[M,K] * B[N,K]^T   (forward:  Y  = X  W^T)
+ *   - NN: C[M,N] = A[M,K] * B[K,N]     (backward: dX = dY W)
+ *   - TN: C[M,N] = A[K,M]^T * B[K,N]   (backward: dW = dY^T X)
+ * Kernels are cache-blocked plain C++ (the compiler vectorizes the inner
+ * loops); raw-pointer entry points serve hot paths and Tensor wrappers
+ * serve everything else.
+ */
+#ifndef SNIP_TENSOR_GEMM_H
+#define SNIP_TENSOR_GEMM_H
+
+#include <cstdint>
+
+#include "tensor/tensor.h"
+
+namespace snip {
+
+/** C[M,N] (+)= A[M,K] * B[N,K]^T. */
+void gemmNT(const float *a, const float *b, float *c, int64_t m, int64_t n,
+            int64_t k, bool accumulate = false);
+
+/** C[M,N] (+)= A[M,K] * B[K,N]. */
+void gemmNN(const float *a, const float *b, float *c, int64_t m, int64_t n,
+            int64_t k, bool accumulate = false);
+
+/** C[M,N] (+)= A[K,M]^T * B[K,N]. */
+void gemmTN(const float *a, const float *b, float *c, int64_t m, int64_t n,
+            int64_t k, bool accumulate = false);
+
+/** Y = X * W^T for rank-2 tensors X[M,K], W[N,K]. */
+Tensor matmulNT(const Tensor &x, const Tensor &w);
+
+/** Y = A * B for rank-2 tensors A[M,K], B[K,N]. */
+Tensor matmulNN(const Tensor &a, const Tensor &b);
+
+/** Y = A^T * B for rank-2 tensors A[K,M], B[K,N]. */
+Tensor matmulTN(const Tensor &a, const Tensor &b);
+
+} // namespace snip
+
+#endif // SNIP_TENSOR_GEMM_H

@@ -1,0 +1,177 @@
+#include "tensor/ops.h"
+
+#include <cmath>
+
+namespace snip {
+
+double
+sumSquares(const Tensor &t)
+{
+    const float *p = t.data();
+    double acc = 0.0;
+    for (int64_t i = 0; i < t.numel(); ++i)
+        acc += static_cast<double>(p[i]) * p[i];
+    return acc;
+}
+
+double
+frobeniusNorm(const Tensor &t)
+{
+    return std::sqrt(sumSquares(t));
+}
+
+float
+maxAbs(const Tensor &t)
+{
+    const float *p = t.data();
+    float m = 0.0f;
+    for (int64_t i = 0; i < t.numel(); ++i)
+        m = std::max(m, std::fabs(p[i]));
+    return m;
+}
+
+double
+mean(const Tensor &t)
+{
+    if (t.numel() == 0)
+        return 0.0;
+    const float *p = t.data();
+    double acc = 0.0;
+    for (int64_t i = 0; i < t.numel(); ++i)
+        acc += p[i];
+    return acc / static_cast<double>(t.numel());
+}
+
+double
+diffNorm(const Tensor &a, const Tensor &b)
+{
+    SNIP_ASSERT(a.sameShape(b));
+    const float *pa = a.data();
+    const float *pb = b.data();
+    double acc = 0.0;
+    for (int64_t i = 0; i < a.numel(); ++i) {
+        double d = static_cast<double>(pa[i]) - pb[i];
+        acc += d * d;
+    }
+    return std::sqrt(acc);
+}
+
+void
+addInPlace(Tensor &dst, const Tensor &src)
+{
+    SNIP_ASSERT(dst.sameShape(src));
+    float *pd = dst.data();
+    const float *ps = src.data();
+    for (int64_t i = 0; i < dst.numel(); ++i)
+        pd[i] += ps[i];
+}
+
+void
+addScaled(Tensor &dst, const Tensor &src, float alpha)
+{
+    SNIP_ASSERT(dst.sameShape(src));
+    float *pd = dst.data();
+    const float *ps = src.data();
+    for (int64_t i = 0; i < dst.numel(); ++i)
+        pd[i] += alpha * ps[i];
+}
+
+void
+scaleInPlace(Tensor &dst, float alpha)
+{
+    float *pd = dst.data();
+    for (int64_t i = 0; i < dst.numel(); ++i)
+        pd[i] *= alpha;
+}
+
+Tensor
+sub(const Tensor &a, const Tensor &b)
+{
+    SNIP_ASSERT(a.sameShape(b));
+    Tensor out(a.shape());
+    float *po = out.data();
+    const float *pa = a.data();
+    const float *pb = b.data();
+    for (int64_t i = 0; i < a.numel(); ++i)
+        po[i] = pa[i] - pb[i];
+    return out;
+}
+
+Tensor
+add(const Tensor &a, const Tensor &b)
+{
+    SNIP_ASSERT(a.sameShape(b));
+    Tensor out(a.shape());
+    float *po = out.data();
+    const float *pa = a.data();
+    const float *pb = b.data();
+    for (int64_t i = 0; i < a.numel(); ++i)
+        po[i] = pa[i] + pb[i];
+    return out;
+}
+
+Tensor
+hadamard(const Tensor &a, const Tensor &b)
+{
+    SNIP_ASSERT(a.sameShape(b));
+    Tensor out(a.shape());
+    float *po = out.data();
+    const float *pa = a.data();
+    const float *pb = b.data();
+    for (int64_t i = 0; i < a.numel(); ++i)
+        po[i] = pa[i] * pb[i];
+    return out;
+}
+
+void
+apply(Tensor &t, const std::function<float(float)> &fn)
+{
+    float *p = t.data();
+    for (int64_t i = 0; i < t.numel(); ++i)
+        p[i] = fn(p[i]);
+}
+
+std::vector<double>
+rowNorms(const Tensor &t)
+{
+    SNIP_ASSERT(t.rank() == 2);
+    int64_t rows = t.size(0), cols = t.size(1);
+    std::vector<double> out(static_cast<size_t>(rows), 0.0);
+    const float *p = t.data();
+    for (int64_t r = 0; r < rows; ++r) {
+        double acc = 0.0;
+        for (int64_t c = 0; c < cols; ++c) {
+            double v = p[r * cols + c];
+            acc += v * v;
+        }
+        out[static_cast<size_t>(r)] = std::sqrt(acc);
+    }
+    return out;
+}
+
+Tensor
+transpose(const Tensor &t)
+{
+    SNIP_ASSERT(t.rank() == 2);
+    int64_t rows = t.size(0), cols = t.size(1);
+    Tensor out(cols, rows);
+    const float *p = t.data();
+    float *q = out.data();
+    for (int64_t r = 0; r < rows; ++r)
+        for (int64_t c = 0; c < cols; ++c)
+            q[c * rows + r] = p[r * cols + c];
+    return out;
+}
+
+bool
+hasNonFinite(const Tensor &t)
+{
+    const float *p = t.data();
+    for (int64_t i = 0; i < t.numel(); ++i) {
+        if (!std::isfinite(p[i]))
+            return true;
+    }
+    return false;
+}
+
+} // namespace snip

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Elementwise and reduction operations on Tensors.
+ *
+ * All reductions accumulate in double to keep Frobenius norms (the core
+ * statistic SNIP collects) accurate even for large tensors.
+ */
+#ifndef SNIP_TENSOR_OPS_H
+#define SNIP_TENSOR_OPS_H
+
+#include <functional>
+
+#include "tensor/tensor.h"
+
+namespace snip {
+
+/** Frobenius norm ||t||_F (ℓ2 norm of the flattened tensor). */
+double frobeniusNorm(const Tensor &t);
+
+/** Sum of squared elements. */
+double sumSquares(const Tensor &t);
+
+/** Largest |element|; 0 for empty tensors. */
+float maxAbs(const Tensor &t);
+
+/** Mean of all elements; 0 for empty tensors. */
+double mean(const Tensor &t);
+
+/** ||a - b||_F; shapes must match. */
+double diffNorm(const Tensor &a, const Tensor &b);
+
+/** dst += src (same shape). */
+void addInPlace(Tensor &dst, const Tensor &src);
+
+/** dst += alpha * src (same shape). */
+void addScaled(Tensor &dst, const Tensor &src, float alpha);
+
+/** dst *= alpha. */
+void scaleInPlace(Tensor &dst, float alpha);
+
+/** Elementwise a - b. */
+Tensor sub(const Tensor &a, const Tensor &b);
+
+/** Elementwise a + b. */
+Tensor add(const Tensor &a, const Tensor &b);
+
+/** Elementwise product a ⊙ b. */
+Tensor hadamard(const Tensor &a, const Tensor &b);
+
+/** Apply @p fn to every element in place. */
+void apply(Tensor &t, const std::function<float(float)> &fn);
+
+/** Per-row ℓ2 norms of a rank-2 tensor; result has size rows. */
+std::vector<double> rowNorms(const Tensor &t);
+
+/** Transpose of a rank-2 tensor. */
+Tensor transpose(const Tensor &t);
+
+/** True if any element is NaN or Inf. */
+bool hasNonFinite(const Tensor &t);
+
+} // namespace snip
+
+#endif // SNIP_TENSOR_OPS_H

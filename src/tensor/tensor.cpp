@@ -1,0 +1,92 @@
+#include "tensor/tensor.h"
+
+#include "util/rng.h"
+
+namespace snip {
+
+namespace {
+
+int64_t
+shapeNumel(const std::vector<int64_t> &shape)
+{
+    int64_t n = 1;
+    for (int64_t d : shape) {
+        SNIP_ASSERT(d >= 0, "negative dimension");
+        n *= d;
+    }
+    return n;
+}
+
+} // namespace
+
+Tensor::Tensor(std::vector<int64_t> shape)
+    : data_(static_cast<size_t>(shapeNumel(shape)), 0.0f),
+      shape_(std::move(shape))
+{
+}
+
+Tensor::Tensor(int64_t rows, int64_t cols)
+    : Tensor(std::vector<int64_t>{rows, cols})
+{
+}
+
+Tensor
+Tensor::zeros(std::vector<int64_t> shape)
+{
+    return Tensor(std::move(shape));
+}
+
+Tensor
+Tensor::full(std::vector<int64_t> shape, float value)
+{
+    Tensor t(std::move(shape));
+    t.fill(value);
+    return t;
+}
+
+Tensor
+Tensor::randn(std::vector<int64_t> shape, Rng &rng, float stddev)
+{
+    Tensor t(std::move(shape));
+    float *p = t.data();
+    for (int64_t i = 0; i < t.numel(); ++i)
+        p[i] = static_cast<float>(rng.nextGaussian()) * stddev;
+    return t;
+}
+
+Tensor
+Tensor::uniform(std::vector<int64_t> shape, Rng &rng, float lo, float hi)
+{
+    Tensor t(std::move(shape));
+    float *p = t.data();
+    for (int64_t i = 0; i < t.numel(); ++i)
+        p[i] = lo + (hi - lo) * rng.nextFloat();
+    return t;
+}
+
+int64_t
+Tensor::size(int i) const
+{
+    int r = rank();
+    if (i < 0)
+        i += r;
+    SNIP_ASSERT(i >= 0 && i < r, "dimension index out of range");
+    return shape_[static_cast<size_t>(i)];
+}
+
+void
+Tensor::fill(float value)
+{
+    for (auto &v : data_)
+        v = value;
+}
+
+Tensor &
+Tensor::reshape(std::vector<int64_t> shape)
+{
+    SNIP_ASSERT(shapeNumel(shape) == numel(), "reshape changes numel");
+    shape_ = std::move(shape);
+    return *this;
+}
+
+} // namespace snip

@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Dense row-major float tensor.
+ *
+ * The training stack is CPU-only and single-precision end to end; reduced
+ * precision enters exclusively through fake quantization (quant/), exactly
+ * as in the paper's experimental setup (Sec. 6.1), so one float container
+ * suffices. Shapes up to rank 4 are supported; storage is always
+ * contiguous row-major.
+ */
+#ifndef SNIP_TENSOR_TENSOR_H
+#define SNIP_TENSOR_TENSOR_H
+
+#include <cstdint>
+#include <initializer_list>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace snip {
+
+class Rng;
+
+/**
+ * Contiguous row-major float tensor with value semantics.
+ *
+ * Copies are deep; moves are cheap. Element access is bounds-checked in
+ * debug builds (SNIP_ASSERT compiles to a real check in all builds, so
+ * hot loops should use data() pointers instead).
+ */
+class Tensor
+{
+  public:
+    /** Empty tensor (rank 0, no elements). */
+    Tensor() = default;
+
+    /** Uninitialized-to-zero tensor with the given shape. */
+    explicit Tensor(std::vector<int64_t> shape);
+
+    /** Convenience rank-2 constructor. */
+    Tensor(int64_t rows, int64_t cols);
+
+    /** All-zero tensor. */
+    static Tensor zeros(std::vector<int64_t> shape);
+
+    /** Tensor filled with a constant. */
+    static Tensor full(std::vector<int64_t> shape, float value);
+
+    /** I.i.d. Gaussian entries: N(0, stddev^2). */
+    static Tensor randn(std::vector<int64_t> shape, Rng &rng,
+                        float stddev = 1.0f);
+
+    /** Uniform entries in [lo, hi). */
+    static Tensor uniform(std::vector<int64_t> shape, Rng &rng, float lo,
+                          float hi);
+
+    /** Number of elements. */
+    int64_t numel() const { return static_cast<int64_t>(data_.size()); }
+
+    /** Tensor rank (number of dimensions). */
+    int rank() const { return static_cast<int>(shape_.size()); }
+
+    /** Size of dimension @p i (negative i counts from the back). */
+    int64_t size(int i) const;
+
+    /** Full shape vector. */
+    const std::vector<int64_t> &shape() const { return shape_; }
+
+    /** True if shapes match exactly. */
+    bool sameShape(const Tensor &other) const
+    {
+        return shape_ == other.shape_;
+    }
+
+    /** Raw storage pointers. */
+    float *data() { return data_.data(); }
+    const float *data() const { return data_.data(); }
+
+    /** Flat element access. */
+    float &
+    at(int64_t i)
+    {
+        SNIP_ASSERT(i >= 0 && i < numel());
+        return data_[static_cast<size_t>(i)];
+    }
+    float
+    at(int64_t i) const
+    {
+        SNIP_ASSERT(i >= 0 && i < numel());
+        return data_[static_cast<size_t>(i)];
+    }
+
+    /** Rank-2 element access (row, col). */
+    float &
+    at(int64_t r, int64_t c)
+    {
+        SNIP_ASSERT(rank() == 2);
+        return data_[static_cast<size_t>(r * shape_[1] + c)];
+    }
+    float
+    at(int64_t r, int64_t c) const
+    {
+        SNIP_ASSERT(rank() == 2);
+        return data_[static_cast<size_t>(r * shape_[1] + c)];
+    }
+
+    /** Rank-3 element access. */
+    float &
+    at(int64_t a, int64_t b, int64_t c)
+    {
+        SNIP_ASSERT(rank() == 3);
+        return data_[static_cast<size_t>((a * shape_[1] + b) * shape_[2] +
+                                         c)];
+    }
+    float
+    at(int64_t a, int64_t b, int64_t c) const
+    {
+        SNIP_ASSERT(rank() == 3);
+        return data_[static_cast<size_t>((a * shape_[1] + b) * shape_[2] +
+                                         c)];
+    }
+
+    /** Set every element to @p value. */
+    void fill(float value);
+
+    /** Set every element to zero. */
+    void zero() { fill(0.0f); }
+
+    /**
+     * Reinterpret the storage with a new shape of identical element
+     * count. Returns *this for chaining.
+     */
+    Tensor &reshape(std::vector<int64_t> shape);
+
+    /** Deep equality (exact float comparison). */
+    bool operator==(const Tensor &other) const
+    {
+        return shape_ == other.shape_ && data_ == other.data_;
+    }
+
+  private:
+    std::vector<float> data_;
+    std::vector<int64_t> shape_;
+};
+
+} // namespace snip
+
+#endif // SNIP_TENSOR_TENSOR_H

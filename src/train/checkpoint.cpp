@@ -1,0 +1,113 @@
+#include "train/checkpoint.h"
+
+#include <cstdint>
+#include <fstream>
+
+#include "util/logging.h"
+
+namespace snip {
+
+namespace {
+
+constexpr uint64_t kMagic = 0x534E4950434B5031ull; // "SNIPCKP1"
+
+void
+writeU64(std::ostream &out, uint64_t v)
+{
+    out.write(reinterpret_cast<const char *>(&v), sizeof(v));
+}
+
+bool
+readU64(std::istream &in, uint64_t &v)
+{
+    in.read(reinterpret_cast<char *>(&v), sizeof(v));
+    return static_cast<bool>(in);
+}
+
+void
+writeTensor(std::ostream &out, const Tensor &t)
+{
+    writeU64(out, static_cast<uint64_t>(t.rank()));
+    for (int d = 0; d < t.rank(); ++d)
+        writeU64(out, static_cast<uint64_t>(t.size(d)));
+    out.write(reinterpret_cast<const char *>(t.data()),
+              static_cast<std::streamsize>(sizeof(float) *
+                                           static_cast<size_t>(t.numel())));
+}
+
+bool
+readTensorInto(std::istream &in, Tensor &t)
+{
+    uint64_t rank;
+    if (!readU64(in, rank))
+        return false;
+    std::vector<int64_t> shape;
+    for (uint64_t d = 0; d < rank; ++d) {
+        uint64_t dim;
+        if (!readU64(in, dim))
+            return false;
+        shape.push_back(static_cast<int64_t>(dim));
+    }
+    if (shape != t.shape())
+        fatal("checkpoint tensor shape mismatch");
+    in.read(reinterpret_cast<char *>(t.data()),
+            static_cast<std::streamsize>(sizeof(float) *
+                                         static_cast<size_t>(t.numel())));
+    return static_cast<bool>(in);
+}
+
+} // namespace
+
+bool
+saveCheckpoint(const Trainer &trainer, const std::string &path)
+{
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    if (!out)
+        return false;
+
+    TrainerSnapshot snap = trainer.snapshot();
+    writeU64(out, kMagic);
+    writeU64(out, static_cast<uint64_t>(snap.param_values.size()));
+    writeU64(out, static_cast<uint64_t>(snap.step));
+    writeU64(out, static_cast<uint64_t>(snap.opt_step_count));
+    for (const auto &t : snap.param_values)
+        writeTensor(out, t);
+    for (const auto &s : snap.opt_states) {
+        writeTensor(out, s.m);
+        writeTensor(out, s.v);
+    }
+    return static_cast<bool>(out);
+}
+
+bool
+loadCheckpoint(Trainer &trainer, const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return false;
+
+    uint64_t magic, n_params, step, opt_step;
+    if (!readU64(in, magic) || magic != kMagic)
+        fatal("not a SNIP checkpoint: ", path);
+    if (!readU64(in, n_params) || !readU64(in, step) ||
+        !readU64(in, opt_step))
+        return false;
+
+    TrainerSnapshot snap = trainer.snapshot(); // shapes template
+    if (n_params != snap.param_values.size())
+        fatal("checkpoint parameter count mismatch");
+    snap.step = static_cast<int64_t>(step);
+    snap.opt_step_count = static_cast<int64_t>(opt_step);
+    for (auto &t : snap.param_values) {
+        if (!readTensorInto(in, t))
+            return false;
+    }
+    for (auto &s : snap.opt_states) {
+        if (!readTensorInto(in, s.m) || !readTensorInto(in, s.v))
+            return false;
+    }
+    trainer.restore(snap);
+    return true;
+}
+
+} // namespace snip

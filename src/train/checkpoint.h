@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Binary checkpoint serialization for Trainer state.
+ *
+ * Simple self-describing format: magic, version, parameter count, then
+ * per parameter (name, shape, FP32 data), then the optimizer moments and
+ * step counters. Checkpoints let the examples/benches reproduce the
+ * paper's "resume pretraining from a released checkpoint" workflow
+ * (Sec. 6.1) across process runs.
+ */
+#ifndef SNIP_TRAIN_CHECKPOINT_H
+#define SNIP_TRAIN_CHECKPOINT_H
+
+#include <string>
+
+#include "train/trainer.h"
+
+namespace snip {
+
+/** Serialize the trainer's current state. Returns false on I/O error. */
+bool saveCheckpoint(const Trainer &trainer, const std::string &path);
+
+/**
+ * Restore state saved by saveCheckpoint into an identically configured
+ * trainer. fatal() on structural mismatch; returns false on I/O error.
+ */
+bool loadCheckpoint(Trainer &trainer, const std::string &path);
+
+} // namespace snip
+
+#endif // SNIP_TRAIN_CHECKPOINT_H

@@ -1,0 +1,121 @@
+#include "train/presets.h"
+
+#include "util/logging.h"
+
+namespace snip {
+
+ModelConfig
+tinyllamaSim()
+{
+    ModelConfig m;
+    m.name = "tinyllama_sim";
+    m.vocab_size = 64;
+    m.d_model = 32;
+    m.n_blocks = 22;
+    m.n_heads = 4;
+    m.n_kv_heads = 4;
+    m.ffn_hidden = 96;
+    m.max_seq = 64;
+    return m;
+}
+
+ModelConfig
+openllama3bSim()
+{
+    ModelConfig m;
+    m.name = "openllama3b_sim";
+    m.vocab_size = 64;
+    m.d_model = 40;
+    m.n_blocks = 26;
+    m.n_heads = 4;
+    m.n_kv_heads = 4;
+    m.ffn_hidden = 120;
+    m.max_seq = 64;
+    return m;
+}
+
+ModelConfig
+openllama7bSim()
+{
+    ModelConfig m;
+    m.name = "openllama7b_sim";
+    m.vocab_size = 64;
+    m.d_model = 48;
+    m.n_blocks = 32;
+    m.n_heads = 4;
+    m.n_kv_heads = 4;
+    m.ffn_hidden = 144;
+    m.max_seq = 64;
+    return m;
+}
+
+ModelConfig
+llama70bSim()
+{
+    ModelConfig m;
+    m.name = "llama70b_sim";
+    m.vocab_size = 64;
+    m.d_model = 64;
+    m.n_blocks = 40;
+    m.n_heads = 8;
+    m.n_kv_heads = 2; // grouped-query attention like Llama-70B
+    m.ffn_hidden = 192;
+    m.max_seq = 64;
+    return m;
+}
+
+ModelConfig
+tinyTestModel()
+{
+    ModelConfig m;
+    m.name = "tiny_test";
+    m.vocab_size = 64;
+    m.d_model = 16;
+    m.n_blocks = 4;
+    m.n_heads = 2;
+    m.n_kv_heads = 2;
+    m.ffn_hidden = 32;
+    m.max_seq = 32;
+    return m;
+}
+
+ModelConfig
+modelPresetByName(const std::string &name)
+{
+    if (name == "tinyllama_sim")
+        return tinyllamaSim();
+    if (name == "openllama3b_sim")
+        return openllama3bSim();
+    if (name == "openllama7b_sim")
+        return openllama7bSim();
+    if (name == "llama70b_sim")
+        return llama70bSim();
+    if (name == "tiny_test")
+        return tinyTestModel();
+    fatal("unknown model preset: ", name);
+}
+
+TrainerConfig
+trainerPreset(const ModelConfig &model, uint64_t seed)
+{
+    TrainerConfig cfg;
+    cfg.model = model;
+    cfg.corpus.vocab_size = model.vocab_size;
+    cfg.corpus.seq_len = 32;
+    cfg.corpus.seed = 1234;
+    cfg.corpus.markov_frac = 0.3;
+    cfg.batch_size = 4;
+    cfg.adamw.lr = 2e-3;
+    cfg.adamw.beta1 = 0.9;
+    cfg.adamw.beta2 = 0.95;
+    cfg.adamw.weight_decay = 0.01;
+    cfg.adamw.grad_clip = 1.0;
+    cfg.lr_kind = LrScheduleKind::WarmupCosine;
+    cfg.lr_total_steps = 2000;
+    cfg.lr_warmup_steps = 30;
+    cfg.seed = seed;
+    cfg.data_seed = seed ^ 0xDA7A;
+    return cfg;
+}
+
+} // namespace snip

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Model and trainer presets for the paper's four evaluation models
+ * (Sec. 6.1), scaled to CPU-simulator size while preserving the
+ * architectural structure the per-layer sensitivity signal depends on
+ * (layer roles, depth, GQA for the 70B).
+ *
+ * Paper model -> preset:
+ *   TinyLlama 1B (22 blocks)  -> tinyllama_sim  (22 blocks, d=32)
+ *   OpenLlama 3B (26 blocks)  -> openllama3b_sim (26 blocks, d=40)
+ *   OpenLlama 7B (32 blocks)  -> openllama7b_sim (32 blocks, d=48)
+ *   industry 70B (80 blocks)  -> llama70b_sim   (40 blocks, d=64, GQA)
+ */
+#ifndef SNIP_TRAIN_PRESETS_H
+#define SNIP_TRAIN_PRESETS_H
+
+#include <string>
+
+#include "train/trainer.h"
+
+namespace snip {
+
+/** TinyLlama-1B-shaped simulator model (22 transformer blocks). */
+ModelConfig tinyllamaSim();
+
+/** OpenLlama-3B-shaped simulator model (26 blocks). */
+ModelConfig openllama3bSim();
+
+/** OpenLlama-7B-shaped simulator model (32 blocks). */
+ModelConfig openllama7bSim();
+
+/** 70B-dense-shaped simulator model (40 blocks, grouped-query attn). */
+ModelConfig llama70bSim();
+
+/** Look up a preset by name; fatal() on unknown names. */
+ModelConfig modelPresetByName(const std::string &name);
+
+/** A TrainerConfig with sensible defaults for a preset model. */
+TrainerConfig trainerPreset(const ModelConfig &model, uint64_t seed = 42);
+
+/** Shrink a model preset for fast unit tests (4 blocks, short seq). */
+ModelConfig tinyTestModel();
+
+} // namespace snip
+
+#endif // SNIP_TRAIN_PRESETS_H

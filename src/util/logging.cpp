@@ -1,0 +1,43 @@
+#include "util/logging.h"
+
+#include <atomic>
+
+namespace snip {
+
+namespace {
+std::atomic<LogLevel> g_level{LogLevel::Info};
+} // namespace
+
+void
+setLogLevel(LogLevel level)
+{
+    g_level.store(level);
+}
+
+LogLevel
+logLevel()
+{
+    return g_level.load();
+}
+
+namespace detail {
+
+void
+emit(LogLevel level, const std::string &prefix, const std::string &msg)
+{
+    if (static_cast<int>(level) > static_cast<int>(g_level.load()))
+        return;
+    std::fprintf(stderr, "[%s] %s\n", prefix.c_str(), msg.c_str());
+}
+
+void
+die(const std::string &prefix, const std::string &msg, bool abort_process)
+{
+    std::fprintf(stderr, "[%s] %s\n", prefix.c_str(), msg.c_str());
+    if (abort_process)
+        std::abort();
+    std::exit(1);
+}
+
+} // namespace detail
+} // namespace snip

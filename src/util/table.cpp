@@ -1,0 +1,108 @@
+#include "util/table.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "util/logging.h"
+
+namespace snip {
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+}
+
+void
+TablePrinter::newRow()
+{
+    rows_.emplace_back();
+}
+
+void
+TablePrinter::cell(const std::string &value)
+{
+    SNIP_ASSERT(!rows_.empty(), "call newRow() before cell()");
+    rows_.back().push_back(value);
+}
+
+void
+TablePrinter::cell(double value, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+    cell(std::string(buf));
+}
+
+void
+TablePrinter::cell(int64_t value)
+{
+    cell(std::to_string(value));
+}
+
+std::string
+TablePrinter::toString() const
+{
+    std::vector<size_t> widths(headers_.size(), 0);
+    for (size_t c = 0; c < headers_.size(); ++c)
+        widths[c] = headers_[c].size();
+    for (const auto &row : rows_) {
+        for (size_t c = 0; c < row.size() && c < widths.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+    }
+
+    std::ostringstream oss;
+    auto emit_row = [&](const std::vector<std::string> &row) {
+        for (size_t c = 0; c < widths.size(); ++c) {
+            const std::string &v = c < row.size() ? row[c] : std::string();
+            oss << v;
+            for (size_t pad = v.size(); pad < widths[c] + 2; ++pad)
+                oss << ' ';
+        }
+        oss << '\n';
+    };
+    emit_row(headers_);
+    size_t total = 0;
+    for (size_t w : widths)
+        total += w + 2;
+    oss << std::string(total, '-') << '\n';
+    for (const auto &row : rows_)
+        emit_row(row);
+    return oss.str();
+}
+
+std::string
+TablePrinter::toCsv() const
+{
+    std::ostringstream oss;
+    auto emit_row = [&](const std::vector<std::string> &row) {
+        for (size_t c = 0; c < row.size(); ++c) {
+            if (c)
+                oss << ',';
+            oss << row[c];
+        }
+        oss << '\n';
+    };
+    emit_row(headers_);
+    for (const auto &row : rows_)
+        emit_row(row);
+    return oss.str();
+}
+
+void
+TablePrinter::print() const
+{
+    std::fputs(toString().c_str(), stdout);
+}
+
+bool
+writeFile(const std::string &path, const std::string &contents)
+{
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    if (!out)
+        return false;
+    out << contents;
+    return static_cast<bool>(out);
+}
+
+} // namespace snip

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Lightweight result-table formatting.
+ *
+ * The benchmark harnesses print the paper's tables and figure series as
+ * aligned ASCII tables (for reading in a terminal) and optionally CSV
+ * (for plotting). TablePrinter collects rows of strings/numbers and
+ * renders both forms.
+ */
+#ifndef SNIP_UTIL_TABLE_H
+#define SNIP_UTIL_TABLE_H
+
+#include <string>
+#include <vector>
+
+namespace snip {
+
+/**
+ * Accumulates a rectangular table of cells and pretty-prints it.
+ *
+ * Columns are sized to the widest cell. Numeric convenience overloads
+ * format with a fixed precision.
+ */
+class TablePrinter
+{
+  public:
+    /** Create a table with the given column headers. */
+    explicit TablePrinter(std::vector<std::string> headers);
+
+    /** Begin a new row; subsequent cell() calls append to it. */
+    void newRow();
+
+    /** Append a string cell to the current row. */
+    void cell(const std::string &value);
+
+    /** Append a formatted double cell (fixed, @p precision digits). */
+    void cell(double value, int precision = 2);
+
+    /** Append an integer cell. */
+    void cell(int64_t value);
+
+    /** Render as an aligned ASCII table. */
+    std::string toString() const;
+
+    /** Render as CSV (no escaping of commas inside cells is attempted). */
+    std::string toCsv() const;
+
+    /** Print the ASCII form to stdout. */
+    void print() const;
+
+    /** Number of data rows accumulated so far. */
+    size_t rowCount() const { return rows_.size(); }
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** Write a string to a file, creating/overwriting it. Returns success. */
+bool writeFile(const std::string &path, const std::string &contents);
+
+} // namespace snip
+
+#endif // SNIP_UTIL_TABLE_H

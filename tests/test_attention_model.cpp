@@ -1,0 +1,269 @@
+/**
+ * @file
+ * Attention and whole-model tests: causality, GQA shapes, end-to-end
+ * gradient checks through the full LlamaModel, scheme application, and
+ * the noise-injection hooks SNIP's probes rely on.
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/model.h"
+#include "tensor/ops.h"
+#include "train/presets.h"
+
+namespace snip {
+namespace {
+
+ModelConfig
+microModel()
+{
+    ModelConfig m = tinyTestModel();
+    m.n_blocks = 2;
+    m.d_model = 8;
+    m.ffn_hidden = 12;
+    m.vocab_size = 16;
+    m.n_heads = 2;
+    m.n_kv_heads = 2;
+    m.max_seq = 8;
+    m.init_std = 0.3f;
+    return m;
+}
+
+std::vector<int32_t>
+someTokens(int64_t n, int64_t vocab, uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<int32_t> t;
+    for (int64_t i = 0; i < n; ++i)
+        t.push_back(static_cast<int32_t>(
+            rng.nextBelow(static_cast<uint64_t>(vocab))));
+    return t;
+}
+
+TEST(Model, LogitsShape)
+{
+    LlamaModel model(microModel(), 1);
+    auto tokens = someTokens(2 * 6, 16, 1);
+    Tensor logits = model.forward(tokens, 2, 6);
+    EXPECT_EQ(logits.size(0), 12);
+    EXPECT_EQ(logits.size(1), 16);
+    EXPECT_FALSE(hasNonFinite(logits));
+}
+
+TEST(Model, CausalityFutureTokensDoNotAffectPast)
+{
+    LlamaModel model(microModel(), 2);
+    auto tokens = someTokens(8, 16, 3);
+    Tensor l1 = model.forward(tokens, 1, 8);
+    auto tokens2 = tokens;
+    tokens2[7] = (tokens2[7] + 5) % 16; // change the LAST token
+    Tensor l2 = model.forward(tokens2, 1, 8);
+    // Rows 0..6 must be identical; row 7 must differ.
+    for (int64_t r = 0; r < 7; ++r)
+        for (int64_t v = 0; v < 16; ++v)
+            EXPECT_EQ(l1.at(r, v), l2.at(r, v)) << "row " << r;
+    double diff_last = 0;
+    for (int64_t v = 0; v < 16; ++v)
+        diff_last += std::fabs(l1.at(7, v) - l2.at(7, v));
+    EXPECT_GT(diff_last, 1e-6);
+}
+
+TEST(Model, BatchRowsAreIndependent)
+{
+    LlamaModel model(microModel(), 4);
+    auto a = someTokens(6, 16, 5);
+    auto b = someTokens(6, 16, 6);
+    std::vector<int32_t> both = a;
+    both.insert(both.end(), b.begin(), b.end());
+    Tensor l_both = model.forward(both, 2, 6);
+    Tensor l_a = model.forward(a, 1, 6);
+    for (int64_t r = 0; r < 6; ++r)
+        for (int64_t v = 0; v < 16; ++v)
+            EXPECT_NEAR(l_both.at(r, v), l_a.at(r, v), 1e-4);
+}
+
+TEST(Model, EndToEndGradientCheck)
+{
+    ModelConfig cfg = microModel();
+    LlamaModel model(cfg, 7);
+    auto tokens = someTokens(8, 16, 8);
+    auto targets = someTokens(8, 16, 9);
+
+    model.zeroGrad();
+    LossResult res = model.forwardLoss(tokens, targets, 1, 8);
+    model.backward(res.dlogits);
+
+    auto loss_fn = [&] {
+        return model.forwardLoss(tokens, targets, 1, 8).loss;
+    };
+
+    Rng pick(10);
+    for (auto &p : model.params()) {
+        SCOPED_TRACE(p.name);
+        for (int s = 0; s < 3; ++s) {
+            int64_t i = static_cast<int64_t>(pick.nextBelow(
+                static_cast<uint64_t>(p.value->numel())));
+            const float orig = p.value->at(i);
+            const float h = 2e-3f * (std::fabs(orig) + 1.0f);
+            p.value->at(i) = orig + h;
+            double up = loss_fn();
+            p.value->at(i) = orig - h;
+            double down = loss_fn();
+            p.value->at(i) = orig;
+            const double num = (up - down) / (2.0 * h);
+            const double ana = p.grad->at(i);
+            EXPECT_NEAR(num, ana,
+                        3e-2 * (std::fabs(num) + std::fabs(ana)) + 1e-3)
+                << p.name << "[" << i << "]";
+        }
+    }
+}
+
+TEST(Model, GqaGradientCheck)
+{
+    ModelConfig cfg = microModel();
+    cfg.n_heads = 4;
+    cfg.n_kv_heads = 2; // grouped-query attention
+    LlamaModel model(cfg, 11);
+    auto tokens = someTokens(8, 16, 12);
+    auto targets = someTokens(8, 16, 13);
+
+    model.zeroGrad();
+    LossResult res = model.forwardLoss(tokens, targets, 1, 8);
+    model.backward(res.dlogits);
+
+    auto loss_fn = [&] {
+        return model.forwardLoss(tokens, targets, 1, 8).loss;
+    };
+    // Check K and V weights specifically (the GQA-affected path).
+    Rng pick(14);
+    for (int idx : {1, 2}) { // K, V of block 0
+        Linear &lin = model.linear(idx);
+        for (int s = 0; s < 4; ++s) {
+            int64_t i = static_cast<int64_t>(pick.nextBelow(
+                static_cast<uint64_t>(lin.weight().numel())));
+            const float orig = lin.weight().at(i);
+            const float h = 2e-3f;
+            lin.weight().at(i) = orig + h;
+            double up = loss_fn();
+            lin.weight().at(i) = orig - h;
+            double down = loss_fn();
+            lin.weight().at(i) = orig;
+            const double num = (up - down) / (2.0 * h);
+            const double ana = lin.grad().at(i);
+            EXPECT_NEAR(num, ana,
+                        3e-2 * (std::fabs(num) + std::fabs(ana)) + 1e-3);
+        }
+    }
+}
+
+TEST(Model, SchemeAppliesToEveryLinear)
+{
+    LlamaModel model(microModel(), 15);
+    const size_t n = static_cast<size_t>(model.registry().numLinear());
+    PrecisionScheme scheme = PrecisionScheme::uniform(n, Precision::FP8);
+    scheme.layers[3] = LayerScheme::uniform(Precision::FP4);
+    model.setScheme(scheme);
+    EXPECT_TRUE(model.currentScheme() == scheme);
+    EXPECT_EQ(model.linear(3).scheme().of(GemmKind::Fwd),
+              Precision::FP4);
+    EXPECT_EQ(model.linear(0).scheme().of(GemmKind::Fwd),
+              Precision::FP8);
+}
+
+TEST(Model, QuantizedSchemeChangesLossDeterministically)
+{
+    LlamaModel model(microModel(), 16);
+    auto tokens = someTokens(8, 16, 17);
+    auto targets = someTokens(8, 16, 18);
+    const size_t n = static_cast<size_t>(model.registry().numLinear());
+
+    double bf16 = model.forwardLoss(tokens, targets, 1, 8).loss;
+    model.setScheme(PrecisionScheme::uniform(n, Precision::FP4));
+    double fp4_a = model.forwardLoss(tokens, targets, 1, 8).loss;
+    EXPECT_NE(bf16, fp4_a);
+    // FP4 forward uses nearest rounding for X/W: deterministic.
+    double fp4_b = model.forwardLoss(tokens, targets, 1, 8).loss;
+    EXPECT_EQ(fp4_a, fp4_b);
+}
+
+TEST(Model, ForwardNoiseInjectionPerturbsLoss)
+{
+    LlamaModel model(microModel(), 19);
+    auto tokens = someTokens(8, 16, 20);
+    auto targets = someTokens(8, 16, 21);
+    double base = model.forwardLoss(tokens, targets, 1, 8).loss;
+    double hidden_norm = model.lastHiddenNorm();
+    EXPECT_GT(hidden_norm, 0.0);
+
+    model.setForwardNoise(1e-2 * hidden_norm);
+    double noisy = model.forwardLoss(tokens, targets, 1, 8).loss;
+    EXPECT_NE(base, noisy);
+    EXPECT_NEAR(model.lastNoiseNorm(), 1e-2 * hidden_norm,
+                0.5e-2 * hidden_norm);
+    model.setForwardNoise(0.0);
+    EXPECT_EQ(model.forwardLoss(tokens, targets, 1, 8).loss, base);
+}
+
+TEST(Model, BackwardNoiseChangesGradientsNotLoss)
+{
+    LlamaModel model(microModel(), 22);
+    auto tokens = someTokens(8, 16, 23);
+    auto targets = someTokens(8, 16, 24);
+
+    model.zeroGrad();
+    LossResult base = model.forwardLoss(tokens, targets, 1, 8);
+    model.backward(base.dlogits);
+    Tensor g0 = model.linear(0).grad();
+
+    model.setBackwardNoise(1e-2);
+    model.zeroGrad();
+    LossResult noisy = model.forwardLoss(tokens, targets, 1, 8);
+    model.backward(noisy.dlogits);
+    model.setBackwardNoise(0.0);
+
+    EXPECT_EQ(base.loss, noisy.loss); // forward untouched
+    EXPECT_GT(diffNorm(g0, model.linear(0).grad()), 0.0);
+}
+
+TEST(Model, ParameterCountMatchesConfigFormula)
+{
+    ModelConfig cfg = microModel();
+    LlamaModel model(cfg, 25);
+    int64_t total = 0;
+    for (auto &p : model.params())
+        total += p.value->numel();
+    EXPECT_EQ(total, cfg.parameterCount());
+}
+
+TEST(Registry, IndexingAndNames)
+{
+    LayerRegistry reg(tinyTestModel());
+    EXPECT_EQ(reg.numLinear(), 4 * kRolesPerBlock);
+    EXPECT_EQ(reg.index(1, LayerRole::Down), 13);
+    EXPECT_EQ(reg.blockOf(13), 1);
+    EXPECT_EQ(reg.roleOf(13), LayerRole::Down);
+    EXPECT_EQ(reg.layerName(13), "blk01.Down");
+    // Shapes: Down is [d_model, ffn_hidden].
+    EXPECT_EQ(reg.outFeatures(13), tinyTestModel().d_model);
+    EXPECT_EQ(reg.inFeatures(13), tinyTestModel().ffn_hidden);
+    // FLOPs: 3 GEMMs x 2 x out x in.
+    EXPECT_DOUBLE_EQ(reg.flopsPerToken(13),
+                     6.0 * tinyTestModel().d_model *
+                         tinyTestModel().ffn_hidden);
+}
+
+TEST(Registry, LinearAccessorMatchesRegistryShapes)
+{
+    LlamaModel model(microModel(), 26);
+    const LayerRegistry &reg = model.registry();
+    for (int i = 0; i < reg.numLinear(); ++i) {
+        EXPECT_EQ(model.linear(i).outFeatures(), reg.outFeatures(i))
+            << reg.layerName(i);
+        EXPECT_EQ(model.linear(i).inFeatures(), reg.inFeatures(i));
+    }
+}
+
+} // namespace
+} // namespace snip

@@ -1,0 +1,250 @@
+/**
+ * @file
+ * Synthetic corpus, batch iterator, eval-task generators and the
+ * lm-eval-style scoring harness.
+ */
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "data/batch.h"
+#include "data/tasks.h"
+#include "eval/harness.h"
+#include "train/presets.h"
+
+namespace snip {
+namespace {
+
+CorpusConfig
+smallCorpus()
+{
+    CorpusConfig c;
+    c.vocab_size = 64;
+    c.seq_len = 24;
+    c.seed = 5;
+    return c;
+}
+
+TEST(Corpus, SequencesHaveRequestedLengthAndRange)
+{
+    SyntheticCorpus corpus(smallCorpus());
+    Rng rng(1);
+    for (int i = 0; i < 50; ++i) {
+        auto seq = corpus.sampleSequence(rng);
+        ASSERT_EQ(seq.size(), 25u); // seq_len + 1
+        for (int32_t t : seq) {
+            EXPECT_GE(t, 0);
+            EXPECT_LT(t, 64);
+        }
+    }
+}
+
+TEST(Corpus, MarkovSuccessorsAreAProbabilityDistribution)
+{
+    SyntheticCorpus corpus(smallCorpus());
+    for (int32_t t = corpus.textLo(); t < corpus.textHi(); ++t) {
+        const auto &succ = corpus.successors(t);
+        EXPECT_EQ(static_cast<int>(succ.size()),
+                  corpus.config().branching);
+        double sum = 0;
+        for (const auto &[next, p] : succ) {
+            EXPECT_GE(next, corpus.textLo());
+            EXPECT_LT(next, corpus.textHi());
+            EXPECT_GT(p, 0.0f);
+            sum += p;
+        }
+        EXPECT_NEAR(sum, 1.0, 1e-5);
+    }
+}
+
+TEST(Corpus, StructureFixedBySeed)
+{
+    SyntheticCorpus a(smallCorpus()), b(smallCorpus());
+    Rng r1(9), r2(9);
+    EXPECT_EQ(a.sampleSequence(r1), b.sampleSequence(r2));
+    CorpusConfig other = smallCorpus();
+    other.seed = 6;
+    SyntheticCorpus c(other);
+    Rng r3(9);
+    EXPECT_NE(a.successors(20), c.successors(20));
+    (void)r3;
+}
+
+TEST(Corpus, SegmentsAreWellFormed)
+{
+    SyntheticCorpus corpus(smallCorpus());
+    Rng rng(2);
+    // Copy: BOS pat SEP pat.
+    auto seg = corpus.sampleSegment(SegmentKind::Copy, rng);
+    ASSERT_GE(seg.size(), 7u);
+    EXPECT_EQ(seg[0], tokens::kBos);
+    size_t sep = 0;
+    for (size_t i = 1; i < seg.size(); ++i)
+        if (seg[i] == tokens::kSep)
+            sep = i;
+    ASSERT_GT(sep, 0u);
+    EXPECT_EQ(seg.size(), 2 * sep);
+    for (size_t i = 1; i < sep; ++i)
+        EXPECT_EQ(seg[i], seg[sep + i]);
+
+    // Parity: answer token matches the bit count.
+    auto par = corpus.sampleSegment(SegmentKind::Parity, rng);
+    int ones = 0;
+    for (size_t i = 1; i + 2 < par.size(); ++i)
+        ones += (par[i] == tokens::kDigit0 + 1);
+    EXPECT_EQ(par.back(),
+              ones % 2 ? tokens::kTrue : tokens::kFalse);
+
+    // Modular addition: a + b mod 10.
+    auto mod = corpus.sampleSegment(SegmentKind::ModularAdd, rng);
+    ASSERT_EQ(mod.size(), 5u);
+    int a = mod[1] - tokens::kDigit0;
+    int b = mod[2] - tokens::kDigit0;
+    EXPECT_EQ(mod[4] - tokens::kDigit0, (a + b) % 10);
+}
+
+TEST(Batches, ShiftedTargets)
+{
+    SyntheticCorpus corpus(smallCorpus());
+    BatchIterator it(corpus, 3, 7);
+    Batch b = it.next();
+    EXPECT_EQ(b.batch, 3);
+    EXPECT_EQ(b.seq, 24);
+    EXPECT_EQ(b.tokens.size(), 72u);
+    EXPECT_EQ(b.targets.size(), 72u);
+    // Within each row, targets are tokens shifted by one.
+    for (int64_t r = 0; r < 3; ++r)
+        for (int64_t s = 0; s + 1 < 24; ++s)
+            EXPECT_EQ(b.targets[static_cast<size_t>(r * 24 + s)],
+                      b.tokens[static_cast<size_t>(r * 24 + s + 1)]);
+}
+
+TEST(Batches, ResetReplaysIdenticalStream)
+{
+    SyntheticCorpus corpus(smallCorpus());
+    BatchIterator it(corpus, 2, 11);
+    Batch b1 = it.next();
+    Batch b2 = it.next();
+    it.reset();
+    EXPECT_EQ(it.next().tokens, b1.tokens);
+    EXPECT_EQ(it.next().tokens, b2.tokens);
+}
+
+TEST(Tasks, SuiteHasEightFamiliesWithValidItems)
+{
+    SyntheticCorpus corpus(smallCorpus());
+    auto suite = makeEvalSuite(corpus, 20, 3);
+    ASSERT_EQ(suite.size(), 8u);
+    std::set<std::string> names;
+    for (const auto &task : suite) {
+        names.insert(task.name);
+        EXPECT_FALSE(task.analog_of.empty());
+        ASSERT_EQ(task.items.size(), 20u);
+        for (const auto &item : task.items) {
+            EXPECT_GE(item.options.size(), 2u);
+            ASSERT_GE(item.correct, 0);
+            ASSERT_LT(item.correct,
+                      static_cast<int>(item.options.size()));
+            EXPECT_FALSE(item.context.empty());
+            for (const auto &opt : item.options)
+                EXPECT_FALSE(opt.empty());
+            // All tokens in range.
+            for (int32_t t : item.context) {
+                EXPECT_GE(t, 0);
+                EXPECT_LT(t, 64);
+            }
+        }
+    }
+    EXPECT_EQ(names.size(), 8u);
+}
+
+TEST(Tasks, CorrectIndexIsUniformish)
+{
+    // The shuffle in finalizeItem must not bias the answer position.
+    SyntheticCorpus corpus(smallCorpus());
+    auto task = makeTask(TaskFamily::CopySeq, corpus, 400, 17);
+    int counts[4] = {};
+    for (const auto &item : task.items)
+        counts[item.correct]++;
+    for (int c : counts)
+        EXPECT_NEAR(c, 100, 45);
+}
+
+TEST(Tasks, CopyItemsContainTheContextPattern)
+{
+    SyntheticCorpus corpus(smallCorpus());
+    auto task = makeTask(TaskFamily::CopySeq, corpus, 30, 19);
+    for (const auto &item : task.items) {
+        const auto &correct =
+            item.options[static_cast<size_t>(item.correct)];
+        // context = BOS pattern SEP; correct option = pattern.
+        ASSERT_EQ(item.context.size(), correct.size() + 2);
+        for (size_t i = 0; i < correct.size(); ++i)
+            EXPECT_EQ(item.context[i + 1], correct[i]);
+    }
+}
+
+TEST(Harness, OracleModelScoresHundredOnMarkovCont)
+{
+    // After real training MarkovCont saturates; here we check the
+    // harness mechanics instead: a deterministic model that always
+    // assigns probability ~1 to a fixed token ranks options purely by
+    // token identity, so accuracy is exactly computable... use a tiny
+    // trained model and verify scores are within [0, 100].
+    TrainerConfig cfg = trainerPreset(tinyTestModel());
+    Trainer trainer(cfg);
+    trainer.train(5);
+    auto suite = makeEvalSuite(trainer.corpus(), 6, 3);
+    EvalResult res = evaluate(trainer.model(), suite);
+    ASSERT_EQ(res.tasks.size(), 8u);
+    for (const auto &t : res.tasks) {
+        EXPECT_GE(t.accuracy, 0.0);
+        EXPECT_LE(t.accuracy, 100.0);
+        EXPECT_EQ(t.n_items, 6);
+    }
+    EXPECT_NEAR(res.average,
+                (res.tasks[0].accuracy + res.tasks[1].accuracy +
+                 res.tasks[2].accuracy + res.tasks[3].accuracy +
+                 res.tasks[4].accuracy + res.tasks[5].accuracy +
+                 res.tasks[6].accuracy + res.tasks[7].accuracy) /
+                    8.0,
+                1e-9);
+}
+
+TEST(Harness, EvaluationRestoresActiveScheme)
+{
+    TrainerConfig cfg = trainerPreset(tinyTestModel());
+    Trainer trainer(cfg);
+    trainer.train(2);
+    const size_t n = static_cast<size_t>(
+        trainer.model().registry().numLinear());
+    PrecisionScheme fp4 = PrecisionScheme::uniform(n, Precision::FP4);
+    trainer.applyScheme(fp4);
+    auto suite = makeEvalSuite(trainer.corpus(), 3, 3);
+    evaluate(trainer.model(), suite);
+    EXPECT_TRUE(trainer.model().currentScheme() == fp4);
+}
+
+TEST(Harness, TaskAccuracyLookupByNameAndAnalog)
+{
+    EvalResult res;
+    res.tasks = {{"CopySeq", "ARC_e", 50.0, 10},
+                 {"ModAdd", "MMLU", 25.0, 10}};
+    EXPECT_EQ(res.taskAccuracy("CopySeq"), 50.0);
+    EXPECT_EQ(res.taskAccuracy("ARC_e"), 50.0);
+    EXPECT_EQ(res.taskAccuracy("MMLU"), 25.0);
+}
+
+TEST(Harness, DeterministicScores)
+{
+    TrainerConfig cfg = trainerPreset(tinyTestModel());
+    Trainer trainer(cfg);
+    trainer.train(3);
+    auto suite = makeEvalSuite(trainer.corpus(), 5, 3);
+    EvalResult a = evaluate(trainer.model(), suite);
+    EvalResult b = evaluate(trainer.model(), suite);
+    EXPECT_EQ(a.average, b.average);
+}
+
+} // namespace
+} // namespace snip

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * GEMM kernels against a naive reference, including non-square and
+ * non-block-multiple shapes.
+ */
+#include <gtest/gtest.h>
+
+#include "tensor/gemm.h"
+#include "tensor/ops.h"
+#include "util/rng.h"
+
+namespace snip {
+namespace {
+
+Tensor
+refNT(const Tensor &a, const Tensor &b)
+{
+    Tensor c(a.size(0), b.size(0));
+    for (int64_t i = 0; i < a.size(0); ++i)
+        for (int64_t j = 0; j < b.size(0); ++j) {
+            double acc = 0;
+            for (int64_t k = 0; k < a.size(1); ++k)
+                acc += static_cast<double>(a.at(i, k)) * b.at(j, k);
+            c.at(i, j) = static_cast<float>(acc);
+        }
+    return c;
+}
+
+class GemmShapes : public ::testing::TestWithParam<std::tuple<int, int, int>>
+{
+};
+
+TEST_P(GemmShapes, NTMatchesReference)
+{
+    auto [m, n, k] = GetParam();
+    Rng rng(42);
+    Tensor a = Tensor::randn({m, k}, rng);
+    Tensor b = Tensor::randn({n, k}, rng);
+    Tensor c = matmulNT(a, b);
+    Tensor r = refNT(a, b);
+    EXPECT_LT(diffNorm(c, r), 1e-3 * (1.0 + frobeniusNorm(r)));
+}
+
+TEST_P(GemmShapes, NNMatchesNTOfTranspose)
+{
+    auto [m, n, k] = GetParam();
+    Rng rng(43);
+    Tensor a = Tensor::randn({m, k}, rng);
+    Tensor b = Tensor::randn({k, n}, rng);
+    Tensor c1 = matmulNN(a, b);
+    Tensor c2 = matmulNT(a, transpose(b));
+    EXPECT_LT(diffNorm(c1, c2), 1e-3 * (1.0 + frobeniusNorm(c1)));
+}
+
+TEST_P(GemmShapes, TNMatchesTransposedNN)
+{
+    auto [m, n, k] = GetParam();
+    Rng rng(44);
+    Tensor a = Tensor::randn({k, m}, rng);
+    Tensor b = Tensor::randn({k, n}, rng);
+    Tensor c1 = matmulTN(a, b);
+    Tensor c2 = matmulNN(transpose(a), b);
+    EXPECT_LT(diffNorm(c1, c2), 1e-3 * (1.0 + frobeniusNorm(c1)));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, GemmShapes,
+    ::testing::Values(std::make_tuple(1, 1, 1),
+                      std::make_tuple(4, 4, 4),
+                      std::make_tuple(7, 5, 3),
+                      std::make_tuple(64, 64, 64),
+                      std::make_tuple(65, 63, 130),
+                      std::make_tuple(1, 128, 17),
+                      std::make_tuple(33, 1, 200)));
+
+TEST(Gemm, AccumulateAddsToExisting)
+{
+    Rng rng(45);
+    Tensor a = Tensor::randn({3, 4}, rng);
+    Tensor b = Tensor::randn({5, 4}, rng);
+    Tensor c(3, 5);
+    c.fill(1.0f);
+    gemmNT(a.data(), b.data(), c.data(), 3, 5, 4, /*accumulate=*/true);
+    Tensor r = refNT(a, b);
+    for (int64_t i = 0; i < c.numel(); ++i)
+        EXPECT_NEAR(c.at(i), r.at(i) + 1.0f, 1e-4);
+}
+
+TEST(Gemm, ZeroSizedInnerDim)
+{
+    Tensor a(2, 0);
+    Tensor b(3, 0);
+    Tensor c = matmulNT(a, b);
+    EXPECT_EQ(c.size(0), 2);
+    EXPECT_EQ(c.size(1), 3);
+    EXPECT_EQ(frobeniusNorm(c), 0.0);
+}
+
+} // namespace
+} // namespace snip

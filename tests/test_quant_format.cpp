@@ -1,0 +1,81 @@
+/**
+ * @file
+ * FloatFormat properties against the published format tables
+ * (OCP MX spec for E2M1/E3M2, NVIDIA FP8 formats).
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "quant/format.h"
+
+namespace snip {
+namespace {
+
+TEST(FloatFormat, Fp4E2m1MatchesMxSpec)
+{
+    const FloatFormat &f = fp4E2m1();
+    EXPECT_EQ(f.bits(), 4);
+    EXPECT_DOUBLE_EQ(f.maxValue(), 6.0);
+    EXPECT_DOUBLE_EQ(f.minNormal(), 1.0);
+    EXPECT_DOUBLE_EQ(f.minSubnormal(), 0.5);
+    // +/-{0.5, 1, 1.5, 2, 3, 4, 6}: 7 positive magnitudes.
+    EXPECT_EQ(f.magnitudeCount(), 7);
+}
+
+TEST(FloatFormat, Fp8E4m3FnMatchesNvidiaSpec)
+{
+    const FloatFormat &f = fp8E4m3();
+    EXPECT_EQ(f.bits(), 8);
+    EXPECT_DOUBLE_EQ(f.maxValue(), 448.0);
+    EXPECT_DOUBLE_EQ(f.minNormal(), std::ldexp(1.0, -6));
+    EXPECT_DOUBLE_EQ(f.minSubnormal(), std::ldexp(1.0, -9));
+}
+
+TEST(FloatFormat, Fp8E5m2MatchesIeeeStyleSpec)
+{
+    const FloatFormat &f = fp8E5m2();
+    EXPECT_DOUBLE_EQ(f.maxValue(), 57344.0);
+    EXPECT_DOUBLE_EQ(f.minNormal(), std::ldexp(1.0, -14));
+    EXPECT_DOUBLE_EQ(f.minSubnormal(), std::ldexp(1.0, -16));
+}
+
+TEST(FloatFormat, Fp6E3m2MatchesMxSpec)
+{
+    const FloatFormat &f = fp6E3m2();
+    EXPECT_EQ(f.bits(), 6);
+    EXPECT_DOUBLE_EQ(f.maxValue(), 28.0);
+}
+
+TEST(FloatFormat, Bf16RangeLikeFloat32)
+{
+    const FloatFormat &f = bf16();
+    EXPECT_EQ(f.bits(), 16);
+    EXPECT_GT(f.maxValue(), 3e38);
+    EXPECT_LT(f.maxValue(), 4e38);
+}
+
+TEST(FloatFormat, Fp16MatchesIeeeHalf)
+{
+    const FloatFormat &f = fp16();
+    EXPECT_DOUBLE_EQ(f.maxValue(), 65504.0);
+    EXPECT_DOUBLE_EQ(f.minNormal(), std::ldexp(1.0, -14));
+}
+
+TEST(FloatFormat, GradientFormatHasWiderRangeThanForwardFormat)
+{
+    // The reason E5M2 is used for gradients (Sec. 2.3).
+    EXPECT_GT(fp8E5m2().maxValue(), fp8E4m3().maxValue());
+    EXPECT_LT(fp8E5m2().minSubnormal(), fp8E4m3().minNormal());
+}
+
+TEST(FloatFormat, LookupByName)
+{
+    EXPECT_EQ(formatByName("fp4_e2m1").bits(), 4);
+    EXPECT_EQ(formatByName("fp8_e4m3").mantissa_bits, 3);
+    EXPECT_EQ(formatByName("fp8_e5m2").exponent_bits, 5);
+    EXPECT_EQ(formatByName("bf16").exponent_bits, 8);
+}
+
+} // namespace
+} // namespace snip

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Scaling granularities: region iteration, scale counts (the memory-
+ * overhead accounting of Sec. 6.3), and scale values.
+ */
+#include <gtest/gtest.h>
+
+#include "quant/scaling.h"
+
+namespace snip {
+namespace {
+
+/** Collect regions into a list for inspection. */
+std::vector<std::array<int64_t, 4>>
+regions(int64_t rows, int64_t cols, const ScalingSpec &spec)
+{
+    std::vector<std::array<int64_t, 4>> out;
+    forEachRegion(rows, cols, spec,
+                  [&](int64_t r0, int64_t r1, int64_t c0, int64_t c1) {
+                      out.push_back({r0, r1, c0, c1});
+                  });
+    return out;
+}
+
+/** Every element covered exactly once. */
+void
+expectPartition(int64_t rows, int64_t cols, const ScalingSpec &spec)
+{
+    std::vector<int> hits(static_cast<size_t>(rows * cols), 0);
+    forEachRegion(rows, cols, spec,
+                  [&](int64_t r0, int64_t r1, int64_t c0, int64_t c1) {
+                      for (int64_t r = r0; r < r1; ++r)
+                          for (int64_t c = c0; c < c1; ++c)
+                              hits[static_cast<size_t>(r * cols + c)]++;
+                  });
+    for (int h : hits)
+        EXPECT_EQ(h, 1);
+}
+
+TEST(Scaling, TensorwiseIsOneRegion)
+{
+    auto r = regions(5, 7, {Granularity::Tensorwise, 128});
+    ASSERT_EQ(r.size(), 1u);
+    EXPECT_EQ(r[0], (std::array<int64_t, 4>{0, 5, 0, 7}));
+}
+
+TEST(Scaling, RowwiseOneRegionPerRow)
+{
+    auto r = regions(4, 9, {Granularity::Rowwise, 128});
+    EXPECT_EQ(r.size(), 4u);
+    expectPartition(4, 9, {Granularity::Rowwise, 128});
+}
+
+TEST(Scaling, ColumnwiseOneRegionPerColumn)
+{
+    EXPECT_EQ(regions(4, 9, {Granularity::Columnwise, 128}).size(), 9u);
+    expectPartition(4, 9, {Granularity::Columnwise, 128});
+}
+
+TEST(Scaling, BlockwisePartitionsWithRaggedEdges)
+{
+    // 130x70 with 64-blocks: 3x2 block grid.
+    auto r = regions(130, 70, {Granularity::Blockwise, 64});
+    EXPECT_EQ(r.size(), 6u);
+    expectPartition(130, 70, {Granularity::Blockwise, 64});
+}
+
+TEST(Scaling, TilewisePartitionsRowsIntoTiles)
+{
+    // 3 rows x 300 cols with 128-tiles: 3 * ceil(300/128)=3*3.
+    auto r = regions(3, 300, {Granularity::Tilewise, 128});
+    EXPECT_EQ(r.size(), 9u);
+    expectPartition(3, 300, {Granularity::Tilewise, 128});
+}
+
+TEST(Scaling, ScaleCountMatchesRegionCount)
+{
+    for (auto g : {Granularity::Tensorwise, Granularity::Rowwise,
+                   Granularity::Columnwise, Granularity::Blockwise,
+                   Granularity::Tilewise}) {
+        ScalingSpec spec{g, 32};
+        EXPECT_EQ(scaleCount(50, 130, spec),
+                  static_cast<int64_t>(regions(50, 130, spec).size()))
+            << granularityName(g);
+    }
+}
+
+TEST(Scaling, DeepSeekRecipeMemoryOverheadIsTiny)
+{
+    // 128x128 blockwise on a 4096x4096 weight: 1024 scales for 16.7M
+    // elements (< 0.01%), matching the paper's <1% memory claim.
+    const int64_t scales =
+        scaleCount(4096, 4096, {Granularity::Blockwise, 128});
+    EXPECT_EQ(scales, 32 * 32);
+    EXPECT_LT(static_cast<double>(scales) / (4096.0 * 4096.0), 0.01);
+}
+
+TEST(Scaling, RegionScaleMapsMaxAbsToFormatMax)
+{
+    EXPECT_DOUBLE_EQ(regionScale(2.0, 6.0), 3.0);
+    EXPECT_DOUBLE_EQ(regionScale(448.0, 448.0), 1.0);
+}
+
+TEST(Scaling, ZeroRegionGetsUnitScale)
+{
+    EXPECT_DOUBLE_EQ(regionScale(0.0, 6.0), 1.0);
+}
+
+TEST(Scaling, MatrixViewFlattensLeadingDims)
+{
+    Tensor t({2, 3, 4});
+    int64_t rows, cols;
+    matrixView(t, rows, cols);
+    EXPECT_EQ(rows, 6);
+    EXPECT_EQ(cols, 4);
+
+    Tensor v({5});
+    matrixView(v, rows, cols);
+    EXPECT_EQ(rows, 1);
+    EXPECT_EQ(cols, 5);
+}
+
+} // namespace
+} // namespace snip

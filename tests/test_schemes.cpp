@@ -1,0 +1,179 @@
+/**
+ * @file
+ * Precision schemes, option sets and the heuristic baselines.
+ */
+#include <gtest/gtest.h>
+
+#include "nn/layer_registry.h"
+#include "schemes/baselines.h"
+#include "train/presets.h"
+#include "util/rng.h"
+
+namespace snip {
+namespace {
+
+TEST(LayerScheme, Fp4FractionCountsGemms)
+{
+    using P = Precision;
+    EXPECT_DOUBLE_EQ(LayerScheme::uniform(P::FP8).fp4Fraction(), 0.0);
+    EXPECT_DOUBLE_EQ(LayerScheme::uniform(P::FP4).fp4Fraction(), 1.0);
+    LayerScheme mixed{{P::FP4, P::FP8, P::FP8}};
+    EXPECT_NEAR(mixed.fp4Fraction(), 1.0 / 3.0, 1e-12);
+}
+
+TEST(LayerScheme, DominantPrecision)
+{
+    using P = Precision;
+    EXPECT_EQ(LayerScheme::uniform(P::BF16).dominant(), P::BF16);
+    EXPECT_EQ((LayerScheme{{P::FP8, P::BF16, P::BF16}}.dominant()),
+              P::FP8);
+    EXPECT_EQ((LayerScheme{{P::FP8, P::FP4, P::FP8}}.dominant()),
+              P::FP4);
+}
+
+TEST(PrecisionScheme, FlopWeightedFraction)
+{
+    PrecisionScheme s(2);
+    s.layers[0] = LayerScheme::uniform(Precision::FP4);
+    s.layers[1] = LayerScheme::uniform(Precision::FP8);
+    // Layer 0 carries 3x the FLOPs of layer 1.
+    EXPECT_NEAR(s.fp4FlopFraction({3.0, 1.0}), 0.75, 1e-12);
+    EXPECT_NEAR(s.fp4FractionUnweighted(), 0.5, 1e-12);
+}
+
+TEST(PrecisionScheme, HeatmapShowsEveryBlockRow)
+{
+    PrecisionScheme s = PrecisionScheme::uniform(
+        2 * kRolesPerBlock, Precision::FP8);
+    s.layers[kRolesPerBlock + 6] =
+        LayerScheme::uniform(Precision::FP4); // blk1 Down
+    std::string hm = s.renderHeatmap();
+    EXPECT_NE(hm.find("Down"), std::string::npos);
+    // Two block rows + header.
+    int lines = 0;
+    for (char c : hm)
+        lines += (c == '\n');
+    EXPECT_EQ(lines, 3);
+    EXPECT_NE(hm.find('4'), std::string::npos);
+}
+
+TEST(OptionSets, SimpleAndStandardShapes)
+{
+    auto simple = makeOptionSet(OptionSetKind::Simple);
+    ASSERT_EQ(simple.size(), 2u);
+    EXPECT_DOUBLE_EQ(simple[0].fp4Fraction(), 0.0);
+    EXPECT_DOUBLE_EQ(simple[1].fp4Fraction(), 1.0);
+
+    auto standard = makeOptionSet(OptionSetKind::Standard);
+    ASSERT_EQ(standard.size(), 4u);
+    EXPECT_DOUBLE_EQ(standard.front().fp4Fraction(), 0.0);
+    EXPECT_DOUBLE_EQ(standard.back().fp4Fraction(), 1.0);
+}
+
+TEST(OptionSets, FullHasAllCombosSortedByFraction)
+{
+    auto full = makeOptionSet(OptionSetKind::Full);
+    ASSERT_EQ(full.size(), 8u);
+    for (size_t i = 1; i < full.size(); ++i)
+        EXPECT_LE(full[i - 1].fp4Fraction(), full[i].fp4Fraction());
+    // All distinct.
+    for (size_t i = 0; i < full.size(); ++i)
+        for (size_t j = i + 1; j < full.size(); ++j)
+            EXPECT_FALSE(full[i] == full[j]);
+}
+
+class BaselineTargets : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(BaselineTargets, AllBaselinesMeetTheTarget)
+{
+    const double target = GetParam();
+    LayerRegistry reg(tinyllamaSim());
+    auto flops = reg.allFlopsPerToken();
+    const int n_blocks = static_cast<int>(tinyllamaSim().n_blocks);
+    Rng rng(3);
+
+    std::vector<PrecisionScheme> schemes = {
+        randomScheme(flops, target, rng),
+        layerIdScheme(flops, target, n_blocks),
+        layerTypeScheme(flops, target, n_blocks),
+    };
+    for (const auto &s : schemes) {
+        EXPECT_GE(s.fp4FlopFraction(flops) + 1e-9, target);
+        // Overshoot bounded by the largest single layer.
+        double max_share = 0;
+        double total = 0;
+        for (double f : flops)
+            total += f;
+        for (double f : flops)
+            max_share = std::max(max_share, f / total);
+        EXPECT_LE(s.fp4FlopFraction(flops), target + max_share + 1e-9);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, BaselineTargets,
+                         ::testing::Values(0.0, 0.1, 0.25, 0.5, 0.75,
+                                           0.9, 1.0));
+
+TEST(Baselines, LayerIdPrefersMiddleBlocks)
+{
+    LayerRegistry reg(tinyllamaSim());
+    auto flops = reg.allFlopsPerToken();
+    const int n_blocks = static_cast<int>(tinyllamaSim().n_blocks);
+    PrecisionScheme s = layerIdScheme(flops, 0.3, n_blocks);
+    // The middle block must be FP4, the first and last must not.
+    const int mid = n_blocks / 2;
+    EXPECT_EQ(s.layers[static_cast<size_t>(mid * kRolesPerBlock)]
+                  .dominant(),
+              Precision::FP4);
+    EXPECT_EQ(s.layers[0].dominant(), Precision::FP8);
+    EXPECT_EQ(s.layers[s.layers.size() - 1].dominant(), Precision::FP8);
+}
+
+TEST(Baselines, LayerTypeConvertsInsensitiveTypesFirst)
+{
+    LayerRegistry reg(tinyllamaSim());
+    auto flops = reg.allFlopsPerToken();
+    const int n_blocks = static_cast<int>(tinyllamaSim().n_blocks);
+    // Q+K are ~2/28 of per-block flops (d*d each); a small target
+    // should convert only Q/K layers.
+    PrecisionScheme s = layerTypeScheme(flops, 0.05, n_blocks);
+    for (int b = 0; b < n_blocks; ++b) {
+        EXPECT_EQ(s.layers[static_cast<size_t>(
+                               b * kRolesPerBlock +
+                               static_cast<int>(LayerRole::Down))]
+                      .dominant(),
+                  Precision::FP8);
+    }
+}
+
+TEST(Baselines, RandomSchemesDifferAcrossSeeds)
+{
+    LayerRegistry reg(tinyllamaSim());
+    auto flops = reg.allFlopsPerToken();
+    Rng r1(1), r2(2);
+    PrecisionScheme a = randomScheme(flops, 0.5, r1);
+    PrecisionScheme b = randomScheme(flops, 0.5, r2);
+    EXPECT_FALSE(a == b);
+    // Same seed -> same scheme.
+    Rng r3(1);
+    EXPECT_TRUE(a == randomScheme(flops, 0.5, r3));
+}
+
+TEST(Baselines, FillToTargetBoundary)
+{
+    std::vector<double> flops = {1, 1, 1, 1};
+    std::vector<int> order = {0, 1, 2, 3};
+    PrecisionScheme none = fillToTarget(order, flops, 0.0);
+    EXPECT_DOUBLE_EQ(none.fp4FlopFraction(flops), 0.0);
+    PrecisionScheme all = fillToTarget(order, flops, 1.0);
+    EXPECT_DOUBLE_EQ(all.fp4FlopFraction(flops), 1.0);
+    PrecisionScheme half = fillToTarget(order, flops, 0.5);
+    EXPECT_DOUBLE_EQ(half.fp4FlopFraction(flops), 0.5);
+    EXPECT_EQ(half.layers[0].dominant(), Precision::FP4);
+    EXPECT_EQ(half.layers[3].dominant(), Precision::FP8);
+}
+
+} // namespace
+} // namespace snip

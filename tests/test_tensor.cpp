@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Unit tests for Tensor and elementwise/reduction ops.
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tensor/ops.h"
+#include "tensor/tensor.h"
+#include "util/rng.h"
+
+namespace snip {
+namespace {
+
+TEST(Tensor, ShapeAndNumel)
+{
+    Tensor t({2, 3, 4});
+    EXPECT_EQ(t.rank(), 3);
+    EXPECT_EQ(t.numel(), 24);
+    EXPECT_EQ(t.size(0), 2);
+    EXPECT_EQ(t.size(-1), 4);
+}
+
+TEST(Tensor, ZeroInitialized)
+{
+    Tensor t(3, 5);
+    for (int64_t i = 0; i < t.numel(); ++i)
+        EXPECT_EQ(t.at(i), 0.0f);
+}
+
+TEST(Tensor, Rank2Indexing)
+{
+    Tensor t(2, 3);
+    t.at(1, 2) = 7.0f;
+    EXPECT_EQ(t.at(1 * 3 + 2), 7.0f);
+}
+
+TEST(Tensor, Rank3Indexing)
+{
+    Tensor t({2, 3, 4});
+    t.at(1, 2, 3) = 9.0f;
+    EXPECT_EQ(t.at((1 * 3 + 2) * 4 + 3), 9.0f);
+}
+
+TEST(Tensor, FillAndFull)
+{
+    Tensor t = Tensor::full({4}, 2.5f);
+    EXPECT_EQ(t.at(3), 2.5f);
+    t.fill(-1.0f);
+    EXPECT_EQ(t.at(0), -1.0f);
+}
+
+TEST(Tensor, ReshapePreservesData)
+{
+    Tensor t(2, 6);
+    t.at(1, 5) = 3.0f;
+    t.reshape({3, 4});
+    EXPECT_EQ(t.rank(), 2);
+    EXPECT_EQ(t.size(0), 3);
+    EXPECT_EQ(t.at(2, 3), 3.0f);
+}
+
+TEST(Tensor, RandnHasRequestedSpread)
+{
+    Rng rng(5);
+    Tensor t = Tensor::randn({1000}, rng, 0.5f);
+    double ss = sumSquares(t) / t.numel();
+    EXPECT_NEAR(ss, 0.25, 0.05);
+}
+
+TEST(Tensor, UniformBounds)
+{
+    Rng rng(6);
+    Tensor t = Tensor::uniform({1000}, rng, -2.0f, 3.0f);
+    EXPECT_GE(*std::min_element(t.data(), t.data() + t.numel()), -2.0f);
+    EXPECT_LT(*std::max_element(t.data(), t.data() + t.numel()), 3.0f);
+}
+
+TEST(Ops, FrobeniusNormKnownValue)
+{
+    Tensor t(1, 2);
+    t.at(0, 0) = 3.0f;
+    t.at(0, 1) = 4.0f;
+    EXPECT_DOUBLE_EQ(frobeniusNorm(t), 5.0);
+}
+
+TEST(Ops, DiffNormAndSub)
+{
+    Tensor a = Tensor::full({3}, 2.0f);
+    Tensor b = Tensor::full({3}, -1.0f);
+    EXPECT_NEAR(diffNorm(a, b), 3.0 * std::sqrt(3.0), 1e-6);
+    Tensor d = sub(a, b);
+    EXPECT_EQ(d.at(0), 3.0f);
+}
+
+TEST(Ops, AddScaledAndScale)
+{
+    Tensor a = Tensor::full({4}, 1.0f);
+    Tensor b = Tensor::full({4}, 2.0f);
+    addScaled(a, b, 0.5f);
+    EXPECT_EQ(a.at(0), 2.0f);
+    scaleInPlace(a, 2.0f);
+    EXPECT_EQ(a.at(0), 4.0f);
+}
+
+TEST(Ops, HadamardAndMean)
+{
+    Tensor a = Tensor::full({4}, 3.0f);
+    Tensor b = Tensor::full({4}, -2.0f);
+    Tensor h = hadamard(a, b);
+    EXPECT_EQ(h.at(2), -6.0f);
+    EXPECT_DOUBLE_EQ(mean(h), -6.0);
+}
+
+TEST(Ops, RowNorms)
+{
+    Tensor t(2, 2);
+    t.at(0, 0) = 3;
+    t.at(0, 1) = 4;
+    t.at(1, 0) = 0;
+    t.at(1, 1) = 2;
+    auto norms = rowNorms(t);
+    EXPECT_NEAR(norms[0], 5.0, 1e-9);
+    EXPECT_NEAR(norms[1], 2.0, 1e-9);
+}
+
+TEST(Ops, TransposeRoundTrip)
+{
+    Rng rng(9);
+    Tensor t = Tensor::randn({3, 5}, rng);
+    Tensor tt = transpose(transpose(t));
+    EXPECT_TRUE(t == tt);
+}
+
+TEST(Ops, MaxAbs)
+{
+    Tensor t(1, 3);
+    t.at(0, 0) = -7;
+    t.at(0, 1) = 2;
+    t.at(0, 2) = 6.5;
+    EXPECT_EQ(maxAbs(t), 7.0f);
+}
+
+TEST(Ops, HasNonFinite)
+{
+    Tensor t(1, 2);
+    EXPECT_FALSE(hasNonFinite(t));
+    t.at(0, 1) = std::numeric_limits<float>::infinity();
+    EXPECT_TRUE(hasNonFinite(t));
+    t.at(0, 1) = std::numeric_limits<float>::quiet_NaN();
+    EXPECT_TRUE(hasNonFinite(t));
+}
+
+TEST(Ops, ApplyElementwise)
+{
+    Tensor t = Tensor::full({3}, 4.0f);
+    apply(t, [](float v) { return std::sqrt(v); });
+    EXPECT_EQ(t.at(1), 2.0f);
+}
+
+} // namespace
+} // namespace snip

@@ -1,0 +1,159 @@
+/**
+ * @file
+ * End-to-end trainer behaviour: loss decreases, determinism,
+ * snapshot/restore resume semantics, disk checkpoints, and the
+ * FP4-collapse property the paper's evaluation relies on.
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+
+#include "train/checkpoint.h"
+#include "train/presets.h"
+
+namespace snip {
+namespace {
+
+TEST(Trainer, LossDecreasesInBf16)
+{
+    TrainerConfig cfg = trainerPreset(tinyTestModel());
+    Trainer trainer(cfg);
+    auto losses = trainer.train(60);
+    double first = (losses[0] + losses[1] + losses[2]) / 3.0;
+    double last = (losses[57] + losses[58] + losses[59]) / 3.0;
+    EXPECT_LT(last, first - 0.1);
+    for (double l : losses)
+        EXPECT_TRUE(std::isfinite(l));
+}
+
+TEST(Trainer, DeterministicGivenSeeds)
+{
+    TrainerConfig cfg = trainerPreset(tinyTestModel());
+    Trainer a(cfg), b(cfg);
+    auto la = a.train(10);
+    auto lb = b.train(10);
+    EXPECT_EQ(la, lb);
+}
+
+TEST(Trainer, DifferentSeedsDiverge)
+{
+    TrainerConfig cfg = trainerPreset(tinyTestModel());
+    Trainer a(cfg);
+    cfg.seed = 99;
+    Trainer b(cfg);
+    EXPECT_NE(a.train(5), b.train(5));
+}
+
+TEST(Trainer, SnapshotRestoreReplaysIdenticalTrajectory)
+{
+    TrainerConfig cfg = trainerPreset(tinyTestModel());
+    Trainer trainer(cfg);
+    trainer.train(10);
+    TrainerSnapshot snap = trainer.snapshot();
+    auto first = trainer.train(8);
+    trainer.restore(snap);
+    auto second = trainer.train(8);
+    EXPECT_EQ(first, second);
+}
+
+TEST(Trainer, RestoreResetsStepAndScheme)
+{
+    TrainerConfig cfg = trainerPreset(tinyTestModel());
+    Trainer trainer(cfg);
+    trainer.train(5);
+    TrainerSnapshot snap = trainer.snapshot();
+    trainer.train(5);
+    EXPECT_EQ(trainer.step(), 10);
+    trainer.restore(snap);
+    EXPECT_EQ(trainer.step(), 5);
+}
+
+TEST(Trainer, QuantizedTrainingTracksOrDivergesByPrecision)
+{
+    // The core premise of the paper: FP8 training tracks BF16 closely,
+    // uniform FP4 hurts more.
+    TrainerConfig cfg = trainerPreset(tinyTestModel());
+    Trainer trainer(cfg);
+    trainer.train(30);
+    TrainerSnapshot ckpt = trainer.snapshot();
+    const size_t n = static_cast<size_t>(
+        trainer.model().registry().numLinear());
+
+    auto run = [&](Precision p) {
+        trainer.restore(ckpt);
+        trainer.applyScheme(PrecisionScheme::uniform(n, p));
+        auto losses = trainer.train(30);
+        double tail = 0;
+        for (size_t i = losses.size() - 5; i < losses.size(); ++i)
+            tail += losses[i];
+        return tail / 5.0;
+    };
+    double bf16 = run(Precision::BF16);
+    double fp8 = run(Precision::FP8);
+    double fp4 = run(Precision::FP4);
+    EXPECT_LT(std::fabs(fp8 - bf16), std::fabs(fp4 - bf16) + 0.05);
+    EXPECT_GT(fp4, bf16 - 0.05); // FP4 never *better* than BF16
+}
+
+TEST(Trainer, EvalLossDoesNotAdvanceTrainingStream)
+{
+    TrainerConfig cfg = trainerPreset(tinyTestModel());
+    Trainer a(cfg), b(cfg);
+    a.train(5);
+    b.train(5);
+    (void)a.evalLoss(3);
+    EXPECT_EQ(a.train(3), b.train(3));
+}
+
+TEST(Checkpoint, DiskRoundTripReproducesTrajectory)
+{
+    const std::string path = "test_ckpt_roundtrip.bin";
+    TrainerConfig cfg = trainerPreset(tinyTestModel());
+    Trainer trainer(cfg);
+    trainer.train(7);
+    ASSERT_TRUE(saveCheckpoint(trainer, path));
+    auto expect = trainer.train(5);
+
+    Trainer fresh(cfg);
+    ASSERT_TRUE(loadCheckpoint(fresh, path));
+    EXPECT_EQ(fresh.step(), 7);
+    EXPECT_EQ(fresh.train(5), expect);
+    std::remove(path.c_str());
+}
+
+TEST(Checkpoint, MissingFileReturnsFalse)
+{
+    TrainerConfig cfg = trainerPreset(tinyTestModel());
+    Trainer trainer(cfg);
+    EXPECT_FALSE(loadCheckpoint(trainer, "does_not_exist.bin"));
+}
+
+TEST(Presets, AllPresetsValidateAndScaleUp)
+{
+    int64_t prev = 0;
+    for (const char *name :
+         {"tinyllama_sim", "openllama3b_sim", "openllama7b_sim",
+          "llama70b_sim"}) {
+        ModelConfig m = modelPresetByName(name);
+        m.validate();
+        EXPECT_GT(m.parameterCount(), prev) << name;
+        prev = m.parameterCount();
+    }
+    // Block counts mirror the paper's models' relative depths.
+    EXPECT_EQ(tinyllamaSim().n_blocks, 22);    // TinyLlama-1.1B depth
+    EXPECT_EQ(openllama3bSim().n_blocks, 26);  // OpenLlama-3B depth
+    EXPECT_EQ(openllama7bSim().n_blocks, 32);  // OpenLlama-7B depth
+    EXPECT_LT(llama70bSim().n_kv_heads, llama70bSim().n_heads); // GQA
+}
+
+TEST(Presets, TrainerPresetIsConsistent)
+{
+    TrainerConfig cfg = trainerPreset(tinyTestModel(), 123);
+    EXPECT_EQ(cfg.corpus.vocab_size, tinyTestModel().vocab_size);
+    EXPECT_LE(cfg.corpus.seq_len, cfg.model.max_seq);
+    EXPECT_EQ(cfg.seed, 123u);
+}
+
+} // namespace
+} // namespace snip
