@@ -12,6 +12,7 @@
 #include "core/snip_optimizer.h"
 #include "core/stats_collector.h"
 #include "quant/quantizer.h"
+#include "runtime/thread_pool.h"
 #include "tensor/gemm.h"
 #include "train/presets.h"
 
@@ -67,6 +68,48 @@ BM_PlainStep(benchmark::State &state)
     trainer.train(2);
     for (auto _ : state)
         benchmark::DoNotOptimize(trainer.trainStep());
+}
+
+/**
+ * Serial-vs-parallel sweep: the same GEMM at a pinned global-pool
+ * width. Arg 0 is the square matrix size, arg 1 the thread count
+ * ("/threads:1" rows are the serial baseline; the runtime guarantees
+ * all rows compute bit-identical results). CI smoke-runs this sweep so
+ * kernel regressions show up as timing diffs in the job log.
+ */
+void
+BM_GemmThreads(benchmark::State &state)
+{
+    const int64_t n = state.range(0);
+    runtime::setGlobalThreadCount(static_cast<int>(state.range(1)));
+    Rng rng(3);
+    Tensor a = Tensor::randn({n, n}, rng);
+    Tensor b = Tensor::randn({n, n}, rng);
+    for (auto _ : state) {
+        Tensor c = matmulNT(a, b);
+        benchmark::DoNotOptimize(c.data());
+    }
+    state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+    runtime::setGlobalThreadCount(0);
+}
+
+/** Same sweep for the FP4 tile-wise fake-quantization kernel. */
+void
+BM_QuantizeThreads(benchmark::State &state)
+{
+    const int64_t n = state.range(0);
+    runtime::setGlobalThreadCount(static_cast<int>(state.range(1)));
+    Rng rng(1);
+    Tensor t = Tensor::randn({n, n}, rng);
+    FakeQuantizer q(2);
+    QuantConfig cfg{fp4E2m1(), {Granularity::Tilewise, 128},
+                    Rounding::Nearest};
+    for (auto _ : state) {
+        Tensor out = q.quantize(t, cfg);
+        benchmark::DoNotOptimize(out.data());
+    }
+    state.SetItemsProcessed(state.iterations() * t.numel());
+    runtime::setGlobalThreadCount(0);
 }
 
 /** Paper-sized ILP: 80 blocks x 7 layers, 4 options. */
@@ -130,6 +173,24 @@ BENCHMARK_CAPTURE(BM_QuantizeTensor, bf16_fastpath,
                               {Granularity::Tensorwise, 0},
                               Rounding::Nearest});
 BENCHMARK(BM_Gemm)->Arg(64)->Arg(128)->Arg(256);
+BENCHMARK(BM_GemmThreads)
+    ->ArgNames({"n", "threads"})
+    ->Args({256, 1})
+    ->Args({256, 2})
+    ->Args({256, 4})
+    ->Args({256, 8})
+    ->Args({512, 1})
+    ->Args({512, 2})
+    ->Args({512, 4})
+    ->Args({512, 8})
+    ->UseRealTime();
+BENCHMARK(BM_QuantizeThreads)
+    ->ArgNames({"n", "threads"})
+    ->Args({512, 1})
+    ->Args({512, 2})
+    ->Args({512, 4})
+    ->Args({512, 8})
+    ->UseRealTime();
 BENCHMARK(BM_StatsCollection);
 BENCHMARK(BM_PlainStep);
 BENCHMARK(BM_IlpBranchAndBound)->Arg(154)->Arg(560);

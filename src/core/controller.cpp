@@ -6,12 +6,15 @@ namespace snip {
 
 SchemeSelection
 SnipController::updateScheme(LlamaModel &model, AdamW *optimizer,
-                             const Batch &batch)
+                             const Batch &batch,
+                             runtime::ThreadPool *pool)
 {
     FlopsModel flops(model.registry());
 
     // Steps 1-3: instrumented iteration + the two noise probes.
-    stats_ = collectTrainingStats(model, optimizer, batch);
+    StatsOptions stats_opts;
+    stats_opts.pool = pool ? pool : config_.pool;
+    stats_ = collectTrainingStats(model, optimizer, batch, stats_opts);
     ProbeResult bwd = runNoiseProbe(model, batch, stats_,
                                     ProbeKind::Backward, config_.probe);
     ProbeResult fwd = runNoiseProbe(model, batch, stats_,
@@ -44,7 +47,8 @@ SnipController::updateScheme(LlamaModel &model, AdamW *optimizer,
 
 bool
 SnipController::maybeUpdate(LlamaModel &model, AdamW *optimizer,
-                            const Batch &batch, int64_t step)
+                            const Batch &batch, int64_t step,
+                            runtime::ThreadPool *pool)
 {
     const bool due =
         (!has_selection_ && config_.update_at_start) ||
@@ -52,7 +56,7 @@ SnipController::maybeUpdate(LlamaModel &model, AdamW *optimizer,
          step % config_.update_interval == 0);
     if (!due)
         return false;
-    updateScheme(model, optimizer, batch);
+    updateScheme(model, optimizer, batch, pool);
     return true;
 }
 

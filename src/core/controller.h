@@ -17,6 +17,10 @@
 
 namespace snip {
 
+namespace runtime {
+class ThreadPool;
+} // namespace runtime
+
 /** Overhead accounting of one scheme update. */
 struct UpdateOverhead
 {
@@ -48,6 +52,10 @@ class SnipController
         ProbeOptions probe;
         IlpSolveOptions solve;
         PipelineConstraint pipeline;
+        /** Pool for the statistics sweep (Step 1); null = the
+         *  process-wide shared pool, i.e. the same instance the
+         *  trainer's kernels run on. */
+        runtime::ThreadPool *pool = nullptr;
     };
 
     explicit SnipController(const Config &config) : config_(config) {}
@@ -56,16 +64,23 @@ class SnipController
      * Run Steps 1-6 once on @p batch and apply the resulting scheme to
      * the model. Leaves parameter gradients dirty — callers zero them
      * before their next real training pass.
+     *
+     * @param pool overrides Config::pool for this update when non-null
+     *             (the Trainer threads its own pool through here); both
+     *             null means the process-wide shared pool.
      */
     SchemeSelection updateScheme(LlamaModel &model, AdamW *optimizer,
-                                 const Batch &batch);
+                                 const Batch &batch,
+                                 runtime::ThreadPool *pool = nullptr);
 
     /**
      * Trainer hook: regenerate the scheme when @p step hits the update
-     * cadence. Returns true when an update ran.
+     * cadence. Returns true when an update ran. @p pool as in
+     * updateScheme().
      */
     bool maybeUpdate(LlamaModel &model, AdamW *optimizer,
-                     const Batch &batch, int64_t step);
+                     const Batch &batch, int64_t step,
+                     runtime::ThreadPool *pool = nullptr);
 
     const Config &config() const { return config_; }
 

@@ -1,6 +1,7 @@
 #include "core/stats_collector.h"
 
 #include "quant/error_metrics.h"
+#include "runtime/thread_pool.h"
 #include "tensor/ops.h"
 #include "util/logging.h"
 
@@ -40,18 +41,28 @@ class CollectorTap : public LinearTap
         s.w_norm = frobeniusNorm(w);
         s.y_norm = frobeniusNorm(y);
         if (options_.measure_quant_errors) {
-            for (int c = 0; c < kNumCandidates; ++c) {
-                const Precision p = kCandidatePrecisions[c];
-                s.qerr[c][static_cast<int>(TensorRole::Activation)] =
-                    measureQuantError(
-                        x, rolePolicy(p, TensorRole::Activation),
-                        quantizer_)
-                        .abs_error;
-                s.qerr[c][static_cast<int>(TensorRole::Weight)] =
-                    measureQuantError(w, rolePolicy(p, TensorRole::Weight),
-                                      quantizer_)
-                        .abs_error;
-            }
+            // Each (candidate, role) measurement quantizes its own
+            // tensor copy with nearest rounding (measureQuantError
+            // forces Nearest, which never touches the quantizer's Rng),
+            // so the sweep is embarrassingly parallel and writes
+            // disjoint qerr slots.
+            runtime::poolOrGlobal(options_.pool)
+                .parallelFor(0, kNumCandidates * 2, 1,
+                             [&](int64_t t0, int64_t t1) {
+                for (int64_t t = t0; t < t1; ++t) {
+                    const int c = static_cast<int>(t / 2);
+                    const Precision p = kCandidatePrecisions[c];
+                    const TensorRole role = (t % 2 == 0)
+                                                ? TensorRole::Activation
+                                                : TensorRole::Weight;
+                    const Tensor &src =
+                        role == TensorRole::Activation ? x : w;
+                    s.qerr[c][static_cast<int>(role)] =
+                        measureQuantError(src, rolePolicy(p, role),
+                                          quantizer_)
+                            .abs_error;
+                }
+            });
         }
     }
 
@@ -64,14 +75,19 @@ class CollectorTap : public LinearTap
         s.dx_norm = frobeniusNorm(dx);
         s.dw_norm = frobeniusNorm(dw);
         if (options_.measure_quant_errors) {
-            for (int c = 0; c < kNumCandidates; ++c) {
-                const Precision p = kCandidatePrecisions[c];
-                s.qerr[c][static_cast<int>(TensorRole::OutputGrad)] =
-                    measureQuantError(
-                        dy, rolePolicy(p, TensorRole::OutputGrad),
-                        quantizer_)
-                        .abs_error;
-            }
+            runtime::poolOrGlobal(options_.pool)
+                .parallelFor(0, kNumCandidates, 1,
+                             [&](int64_t c0, int64_t c1) {
+                for (int64_t c = c0; c < c1; ++c) {
+                    const Precision p =
+                        kCandidatePrecisions[static_cast<int>(c)];
+                    s.qerr[c][static_cast<int>(TensorRole::OutputGrad)] =
+                        measureQuantError(
+                            dy, rolePolicy(p, TensorRole::OutputGrad),
+                            quantizer_)
+                            .abs_error;
+                }
+            });
         }
         if (options_.dump_gradients)
             s.dw_dump = dw;

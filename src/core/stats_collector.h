@@ -72,6 +72,10 @@ struct TrainingStats
     double hidden_grad_norm = 0.0;
 };
 
+namespace runtime {
+class ThreadPool;
+} // namespace runtime
+
 /** Knobs for the statistics pass. */
 struct StatsOptions
 {
@@ -79,6 +83,9 @@ struct StatsOptions
     bool measure_quant_errors = true;
     /** Keep per-layer dW dumps (needed by the probes). */
     bool dump_gradients = true;
+    /** Pool for the per-candidate error sweep; null = the process-wide
+     *  shared pool (runtime::globalThreadPool()). */
+    runtime::ThreadPool *pool = nullptr;
 };
 
 /**

@@ -38,14 +38,27 @@ struct EvalResult
     double taskAccuracy(const std::string &name) const;
 };
 
+namespace runtime {
+class ThreadPool;
+} // namespace runtime
+
 /** Score one item; returns true if the model picks the correct option. */
 bool scoreItem(LlamaModel &model, const EvalItem &item);
 
 /** Evaluate one task. */
 TaskScore evaluateTask(LlamaModel &model, const EvalTask &task);
 
-/** Evaluate the full suite. */
-EvalResult evaluate(LlamaModel &model, const std::vector<EvalTask> &suite);
+/**
+ * Evaluate the full suite.
+ *
+ * Items are sharded across the pool (@p pool, null = the process-wide
+ * shared pool), each shard scoring on its own BF16 replica of the
+ * model. Replicas are exact weight copies and the BF16 forward pass is
+ * deterministic, so the returned accuracies are identical for every
+ * thread count.
+ */
+EvalResult evaluate(LlamaModel &model, const std::vector<EvalTask> &suite,
+                    runtime::ThreadPool *pool = nullptr);
 
 } // namespace snip
 

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <cstring>
 
+#include "runtime/thread_pool.h"
 #include "util/string_util.h"
 
 namespace snip {
@@ -144,8 +145,11 @@ FakeQuantizer::quantizeInPlace(Tensor &t, const QuantConfig &cfg)
 {
     if (cfg.format.name == "bf16" && cfg.rounding == Rounding::Nearest) {
         float *p = t.data();
-        for (int64_t i = 0; i < t.numel(); ++i)
-            p[i] = roundToBf16(p[i]);
+        runtime::parallelFor(0, t.numel(), 1 << 15,
+                             [p](int64_t i0, int64_t i1) {
+                                 for (int64_t i = i0; i < i1; ++i)
+                                     p[i] = roundToBf16(p[i]);
+                             });
         return;
     }
     int64_t rows, cols;
@@ -154,29 +158,49 @@ FakeQuantizer::quantizeInPlace(Tensor &t, const QuantConfig &cfg)
         return;
     float *p = t.data();
     const double fmt_max = cfg.format.maxValue();
-    Rng *rng = cfg.rounding == Rounding::Stochastic ? &rng_ : nullptr;
+    const bool stochastic = cfg.rounding == Rounding::Stochastic;
+    // Stochastic rounding draws from one per-region stream seeded by
+    // (call key, region index): the member stream advances exactly once
+    // per call (so repeated calls remain one deterministic sequence)
+    // and every region's draws are independent of how regions are
+    // scheduled across threads — results are bit-identical for any
+    // thread count.
+    const uint64_t call_key = stochastic ? rng_.nextU64() : 0;
 
-    forEachRegion(rows, cols, cfg.scaling,
-                  [&](int64_t r0, int64_t r1, int64_t c0, int64_t c1) {
-        double max_abs = 0.0;
-        for (int64_t r = r0; r < r1; ++r) {
-            const float *row = p + r * cols;
-            for (int64_t c = c0; c < c1; ++c)
-                max_abs = std::max(max_abs,
-                                   std::fabs(static_cast<double>(row[c])));
-        }
-        const double scale = regionScale(max_abs, fmt_max);
-        const float fscale = static_cast<float>(scale);
-        const float inv = static_cast<float>(1.0 / scale);
-        for (int64_t r = r0; r < r1; ++r) {
-            float *row = p + r * cols;
-            for (int64_t c = c0; c < c1; ++c) {
-                row[c] = quantizeValue(row[c] * fscale, cfg.format,
-                                       cfg.rounding, rng) *
-                         inv;
+    const std::vector<ScalingRegion> regions =
+        collectRegions(rows, cols, cfg.scaling);
+    runtime::parallelFor(
+        0, static_cast<int64_t>(regions.size()), 8,
+        [&](int64_t g0, int64_t g1) {
+            for (int64_t g = g0; g < g1; ++g) {
+                const ScalingRegion &reg =
+                    regions[static_cast<size_t>(g)];
+                double max_abs = 0.0;
+                for (int64_t r = reg.r0; r < reg.r1; ++r) {
+                    const float *row = p + r * cols;
+                    for (int64_t c = reg.c0; c < reg.c1; ++c)
+                        max_abs = std::max(
+                            max_abs,
+                            std::fabs(static_cast<double>(row[c])));
+                }
+                const double scale = regionScale(max_abs, fmt_max);
+                const float fscale = static_cast<float>(scale);
+                const float inv = static_cast<float>(1.0 / scale);
+                Rng region_rng(call_key +
+                               0x9E3779B97F4A7C15ull *
+                                   (static_cast<uint64_t>(g) + 1));
+                Rng *rng = stochastic ? &region_rng : nullptr;
+                for (int64_t r = reg.r0; r < reg.r1; ++r) {
+                    float *row = p + r * cols;
+                    for (int64_t c = reg.c0; c < reg.c1; ++c) {
+                        row[c] = quantizeValue(row[c] * fscale,
+                                               cfg.format, cfg.rounding,
+                                               rng) *
+                                 inv;
+                    }
+                }
             }
-        }
-    });
+        });
 }
 
 } // namespace snip

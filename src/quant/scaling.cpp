@@ -51,6 +51,18 @@ forEachRegion(
     }
 }
 
+std::vector<ScalingRegion>
+collectRegions(int64_t rows, int64_t cols, const ScalingSpec &spec)
+{
+    std::vector<ScalingRegion> regions;
+    regions.reserve(static_cast<size_t>(scaleCount(rows, cols, spec)));
+    forEachRegion(rows, cols, spec,
+                  [&](int64_t r0, int64_t r1, int64_t c0, int64_t c1) {
+                      regions.push_back({r0, r1, c0, c1});
+                  });
+    return regions;
+}
+
 double
 regionScale(double max_abs, double fmt_max)
 {

@@ -18,6 +18,7 @@
 
 #include <functional>
 #include <string>
+#include <vector>
 
 #include "tensor/tensor.h"
 
@@ -52,6 +53,21 @@ struct ScalingSpec
 void forEachRegion(
     int64_t rows, int64_t cols, const ScalingSpec &spec,
     const std::function<void(int64_t, int64_t, int64_t, int64_t)> &fn);
+
+/** One scaling region as half-open (row, col) bounds. */
+struct ScalingRegion
+{
+    int64_t r0 = 0, r1 = 0, c0 = 0, c1 = 0;
+};
+
+/**
+ * Materialize the regions forEachRegion() would visit, in the same
+ * order. Regions are disjoint, so parallel sweeps (runtime/) can
+ * process them independently; the returned order is the canonical
+ * region index used to derive per-region stochastic-rounding streams.
+ */
+std::vector<ScalingRegion> collectRegions(int64_t rows, int64_t cols,
+                                          const ScalingSpec &spec);
 
 /**
  * Scale for one region: fmt_max / maxabs. Returns 1.0 when the region is

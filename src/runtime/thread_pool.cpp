@@ -1,0 +1,220 @@
+#include "runtime/thread_pool.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <exception>
+
+#include "util/logging.h"
+
+namespace snip {
+namespace runtime {
+
+namespace {
+
+/** Set while the current thread executes chunks (worker or caller), so
+ *  nested parallelFor calls degrade to inline serial execution. */
+thread_local bool t_in_parallel_region = false;
+
+} // namespace
+
+int
+defaultThreadCount()
+{
+    if (const char *env = std::getenv("SNIP_THREADS")) {
+        char *end = nullptr;
+        long v = std::strtol(env, &end, 10);
+        if (end != env && v >= 1)
+            return static_cast<int>(std::min<long>(v, 512));
+        warn("ignoring invalid SNIP_THREADS value '", env, "'");
+    }
+    unsigned hw = std::thread::hardware_concurrency();
+    return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+/** One parallelFor invocation. Heap-held via shared_ptr so a worker
+ *  that wakes late can never touch a dead job. */
+struct ThreadPool::Job
+{
+    int64_t begin = 0;
+    int64_t grain = 1;
+    int64_t n_chunks = 0;
+    const std::function<void(int64_t, int64_t)> *fn = nullptr;
+    int64_t end = 0;
+
+    std::atomic<int64_t> next_chunk{0};
+    std::atomic<int64_t> done_chunks{0};
+
+    std::mutex err_mu;
+    std::exception_ptr error;
+};
+
+ThreadPool::ThreadPool(int threads)
+    : n_threads_(threads > 0 ? threads : defaultThreadCount())
+{
+    workers_.reserve(static_cast<size_t>(n_threads_ - 1));
+    for (int i = 0; i < n_threads_ - 1; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        stop_ = true;
+    }
+    wake_cv_.notify_all();
+    for (auto &w : workers_)
+        w.join();
+}
+
+bool
+ThreadPool::inParallelRegion()
+{
+    return t_in_parallel_region;
+}
+
+void
+ThreadPool::runChunks(Job &job)
+{
+    const bool was_in_region = t_in_parallel_region;
+    t_in_parallel_region = true;
+    for (;;) {
+        const int64_t chunk = job.next_chunk.fetch_add(1);
+        if (chunk >= job.n_chunks)
+            break;
+        const int64_t i0 = job.begin + chunk * job.grain;
+        const int64_t i1 = std::min(i0 + job.grain, job.end);
+        try {
+            (*job.fn)(i0, i1);
+        } catch (...) {
+            std::lock_guard<std::mutex> lk(job.err_mu);
+            if (!job.error)
+                job.error = std::current_exception();
+        }
+        job.done_chunks.fetch_add(1);
+    }
+    t_in_parallel_region = was_in_region;
+}
+
+void
+ThreadPool::workerLoop()
+{
+    uint64_t seen = 0;
+    for (;;) {
+        std::shared_ptr<Job> job;
+        {
+            std::unique_lock<std::mutex> lk(mu_);
+            wake_cv_.wait(lk, [&] {
+                return stop_ || generation_ != seen;
+            });
+            if (stop_)
+                return;
+            seen = generation_;
+            job = job_;
+        }
+        if (!job)
+            continue;
+        runChunks(*job);
+        if (job->done_chunks.load() >= job->n_chunks) {
+            std::lock_guard<std::mutex> lk(mu_);
+            done_cv_.notify_all();
+        }
+    }
+}
+
+void
+ThreadPool::parallelFor(int64_t begin, int64_t end, int64_t grain,
+                        const std::function<void(int64_t, int64_t)> &fn)
+{
+    if (end <= begin)
+        return;
+    if (grain < 1)
+        grain = 1;
+    const int64_t n = end - begin;
+    const int64_t n_chunks = (n + grain - 1) / grain;
+
+    // Inline serial path: 1-thread pool, a single chunk, or a nested
+    // call from inside a parallel region. Chunk boundaries are identical
+    // to the parallel path, so numerics cannot differ.
+    if (n_threads_ == 1 || n_chunks == 1 || t_in_parallel_region) {
+        for (int64_t c = 0; c < n_chunks; ++c) {
+            const int64_t i0 = begin + c * grain;
+            fn(i0, std::min(i0 + grain, end));
+        }
+        return;
+    }
+
+    std::lock_guard<std::mutex> submit_lk(submit_mu_);
+
+    auto job = std::make_shared<Job>();
+    job->begin = begin;
+    job->end = end;
+    job->grain = grain;
+    job->n_chunks = n_chunks;
+    job->fn = &fn;
+
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        job_ = job;
+        ++generation_;
+    }
+    wake_cv_.notify_all();
+
+    // The submitting thread works too.
+    runChunks(*job);
+
+    {
+        std::unique_lock<std::mutex> lk(mu_);
+        done_cv_.wait(lk, [&] {
+            return job->done_chunks.load() >= job->n_chunks;
+        });
+        job_.reset();
+    }
+
+    if (job->error)
+        std::rethrow_exception(job->error);
+}
+
+namespace {
+
+std::mutex g_pool_mu;
+// Intentionally leaked: a static destructor would join worker threads
+// at exit, which deadlocks or crashes in processes that fork() with
+// the pool alive (gtest death tests) and is hostage to static
+// destruction order. The OS reclaims the threads at process exit.
+ThreadPool *g_pool = nullptr;
+
+} // namespace
+
+ThreadPool &
+globalThreadPool()
+{
+    std::lock_guard<std::mutex> lk(g_pool_mu);
+    if (!g_pool)
+        g_pool = new ThreadPool();
+    return *g_pool;
+}
+
+void
+setGlobalThreadCount(int threads)
+{
+    std::lock_guard<std::mutex> lk(g_pool_mu);
+    delete g_pool; // join old workers before spawning replacements
+    g_pool = new ThreadPool(threads);
+}
+
+void
+parallelFor(int64_t begin, int64_t end, int64_t grain,
+            const std::function<void(int64_t, int64_t)> &fn)
+{
+    globalThreadPool().parallelFor(begin, end, grain, fn);
+}
+
+ThreadPool &
+poolOrGlobal(ThreadPool *pool)
+{
+    return pool ? *pool : globalThreadPool();
+}
+
+} // namespace runtime
+} // namespace snip

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Deterministic parallel execution runtime.
+ *
+ * A fixed-size, work-stealing-free thread pool plus a parallelFor
+ * primitive built on static range partitioning: the loop range is cut
+ * into chunks whose boundaries depend only on the range and the grain —
+ * never on the number of workers — and each chunk is executed as one
+ * self-contained unit. Kernels built on it (GEMM, quantization, stats,
+ * eval) therefore produce bit-identical results for ANY thread count:
+ * floating-point accumulation order inside a chunk is fixed, and chunks
+ * write disjoint outputs. This is the data-parallel partition/join
+ * discipline of DaPPA and the Parallel PM model (see PAPERS.md) applied
+ * to a CPU pool.
+ *
+ * Contract for parallelFor bodies: fn(i0, i1) must only write state
+ * reachable from indices [i0, i1) (disjoint-write rule) and must not
+ * depend on chunk boundaries for its numerics. All library kernels obey
+ * this.
+ *
+ * One pool is shared per process (globalThreadPool()); its size comes
+ * from the SNIP_THREADS environment variable, defaulting to
+ * std::thread::hardware_concurrency(). Nested parallelFor calls (from
+ * inside a worker, or re-entrantly from a caller thread that is already
+ * executing chunks) run inline and serial, so composed kernels are
+ * deadlock-free by construction.
+ */
+#ifndef SNIP_RUNTIME_THREAD_POOL_H
+#define SNIP_RUNTIME_THREAD_POOL_H
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace snip {
+namespace runtime {
+
+/** Worker count from SNIP_THREADS (clamped to [1, 512]), else
+ *  hardware_concurrency(), else 1. */
+int defaultThreadCount();
+
+/**
+ * Fixed-size thread pool executing chunked index ranges.
+ *
+ * The pool owns numThreads()-1 worker threads; the thread that submits
+ * a parallelFor participates as the remaining worker, so a 1-thread
+ * pool spawns no threads at all and runs everything inline.
+ */
+class ThreadPool
+{
+  public:
+    /** @param threads worker count; <= 0 means defaultThreadCount(). */
+    explicit ThreadPool(int threads = 0);
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Total workers (including the submitting thread). */
+    int numThreads() const { return n_threads_; }
+
+    /**
+     * Apply fn(i0, i1) to chunks covering [begin, end).
+     *
+     * Chunk boundaries are begin + j*grain for j = 0.. — a pure
+     * function of (begin, end, grain). Chunks are claimed dynamically
+     * but, by the disjoint-write rule, scheduling order cannot affect
+     * results. Empty ranges return immediately; grain < 1 is treated
+     * as 1. The first exception thrown by fn is rethrown on the
+     * calling thread after all chunks finish. Re-entrant calls run
+     * inline and serial.
+     */
+    void parallelFor(int64_t begin, int64_t end, int64_t grain,
+                     const std::function<void(int64_t, int64_t)> &fn);
+
+    /** True when the current thread is executing a parallelFor chunk
+     *  (worker or participating caller). */
+    static bool inParallelRegion();
+
+  private:
+    struct Job;
+
+    void workerLoop();
+    static void runChunks(Job &job);
+
+    int n_threads_;
+    std::vector<std::thread> workers_;
+
+    std::mutex mu_;
+    std::condition_variable wake_cv_;
+    std::condition_variable done_cv_;
+    std::shared_ptr<Job> job_;
+    uint64_t generation_ = 0;
+    bool stop_ = false;
+
+    /** Serializes concurrent parallelFor submissions from distinct
+     *  non-worker threads (the pool runs one job at a time). */
+    std::mutex submit_mu_;
+};
+
+/** The process-wide shared pool (created on first use). */
+ThreadPool &globalThreadPool();
+
+/**
+ * Replace the global pool with one of @p threads workers (<= 0 restores
+ * the SNIP_THREADS/hardware default). Intended for tests and benches
+ * that sweep thread counts; must not race with in-flight parallel work.
+ */
+void setGlobalThreadCount(int threads);
+
+/** parallelFor on the global pool. */
+void parallelFor(int64_t begin, int64_t end, int64_t grain,
+                 const std::function<void(int64_t, int64_t)> &fn);
+
+/** @p pool if non-null, else the global pool (helper for call sites
+ *  that thread an explicit pool handle through). */
+ThreadPool &poolOrGlobal(ThreadPool *pool);
+
+} // namespace runtime
+} // namespace snip
+
+#endif // SNIP_RUNTIME_THREAD_POOL_H

@@ -90,7 +90,14 @@ struct LayerScheme
     /** e.g. "FP4/FP8/FP8" in fwd/dgrad/wgrad order. */
     std::string describe() const;
 
-    bool operator==(const LayerScheme &other) const = default;
+    bool operator==(const LayerScheme &other) const
+    {
+        return gemm == other.gemm;
+    }
+    bool operator!=(const LayerScheme &other) const
+    {
+        return !(*this == other);
+    }
 };
 
 /** Whole-model precision assignment, one LayerScheme per linear layer. */
@@ -122,7 +129,14 @@ struct PrecisionScheme
      */
     std::string renderHeatmap() const;
 
-    bool operator==(const PrecisionScheme &other) const = default;
+    bool operator==(const PrecisionScheme &other) const
+    {
+        return layers == other.layers;
+    }
+    bool operator!=(const PrecisionScheme &other) const
+    {
+        return !(*this == other);
+    }
 };
 
 /** Families of per-layer option sets offered to the ILP (Sec. 5.2: "for

@@ -9,6 +9,12 @@
  * Kernels are cache-blocked plain C++ (the compiler vectorizes the inner
  * loops); raw-pointer entry points serve hot paths and Tensor wrappers
  * serve everything else.
+ *
+ * All three kernels fan M-blocks of C out over the shared thread pool
+ * (runtime/thread_pool.h). Workers own whole rows of C and the
+ * per-element accumulation order is fixed, so results are bit-identical
+ * to the serial kernel for any thread count (set SNIP_THREADS=1 to
+ * force serial execution).
  */
 #ifndef SNIP_TENSOR_GEMM_H
 #define SNIP_TENSOR_GEMM_H

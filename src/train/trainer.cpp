@@ -1,8 +1,15 @@
 #include "train/trainer.h"
 
+#include "runtime/thread_pool.h"
 #include "util/logging.h"
 
 namespace snip {
+
+runtime::ThreadPool &
+Trainer::pool()
+{
+    return runtime::globalThreadPool();
+}
 
 Trainer::Trainer(const TrainerConfig &config)
     : config_(config),
@@ -23,7 +30,8 @@ Trainer::trainStep(SnipController *controller)
 {
     Batch batch = iter_->next();
     if (controller)
-        controller->maybeUpdate(*model_, opt_.get(), batch, step_);
+        controller->maybeUpdate(*model_, opt_.get(), batch, step_,
+                                &pool());
 
     model_->zeroGrad();
     LossResult loss = model_->forwardLoss(batch.tokens, batch.targets,

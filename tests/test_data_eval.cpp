@@ -10,6 +10,7 @@
 #include "data/batch.h"
 #include "data/tasks.h"
 #include "eval/harness.h"
+#include "testing_util.h"
 #include "train/presets.h"
 
 namespace snip {
@@ -244,6 +245,31 @@ TEST(Harness, DeterministicScores)
     EvalResult a = evaluate(trainer.model(), suite);
     EvalResult b = evaluate(trainer.model(), suite);
     EXPECT_EQ(a.average, b.average);
+}
+
+TEST(Harness, AccuraciesIdenticalAcrossThreadCounts)
+{
+    // Parallel eval shards items across weight replicas; every item's
+    // verdict must be independent of the shard layout, so scores can
+    // never move with the pool width.
+    TrainerConfig cfg = trainerPreset(tinyTestModel());
+    Trainer trainer(cfg);
+    trainer.train(3);
+    auto suite = makeEvalSuite(trainer.corpus(), 5, 3);
+
+    GlobalPoolGuard guard;
+    runtime::setGlobalThreadCount(1);
+    EvalResult serial = evaluate(trainer.model(), suite);
+    for (int threads : {2, 8}) {
+        runtime::setGlobalThreadCount(threads);
+        EvalResult par = evaluate(trainer.model(), suite);
+        ASSERT_EQ(par.tasks.size(), serial.tasks.size());
+        for (size_t t = 0; t < par.tasks.size(); ++t)
+            EXPECT_EQ(par.tasks[t].accuracy, serial.tasks[t].accuracy)
+                << serial.tasks[t].name << " at " << threads
+                << " threads";
+        EXPECT_EQ(par.average, serial.average);
+    }
 }
 
 } // namespace

@@ -7,6 +7,7 @@
 
 #include "tensor/gemm.h"
 #include "tensor/ops.h"
+#include "testing_util.h"
 #include "util/rng.h"
 
 namespace snip {
@@ -84,6 +85,55 @@ TEST(Gemm, AccumulateAddsToExisting)
     Tensor r = refNT(a, b);
     for (int64_t i = 0; i < c.numel(); ++i)
         EXPECT_NEAR(c.at(i), r.at(i) + 1.0f, 1e-4);
+}
+
+TEST(Gemm, ParallelBitIdenticalToSerialForEveryVariant)
+{
+    // The runtime's determinism guarantee: for each GEMM variant the
+    // result at 2 and 8 threads equals the 1-thread result bit for bit.
+    // Shapes straddle the 64-wide block size to exercise partial blocks.
+    GlobalPoolGuard guard;
+    Rng rng(123);
+    const int64_t m = 130, n = 96, k = 70;
+    Tensor a_nt = Tensor::randn({m, k}, rng);
+    Tensor b_nt = Tensor::randn({n, k}, rng);
+    Tensor a_nn = Tensor::randn({m, k}, rng);
+    Tensor b_nn = Tensor::randn({k, n}, rng);
+    Tensor a_tn = Tensor::randn({k, m}, rng);
+    Tensor b_tn = Tensor::randn({k, n}, rng);
+
+    runtime::setGlobalThreadCount(1);
+    const Tensor nt1 = matmulNT(a_nt, b_nt);
+    const Tensor nn1 = matmulNN(a_nn, b_nn);
+    const Tensor tn1 = matmulTN(a_tn, b_tn);
+
+    for (int threads : {2, 8}) {
+        runtime::setGlobalThreadCount(threads);
+        EXPECT_TRUE(matmulNT(a_nt, b_nt) == nt1) << threads << " threads";
+        EXPECT_TRUE(matmulNN(a_nn, b_nn) == nn1) << threads << " threads";
+        EXPECT_TRUE(matmulTN(a_tn, b_tn) == tn1) << threads << " threads";
+    }
+}
+
+TEST(Gemm, ParallelAccumulateBitIdenticalToSerial)
+{
+    GlobalPoolGuard guard;
+    Rng rng(321);
+    const int64_t m = 150, n = 67, k = 33;
+    Tensor a = Tensor::randn({m, k}, rng);
+    Tensor b = Tensor::randn({n, k}, rng);
+    Tensor init = Tensor::randn({m, n}, rng);
+
+    runtime::setGlobalThreadCount(1);
+    Tensor c1 = init;
+    gemmNT(a.data(), b.data(), c1.data(), m, n, k, /*accumulate=*/true);
+
+    for (int threads : {2, 8}) {
+        runtime::setGlobalThreadCount(threads);
+        Tensor c = init;
+        gemmNT(a.data(), b.data(), c.data(), m, n, k, /*accumulate=*/true);
+        EXPECT_TRUE(c == c1) << threads << " threads";
+    }
 }
 
 TEST(Gemm, ZeroSizedInnerDim)

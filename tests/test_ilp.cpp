@@ -116,8 +116,9 @@ TEST(Lp, RespectsFixedAssignments)
     std::vector<int> fixed(4, -1);
     fixed[2] = 1;
     LpResult lp = solveLpRelaxation(p, fixed);
-    if (lp.feasible)
+    if (lp.feasible) {
         EXPECT_EQ(lp.base_choice[2], 1);
+    }
 }
 
 TEST(Bnb, MatchesBruteForceOnRandomInstances)
@@ -162,8 +163,9 @@ TEST(Solvers, CrossValidateOnLargerInstances)
         IlpSolution bnb = solveBranchAndBound(p);
         IlpSolution dp = solveDp(p, 100);
         ASSERT_EQ(bnb.feasible, dp.feasible);
-        if (bnb.feasible)
+        if (bnb.feasible) {
             EXPECT_NEAR(bnb.objective, dp.objective, 1e-9);
+        }
     }
 }
 
@@ -200,8 +202,9 @@ TEST(Dp, SolutionAlwaysSatisfiesContinuousConstraint)
             p.efficiency.push_back(e);
         }
         IlpSolution s = solveDp(p, 1000);
-        if (s.feasible)
+        if (s.feasible) {
             EXPECT_GE(s.achieved_efficiency + 1e-9, p.target);
+        }
     }
 }
 
@@ -277,9 +280,10 @@ TEST(Bnb, RandomPropertySweepAgainstDp)
                                          : static_cast<int>(std::lround(
                                                target / 0.01)));
         ASSERT_EQ(a.feasible, dp.feasible) << "target " << target;
-        if (a.feasible)
+        if (a.feasible) {
             EXPECT_NEAR(a.objective, dp.objective, 1e-9)
                 << "target " << target;
+        }
     }
 }
 

@@ -11,6 +11,7 @@
 #include "quant/error_metrics.h"
 #include "quant/quantizer.h"
 #include "tensor/ops.h"
+#include "testing_util.h"
 #include "util/rng.h"
 
 namespace snip {
@@ -153,6 +154,36 @@ TEST(Quantizer, DeterministicGivenSeed)
     QuantConfig cfg{fp4E2m1(), {Granularity::Tilewise, 8},
                     Rounding::Stochastic};
     EXPECT_TRUE(q1.quantize(t, cfg) == q2.quantize(t, cfg));
+}
+
+TEST(Quantizer, ParallelBitIdenticalToSerial)
+{
+    // Region sweeps run on the shared pool; every config — including
+    // stochastic rounding, whose per-region streams are derived from
+    // the call key rather than claimed in scheduling order — must give
+    // the 1-thread result bit for bit at 2 and 8 threads.
+    GlobalPoolGuard guard;
+    Rng rng(99);
+    Tensor t = Tensor::randn({67, 190}, rng); // non-multiple of blocks
+    const QuantConfig configs[] = {
+        {fp4E2m1(), {Granularity::Tilewise, 128}, Rounding::Nearest},
+        {fp8E4m3(), {Granularity::Blockwise, 128}, Rounding::Nearest},
+        {fp4E2m1(), {Granularity::Rowwise, 0}, Rounding::Nearest},
+        {fp4E2m1(), {Granularity::Tensorwise, 0}, Rounding::Stochastic},
+        {fp4E2m1(), {Granularity::Tilewise, 32}, Rounding::Stochastic},
+        {bf16(), {Granularity::Tensorwise, 0}, Rounding::Nearest},
+    };
+    for (const QuantConfig &cfg : configs) {
+        runtime::setGlobalThreadCount(1);
+        FakeQuantizer serial_q(555);
+        const Tensor serial = serial_q.quantize(t, cfg);
+        for (int threads : {2, 8}) {
+            runtime::setGlobalThreadCount(threads);
+            FakeQuantizer q(555);
+            EXPECT_TRUE(q.quantize(t, cfg) == serial)
+                << cfg.describe() << " at " << threads << " threads";
+        }
+    }
 }
 
 TEST(ErrorMetrics, FieldsConsistent)

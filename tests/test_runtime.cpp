@@ -1,0 +1,196 @@
+/**
+ * @file
+ * The parallel execution runtime: pool lifecycle, range coverage,
+ * static partitioning, nested calls, exception propagation, and the
+ * SNIP_THREADS sizing knob.
+ */
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <numeric>
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+#include "runtime/thread_pool.h"
+
+namespace snip {
+namespace runtime {
+namespace {
+
+TEST(ThreadPool, StartupAndShutdownAtEveryWidth)
+{
+    for (int n : {1, 2, 3, 8}) {
+        ThreadPool pool(n);
+        EXPECT_EQ(pool.numThreads(), n);
+        std::atomic<int64_t> sum{0};
+        pool.parallelFor(0, 100, 7, [&](int64_t i0, int64_t i1) {
+            for (int64_t i = i0; i < i1; ++i)
+                sum += i;
+        });
+        EXPECT_EQ(sum.load(), 99 * 100 / 2);
+    } // destructor joins workers; reaching the next loop proves shutdown
+}
+
+TEST(ThreadPool, EveryIndexVisitedExactlyOnce)
+{
+    ThreadPool pool(4);
+    const int64_t n = 10007; // prime, not a grain multiple
+    std::vector<int> hits(static_cast<size_t>(n), 0);
+    pool.parallelFor(0, n, 64, [&](int64_t i0, int64_t i1) {
+        for (int64_t i = i0; i < i1; ++i)
+            ++hits[static_cast<size_t>(i)];
+    });
+    for (int64_t i = 0; i < n; ++i)
+        ASSERT_EQ(hits[static_cast<size_t>(i)], 1) << "index " << i;
+}
+
+TEST(ThreadPool, EmptyAndBackwardRangesInvokeNothing)
+{
+    ThreadPool pool(2);
+    int calls = 0;
+    auto count = [&](int64_t, int64_t) { ++calls; };
+    pool.parallelFor(0, 0, 1, count);
+    pool.parallelFor(5, 5, 1, count);
+    pool.parallelFor(10, 3, 1, count);
+    EXPECT_EQ(calls, 0);
+}
+
+TEST(ThreadPool, NonPositiveGrainIsClampedToOne)
+{
+    ThreadPool pool(2);
+    std::atomic<int64_t> visited{0};
+    pool.parallelFor(0, 16, 0, [&](int64_t i0, int64_t i1) {
+        EXPECT_EQ(i1 - i0, 1); // grain 0 -> unit chunks
+        visited += i1 - i0;
+    });
+    EXPECT_EQ(visited.load(), 16);
+    visited = 0;
+    pool.parallelFor(0, 16, -5, [&](int64_t i0, int64_t i1) {
+        visited += i1 - i0;
+    });
+    EXPECT_EQ(visited.load(), 16);
+}
+
+TEST(ThreadPool, ChunkBoundariesIndependentOfThreadCount)
+{
+    // Static range partitioning: the set of (i0, i1) chunks must be a
+    // pure function of (begin, end, grain) — never of the worker count.
+    auto chunksOf = [](int threads) {
+        ThreadPool pool(threads);
+        std::mutex mu;
+        std::set<std::pair<int64_t, int64_t>> chunks;
+        pool.parallelFor(3, 250, 17, [&](int64_t i0, int64_t i1) {
+            std::lock_guard<std::mutex> lk(mu);
+            chunks.emplace(i0, i1);
+        });
+        return chunks;
+    };
+    const auto serial = chunksOf(1);
+    EXPECT_EQ(serial, chunksOf(2));
+    EXPECT_EQ(serial, chunksOf(8));
+    // And the chunks tile [3, 250) with stride 17 starting at 3.
+    int64_t expect_begin = 3;
+    for (const auto &[i0, i1] : serial) {
+        EXPECT_EQ(i0, expect_begin);
+        EXPECT_EQ(i1, std::min<int64_t>(i0 + 17, 250));
+        expect_begin = i1;
+    }
+    EXPECT_EQ(expect_begin, 250);
+}
+
+TEST(ThreadPool, ExceptionPropagatesAndPoolSurvives)
+{
+    ThreadPool pool(4);
+    EXPECT_THROW(
+        pool.parallelFor(0, 100, 1,
+                         [&](int64_t i0, int64_t) {
+                             if (i0 == 37)
+                                 throw std::runtime_error("chunk 37");
+                         }),
+        std::runtime_error);
+    // The pool must remain fully usable after a throwing job.
+    std::atomic<int64_t> sum{0};
+    pool.parallelFor(0, 10, 1, [&](int64_t i0, int64_t i1) {
+        for (int64_t i = i0; i < i1; ++i)
+            sum += i;
+    });
+    EXPECT_EQ(sum.load(), 45);
+}
+
+TEST(ThreadPool, NestedParallelForRunsInlineWithoutDeadlock)
+{
+    ThreadPool pool(4);
+    std::atomic<int64_t> total{0};
+    pool.parallelFor(0, 8, 1, [&](int64_t o0, int64_t o1) {
+        for (int64_t o = o0; o < o1; ++o) {
+            EXPECT_TRUE(ThreadPool::inParallelRegion());
+            // Nested call: must execute inline on this thread.
+            pool.parallelFor(0, 100, 10, [&](int64_t i0, int64_t i1) {
+                for (int64_t i = i0; i < i1; ++i)
+                    total += 1;
+            });
+        }
+    });
+    EXPECT_FALSE(ThreadPool::inParallelRegion());
+    EXPECT_EQ(total.load(), 8 * 100);
+}
+
+TEST(ThreadPool, SingleChunkRunsOnCallerThread)
+{
+    ThreadPool pool(4);
+    const std::thread::id caller = std::this_thread::get_id();
+    std::thread::id ran_on;
+    pool.parallelFor(0, 5, 100, [&](int64_t, int64_t) {
+        ran_on = std::this_thread::get_id();
+    });
+    EXPECT_EQ(ran_on, caller);
+}
+
+TEST(Runtime, DefaultThreadCountHonorsSnipThreadsEnv)
+{
+    const char *saved = std::getenv("SNIP_THREADS");
+    std::string saved_value = saved ? saved : "";
+
+    ASSERT_EQ(setenv("SNIP_THREADS", "3", 1), 0);
+    EXPECT_EQ(defaultThreadCount(), 3);
+    ASSERT_EQ(setenv("SNIP_THREADS", "not-a-number", 1), 0);
+    EXPECT_GE(defaultThreadCount(), 1); // falls back to hardware
+    ASSERT_EQ(setenv("SNIP_THREADS", "0", 1), 0);
+    EXPECT_GE(defaultThreadCount(), 1);
+
+    if (saved)
+        setenv("SNIP_THREADS", saved_value.c_str(), 1);
+    else
+        unsetenv("SNIP_THREADS");
+}
+
+TEST(Runtime, GlobalPoolIsSharedAndResizable)
+{
+    ThreadPool &a = globalThreadPool();
+    EXPECT_EQ(&a, &globalThreadPool()); // one instance per process
+
+    setGlobalThreadCount(2);
+    EXPECT_EQ(globalThreadPool().numThreads(), 2);
+    std::atomic<int64_t> sum{0};
+    parallelFor(0, 50, 5, [&](int64_t i0, int64_t i1) {
+        for (int64_t i = i0; i < i1; ++i)
+            sum += i;
+    });
+    EXPECT_EQ(sum.load(), 49 * 50 / 2);
+
+    setGlobalThreadCount(0); // restore the SNIP_THREADS/hardware default
+    EXPECT_EQ(globalThreadPool().numThreads(), defaultThreadCount());
+}
+
+TEST(Runtime, PoolOrGlobalResolves)
+{
+    ThreadPool local(2);
+    EXPECT_EQ(&poolOrGlobal(&local), &local);
+    EXPECT_EQ(&poolOrGlobal(nullptr), &globalThreadPool());
+}
+
+} // namespace
+} // namespace runtime
+} // namespace snip
