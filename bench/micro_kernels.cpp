@@ -13,6 +13,7 @@
 #include "core/stats_collector.h"
 #include "quant/quantizer.h"
 #include "runtime/thread_pool.h"
+#include "simd/dispatch.h"
 #include "tensor/gemm.h"
 #include "train/presets.h"
 
@@ -112,6 +113,57 @@ BM_QuantizeThreads(benchmark::State &state)
     runtime::setGlobalThreadCount(0);
 }
 
+/**
+ * SIMD-backend sweep: the same single-threaded GEMM under each kernel
+ * backend ("scalar" rows are the portable baseline; "avx2" rows skip
+ * on hosts without AVX2+FMA). CI's bench-perf job runs this sweep with
+ * JSON output and gates on regressions vs bench/baseline_kernels.json.
+ */
+void
+BM_GemmBackend(benchmark::State &state, const char *backend)
+{
+    if (!simd::setBackendByName(backend)) {
+        state.SkipWithError("backend unavailable on this host");
+        return;
+    }
+    runtime::setGlobalThreadCount(1);
+    const int64_t n = state.range(0);
+    Rng rng(3);
+    Tensor a = Tensor::randn({n, n}, rng);
+    Tensor b = Tensor::randn({n, n}, rng);
+    for (auto _ : state) {
+        Tensor c = matmulNT(a, b);
+        benchmark::DoNotOptimize(c.data());
+    }
+    state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+    runtime::setGlobalThreadCount(0);
+    simd::setBackendByName("auto");
+}
+
+/** Same sweep for the FP4 tile-wise nearest-rounding quantizer. */
+void
+BM_QuantizeBackend(benchmark::State &state, const char *backend)
+{
+    if (!simd::setBackendByName(backend)) {
+        state.SkipWithError("backend unavailable on this host");
+        return;
+    }
+    runtime::setGlobalThreadCount(1);
+    const int64_t n = state.range(0);
+    Rng rng(1);
+    Tensor t = Tensor::randn({n, n}, rng);
+    FakeQuantizer q(2);
+    QuantConfig cfg{fp4E2m1(), {Granularity::Tilewise, 128},
+                    Rounding::Nearest};
+    for (auto _ : state) {
+        Tensor out = q.quantize(t, cfg);
+        benchmark::DoNotOptimize(out.data());
+    }
+    state.SetItemsProcessed(state.iterations() * t.numel());
+    runtime::setGlobalThreadCount(0);
+    simd::setBackendByName("auto");
+}
+
 /** Paper-sized ILP: 80 blocks x 7 layers, 4 options. */
 IlpProblem
 paperIlp(int n_layers, double target)
@@ -173,6 +225,10 @@ BENCHMARK_CAPTURE(BM_QuantizeTensor, bf16_fastpath,
                               {Granularity::Tensorwise, 0},
                               Rounding::Nearest});
 BENCHMARK(BM_Gemm)->Arg(64)->Arg(128)->Arg(256);
+BENCHMARK_CAPTURE(BM_GemmBackend, scalar, "scalar")->Arg(256)->Arg(512);
+BENCHMARK_CAPTURE(BM_GemmBackend, avx2, "avx2")->Arg(256)->Arg(512);
+BENCHMARK_CAPTURE(BM_QuantizeBackend, scalar, "scalar")->Arg(512);
+BENCHMARK_CAPTURE(BM_QuantizeBackend, avx2, "avx2")->Arg(512);
 BENCHMARK(BM_GemmThreads)
     ->ArgNames({"n", "threads"})
     ->Args({256, 1})
@@ -199,4 +255,20 @@ BENCHMARK(BM_IlpDp)->Arg(154)->Arg(560);
 } // namespace
 } // namespace snip
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    // Land the dispatch decision in the JSON context so regression
+    // reports say which backend produced the numbers.
+    benchmark::AddCustomContext("snip_simd_backend",
+                                snip::simd::activeBackendName());
+    benchmark::AddCustomContext(
+        "snip_threads",
+        std::to_string(snip::runtime::defaultThreadCount()));
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

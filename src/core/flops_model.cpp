@@ -8,16 +8,16 @@ double
 precisionThroughput(Precision p)
 {
     switch (p) {
-      case Precision::BF16:
-        return 1.0;
-      case Precision::FP8:
-        return 2.0;
-      case Precision::FP6:
-        // No published Blackwell FP6 GEMM rate; assume bandwidth-
-        // proportional 16/6.
-        return 16.0 / 6.0;
-      case Precision::FP4:
-        return 4.0;
+        case Precision::BF16:
+            return 1.0;
+        case Precision::FP8:
+            return 2.0;
+        case Precision::FP6:
+            // No published Blackwell FP6 GEMM rate; assume bandwidth-
+            // proportional 16/6.
+            return 16.0 / 6.0;
+        case Precision::FP4:
+            return 4.0;
     }
     return 1.0;
 }

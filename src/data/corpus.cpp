@@ -63,71 +63,71 @@ SyntheticCorpus::sampleSegment(SegmentKind kind, Rng &rng) const
     };
     std::vector<int32_t> seg;
     switch (kind) {
-      case SegmentKind::Markov: {
-        int len = static_cast<int>(rng.nextRange(8, 16));
-        int32_t t = rand_text();
-        seg.push_back(t);
-        for (int i = 1; i < len; ++i) {
-            t = sampleMarkovNext(t, rng);
+        case SegmentKind::Markov: {
+            int len = static_cast<int>(rng.nextRange(8, 16));
+            int32_t t = rand_text();
             seg.push_back(t);
+            for (int i = 1; i < len; ++i) {
+                t = sampleMarkovNext(t, rng);
+                seg.push_back(t);
+            }
+            break;
         }
-        break;
-      }
-      case SegmentKind::Copy: {
-        int len = static_cast<int>(rng.nextRange(3, 6));
-        std::vector<int32_t> pat;
-        for (int i = 0; i < len; ++i)
-            pat.push_back(rand_text());
-        seg.push_back(tokens::kBos);
-        seg.insert(seg.end(), pat.begin(), pat.end());
-        seg.push_back(tokens::kSep);
-        seg.insert(seg.end(), pat.begin(), pat.end());
-        break;
-      }
-      case SegmentKind::Reverse: {
-        int len = static_cast<int>(rng.nextRange(3, 6));
-        std::vector<int32_t> pat;
-        for (int i = 0; i < len; ++i)
-            pat.push_back(rand_text());
-        seg.push_back(tokens::kBos);
-        seg.insert(seg.end(), pat.begin(), pat.end());
-        seg.push_back(tokens::kSep);
-        seg.insert(seg.end(), pat.rbegin(), pat.rend());
-        break;
-      }
-      case SegmentKind::ModularAdd: {
-        int a = static_cast<int>(rng.nextBelow(10));
-        int b = static_cast<int>(rng.nextBelow(10));
-        seg = {tokens::kBos, tokens::kDigit0 + a, tokens::kDigit0 + b,
-               tokens::kSep, tokens::kDigit0 + (a + b) % 10};
-        break;
-      }
-      case SegmentKind::Parity: {
-        int len = static_cast<int>(rng.nextRange(4, 9));
-        int ones = 0;
-        seg.push_back(tokens::kBos);
-        for (int i = 0; i < len; ++i) {
-            int bit = static_cast<int>(rng.nextBelow(2));
-            ones += bit;
-            seg.push_back(tokens::kDigit0 + bit);
+        case SegmentKind::Copy: {
+            int len = static_cast<int>(rng.nextRange(3, 6));
+            std::vector<int32_t> pat;
+            for (int i = 0; i < len; ++i)
+                pat.push_back(rand_text());
+            seg.push_back(tokens::kBos);
+            seg.insert(seg.end(), pat.begin(), pat.end());
+            seg.push_back(tokens::kSep);
+            seg.insert(seg.end(), pat.begin(), pat.end());
+            break;
         }
-        seg.push_back(tokens::kSep);
-        seg.push_back(ones % 2 ? tokens::kTrue : tokens::kFalse);
-        break;
-      }
-      case SegmentKind::Induction: {
-        // A B ... A -> B: repeated bigram the model must recall.
-        int32_t a = rand_text(), b = rand_text();
-        int filler = static_cast<int>(rng.nextRange(2, 5));
-        seg.push_back(tokens::kBos);
-        seg.push_back(a);
-        seg.push_back(b);
-        for (int i = 0; i < filler; ++i)
-            seg.push_back(rand_text());
-        seg.push_back(a);
-        seg.push_back(b);
-        break;
-      }
+        case SegmentKind::Reverse: {
+            int len = static_cast<int>(rng.nextRange(3, 6));
+            std::vector<int32_t> pat;
+            for (int i = 0; i < len; ++i)
+                pat.push_back(rand_text());
+            seg.push_back(tokens::kBos);
+            seg.insert(seg.end(), pat.begin(), pat.end());
+            seg.push_back(tokens::kSep);
+            seg.insert(seg.end(), pat.rbegin(), pat.rend());
+            break;
+        }
+        case SegmentKind::ModularAdd: {
+            int a = static_cast<int>(rng.nextBelow(10));
+            int b = static_cast<int>(rng.nextBelow(10));
+            seg = {tokens::kBos, tokens::kDigit0 + a, tokens::kDigit0 + b,
+                   tokens::kSep, tokens::kDigit0 + (a + b) % 10};
+            break;
+        }
+        case SegmentKind::Parity: {
+            int len = static_cast<int>(rng.nextRange(4, 9));
+            int ones = 0;
+            seg.push_back(tokens::kBos);
+            for (int i = 0; i < len; ++i) {
+                int bit = static_cast<int>(rng.nextBelow(2));
+                ones += bit;
+                seg.push_back(tokens::kDigit0 + bit);
+            }
+            seg.push_back(tokens::kSep);
+            seg.push_back(ones % 2 ? tokens::kTrue : tokens::kFalse);
+            break;
+        }
+        case SegmentKind::Induction: {
+            // A B ... A -> B: repeated bigram the model must recall.
+            int32_t a = rand_text(), b = rand_text();
+            int filler = static_cast<int>(rng.nextRange(2, 5));
+            seg.push_back(tokens::kBos);
+            seg.push_back(a);
+            seg.push_back(b);
+            for (int i = 0; i < filler; ++i)
+                seg.push_back(rand_text());
+            seg.push_back(a);
+            seg.push_back(b);
+            break;
+        }
     }
     return seg;
 }

@@ -10,22 +10,22 @@ const char *
 taskFamilyName(TaskFamily family)
 {
     switch (family) {
-      case TaskFamily::CopySeq:
-        return "CopySeq";
-      case TaskFamily::RevSeq:
-        return "RevSeq";
-      case TaskFamily::ModAdd:
-        return "ModAdd";
-      case TaskFamily::ParityQ:
-        return "ParityQ";
-      case TaskFamily::MarkovCont:
-        return "MarkovCont";
-      case TaskFamily::InductRecall:
-        return "InductRecall";
-      case TaskFamily::MaxToken:
-        return "MaxToken";
-      case TaskFamily::PairMatch:
-        return "PairMatch";
+        case TaskFamily::CopySeq:
+            return "CopySeq";
+        case TaskFamily::RevSeq:
+            return "RevSeq";
+        case TaskFamily::ModAdd:
+            return "ModAdd";
+        case TaskFamily::ParityQ:
+            return "ParityQ";
+        case TaskFamily::MarkovCont:
+            return "MarkovCont";
+        case TaskFamily::InductRecall:
+            return "InductRecall";
+        case TaskFamily::MaxToken:
+            return "MaxToken";
+        case TaskFamily::PairMatch:
+            return "PairMatch";
     }
     return "?";
 }
@@ -34,22 +34,22 @@ const char *
 taskFamilyAnalog(TaskFamily family)
 {
     switch (family) {
-      case TaskFamily::CopySeq:
-        return "ARC_e";
-      case TaskFamily::RevSeq:
-        return "ARC_c";
-      case TaskFamily::ModAdd:
-        return "MMLU";
-      case TaskFamily::ParityQ:
-        return "BoolQ";
-      case TaskFamily::MarkovCont:
-        return "HellaSwag";
-      case TaskFamily::InductRecall:
-        return "Obqa";
-      case TaskFamily::MaxToken:
-        return "PiQa";
-      case TaskFamily::PairMatch:
-        return "WinoGrande";
+        case TaskFamily::CopySeq:
+            return "ARC_e";
+        case TaskFamily::RevSeq:
+            return "ARC_c";
+        case TaskFamily::ModAdd:
+            return "MMLU";
+        case TaskFamily::ParityQ:
+            return "BoolQ";
+        case TaskFamily::MarkovCont:
+            return "HellaSwag";
+        case TaskFamily::InductRecall:
+            return "Obqa";
+        case TaskFamily::MaxToken:
+            return "PiQa";
+        case TaskFamily::PairMatch:
+            return "WinoGrande";
     }
     return "?";
 }
@@ -112,163 +112,164 @@ makeItem(TaskFamily family, const SyntheticCorpus &corpus, Rng &rng)
 {
     using namespace tokens;
     switch (family) {
-      case TaskFamily::CopySeq: {
-        auto pat = randPattern(corpus, rng, 3, 5);
-        std::vector<int32_t> ctx = {kBos};
-        ctx.insert(ctx.end(), pat.begin(), pat.end());
-        ctx.push_back(kSep);
-        // Distractors are unrelated patterns of the same length:
-        // any copy/familiarity signal the model learns favors the
-        // correct option (near-copy distractors proved adversarial to
-        // sequence statistics rather than to copying ability).
-        std::vector<std::vector<int32_t>> opts = {pat};
-        for (int i = 0; i < 3; ++i) {
-            std::vector<int32_t> alt;
-            for (size_t p = 0; p < pat.size(); ++p)
-                alt.push_back(randText(corpus, rng));
-            opts.push_back(std::move(alt));
-        }
-        return finalizeItem(std::move(ctx), std::move(opts), rng);
-      }
-      case TaskFamily::RevSeq: {
-        auto pat = randPattern(corpus, rng, 3, 5);
-        std::vector<int32_t> ctx = {kBos};
-        ctx.insert(ctx.end(), pat.begin(), pat.end());
-        ctx.push_back(kSep);
-        std::vector<int32_t> rev(pat.rbegin(), pat.rend());
-        std::vector<std::vector<int32_t>> opts = {rev};
-        opts.push_back(pat); // the unreversed pattern is a distractor
-        for (int i = 0; i < 2; ++i) {
-            std::vector<int32_t> alt;
-            for (size_t p = 0; p < pat.size(); ++p)
-                alt.push_back(randText(corpus, rng));
-            opts.push_back(std::move(alt));
-        }
-        return finalizeItem(std::move(ctx), std::move(opts), rng);
-      }
-      case TaskFamily::ModAdd: {
-        int a = static_cast<int>(rng.nextBelow(10));
-        int b = static_cast<int>(rng.nextBelow(10));
-        std::vector<int32_t> ctx = {kBos, kDigit0 + a, kDigit0 + b, kSep};
-        int ans = (a + b) % 10;
-        std::vector<std::vector<int32_t>> opts = {{kDigit0 + ans}};
-        std::vector<int> used = {ans};
-        while (opts.size() < 4) {
-            int d = static_cast<int>(rng.nextBelow(10));
-            if (std::find(used.begin(), used.end(), d) != used.end())
-                continue;
-            used.push_back(d);
-            opts.push_back({kDigit0 + d});
-        }
-        return finalizeItem(std::move(ctx), std::move(opts), rng);
-      }
-      case TaskFamily::ParityQ: {
-        int len = static_cast<int>(rng.nextRange(4, 8));
-        int ones = 0;
-        std::vector<int32_t> ctx = {kBos};
-        for (int i = 0; i < len; ++i) {
-            int bit = static_cast<int>(rng.nextBelow(2));
-            ones += bit;
-            ctx.push_back(kDigit0 + bit);
-        }
-        ctx.push_back(kSep);
-        int32_t ans = ones % 2 ? kTrue : kFalse;
-        int32_t other = ones % 2 ? kFalse : kTrue;
-        std::vector<std::vector<int32_t>> opts = {{ans}, {other}};
-        return finalizeItem(std::move(ctx), std::move(opts), rng);
-      }
-      case TaskFamily::MarkovCont: {
-        // Walk the true chain; the correct continuation follows the
-        // chain, distractors are random text.
-        int32_t t = randText(corpus, rng);
-        std::vector<int32_t> ctx = {t};
-        for (int i = 0; i < 6; ++i) {
-            const auto &succ = corpus.successors(ctx.back());
-            double u = rng.nextDouble();
-            int32_t next = succ.back().first;
-            for (const auto &[cand, p] : succ) {
-                u -= p;
-                if (u <= 0.0) {
-                    next = cand;
-                    break;
-                }
+        case TaskFamily::CopySeq: {
+            auto pat = randPattern(corpus, rng, 3, 5);
+            std::vector<int32_t> ctx = {kBos};
+            ctx.insert(ctx.end(), pat.begin(), pat.end());
+            ctx.push_back(kSep);
+            // Distractors are unrelated patterns of the same length:
+            // any copy/familiarity signal the model learns favors the
+            // correct option (near-copy distractors proved adversarial to
+            // sequence statistics rather than to copying ability).
+            std::vector<std::vector<int32_t>> opts = {pat};
+            for (int i = 0; i < 3; ++i) {
+                std::vector<int32_t> alt;
+                for (size_t p = 0; p < pat.size(); ++p)
+                    alt.push_back(randText(corpus, rng));
+                opts.push_back(std::move(alt));
             }
-            ctx.push_back(next);
+            return finalizeItem(std::move(ctx), std::move(opts), rng);
         }
-        // Correct option: the highest-probability successor path.
-        std::vector<int32_t> cont;
-        int32_t cur = ctx.back();
-        for (int i = 0; i < 3; ++i) {
-            const auto &succ = corpus.successors(cur);
-            auto best = std::max_element(
-                succ.begin(), succ.end(),
-                [](const auto &a, const auto &b) {
-                    return a.second < b.second;
-                });
-            cur = best->first;
-            cont.push_back(cur);
+        case TaskFamily::RevSeq: {
+            auto pat = randPattern(corpus, rng, 3, 5);
+            std::vector<int32_t> ctx = {kBos};
+            ctx.insert(ctx.end(), pat.begin(), pat.end());
+            ctx.push_back(kSep);
+            std::vector<int32_t> rev(pat.rbegin(), pat.rend());
+            std::vector<std::vector<int32_t>> opts = {rev};
+            opts.push_back(pat); // the unreversed pattern is a distractor
+            for (int i = 0; i < 2; ++i) {
+                std::vector<int32_t> alt;
+                for (size_t p = 0; p < pat.size(); ++p)
+                    alt.push_back(randText(corpus, rng));
+                opts.push_back(std::move(alt));
+            }
+            return finalizeItem(std::move(ctx), std::move(opts), rng);
         }
-        std::vector<std::vector<int32_t>> opts = {cont};
-        for (int i = 0; i < 3; ++i)
-            opts.push_back(randPattern(corpus, rng, 3, 4));
-        return finalizeItem(std::move(ctx), std::move(opts), rng);
-      }
-      case TaskFamily::InductRecall: {
-        int32_t a = randText(corpus, rng);
-        int32_t b = randText(corpus, rng);
-        std::vector<int32_t> ctx = {kBos, a, b};
-        for (int i = 0; i < 3; ++i)
-            ctx.push_back(randText(corpus, rng));
-        ctx.push_back(a);
-        std::vector<std::vector<int32_t>> opts = {{b}};
-        while (opts.size() < 4) {
-            int32_t d = randText(corpus, rng);
-            if (d != b)
-                opts.push_back({d});
+        case TaskFamily::ModAdd: {
+            int a = static_cast<int>(rng.nextBelow(10));
+            int b = static_cast<int>(rng.nextBelow(10));
+            std::vector<int32_t> ctx = {kBos, kDigit0 + a, kDigit0 + b, kSep};
+            int ans = (a + b) % 10;
+            std::vector<std::vector<int32_t>> opts = {{kDigit0 + ans}};
+            std::vector<int> used = {ans};
+            while (opts.size() < 4) {
+                int d = static_cast<int>(rng.nextBelow(10));
+                if (std::find(used.begin(), used.end(), d) != used.end())
+                    continue;
+                used.push_back(d);
+                opts.push_back({kDigit0 + d});
+            }
+            return finalizeItem(std::move(ctx), std::move(opts), rng);
         }
-        return finalizeItem(std::move(ctx), std::move(opts), rng);
-      }
-      case TaskFamily::MaxToken: {
-        auto pat = randPattern(corpus, rng, 4, 7);
-        std::vector<int32_t> ctx = {kBos};
-        ctx.insert(ctx.end(), pat.begin(), pat.end());
-        ctx.push_back(kSep);
-        int32_t mx = *std::max_element(pat.begin(), pat.end());
-        std::vector<std::vector<int32_t>> opts = {{mx}};
-        // Distractors from the pattern itself; bounded attempts since
-        // the pattern may have few distinct values.
-        for (int attempt = 0; attempt < 32 && opts.size() < 4; ++attempt) {
-            int32_t d = pat[rng.nextBelow(pat.size())];
-            if (d != mx &&
-                std::none_of(opts.begin(), opts.end(),
-                             [d](const auto &o) { return o[0] == d; }))
-                opts.push_back({d});
+        case TaskFamily::ParityQ: {
+            int len = static_cast<int>(rng.nextRange(4, 8));
+            int ones = 0;
+            std::vector<int32_t> ctx = {kBos};
+            for (int i = 0; i < len; ++i) {
+                int bit = static_cast<int>(rng.nextBelow(2));
+                ones += bit;
+                ctx.push_back(kDigit0 + bit);
+            }
+            ctx.push_back(kSep);
+            int32_t ans = ones % 2 ? kTrue : kFalse;
+            int32_t other = ones % 2 ? kFalse : kTrue;
+            std::vector<std::vector<int32_t>> opts = {{ans}, {other}};
+            return finalizeItem(std::move(ctx), std::move(opts), rng);
         }
-        while (opts.size() < 2) {
-            int32_t d = randText(corpus, rng);
-            if (d != mx)
-                opts.push_back({d});
+        case TaskFamily::MarkovCont: {
+            // Walk the true chain; the correct continuation follows the
+            // chain, distractors are random text.
+            int32_t t = randText(corpus, rng);
+            std::vector<int32_t> ctx = {t};
+            for (int i = 0; i < 6; ++i) {
+                const auto &succ = corpus.successors(ctx.back());
+                double u = rng.nextDouble();
+                int32_t next = succ.back().first;
+                for (const auto &[cand, p] : succ) {
+                    u -= p;
+                    if (u <= 0.0) {
+                        next = cand;
+                        break;
+                    }
+                }
+                ctx.push_back(next);
+            }
+            // Correct option: the highest-probability successor path.
+            std::vector<int32_t> cont;
+            int32_t cur = ctx.back();
+            for (int i = 0; i < 3; ++i) {
+                const auto &succ = corpus.successors(cur);
+                auto best = std::max_element(
+                    succ.begin(), succ.end(),
+                    [](const auto &a, const auto &b) {
+                        return a.second < b.second;
+                    });
+                cur = best->first;
+                cont.push_back(cur);
+            }
+            std::vector<std::vector<int32_t>> opts = {cont};
+            for (int i = 0; i < 3; ++i)
+                opts.push_back(randPattern(corpus, rng, 3, 4));
+            return finalizeItem(std::move(ctx), std::move(opts), rng);
         }
-        return finalizeItem(std::move(ctx), std::move(opts), rng);
-      }
-      case TaskFamily::PairMatch: {
-        // Context: x y ... x' SEP, where x' equals one of two earlier
-        // tokens; the answer is the token that followed it.
-        int32_t x1 = randText(corpus, rng);
-        int32_t y1 = randText(corpus, rng);
-        int32_t x2 = x1;
-        while (x2 == x1)
-            x2 = randText(corpus, rng);
-        int32_t y2 = y1;
-        while (y2 == y1)
-            y2 = randText(corpus, rng);
-        bool ask_first = rng.nextBernoulli(0.5);
-        std::vector<int32_t> ctx = {kBos, x1, y1, x2, y2,
-                                    ask_first ? x1 : x2, kSep};
-        std::vector<std::vector<int32_t>> opts = {
-            {ask_first ? y1 : y2}, {ask_first ? y2 : y1}};
-        return finalizeItem(std::move(ctx), std::move(opts), rng);
-      }
+        case TaskFamily::InductRecall: {
+            int32_t a = randText(corpus, rng);
+            int32_t b = randText(corpus, rng);
+            std::vector<int32_t> ctx = {kBos, a, b};
+            for (int i = 0; i < 3; ++i)
+                ctx.push_back(randText(corpus, rng));
+            ctx.push_back(a);
+            std::vector<std::vector<int32_t>> opts = {{b}};
+            while (opts.size() < 4) {
+                int32_t d = randText(corpus, rng);
+                if (d != b)
+                    opts.push_back({d});
+            }
+            return finalizeItem(std::move(ctx), std::move(opts), rng);
+        }
+        case TaskFamily::MaxToken: {
+            auto pat = randPattern(corpus, rng, 4, 7);
+            std::vector<int32_t> ctx = {kBos};
+            ctx.insert(ctx.end(), pat.begin(), pat.end());
+            ctx.push_back(kSep);
+            int32_t mx = *std::max_element(pat.begin(), pat.end());
+            std::vector<std::vector<int32_t>> opts = {{mx}};
+            // Distractors from the pattern itself; bounded attempts since
+            // the pattern may have few distinct values.
+            for (int attempt = 0; attempt < 32 && opts.size() < 4;
+                 ++attempt) {
+                int32_t d = pat[rng.nextBelow(pat.size())];
+                if (d != mx &&
+                    std::none_of(opts.begin(), opts.end(),
+                                 [d](const auto &o) { return o[0] == d; }))
+                    opts.push_back({d});
+            }
+            while (opts.size() < 2) {
+                int32_t d = randText(corpus, rng);
+                if (d != mx)
+                    opts.push_back({d});
+            }
+            return finalizeItem(std::move(ctx), std::move(opts), rng);
+        }
+        case TaskFamily::PairMatch: {
+            // Context: x y ... x' SEP, where x' equals one of two earlier
+            // tokens; the answer is the token that followed it.
+            int32_t x1 = randText(corpus, rng);
+            int32_t y1 = randText(corpus, rng);
+            int32_t x2 = x1;
+            while (x2 == x1)
+                x2 = randText(corpus, rng);
+            int32_t y2 = y1;
+            while (y2 == y1)
+                y2 = randText(corpus, rng);
+            bool ask_first = rng.nextBernoulli(0.5);
+            std::vector<int32_t> ctx = {kBos, x1, y1, x2, y2,
+                                        ask_first ? x1 : x2, kSep};
+            std::vector<std::vector<int32_t>> opts = {
+                {ask_first ? y1 : y2}, {ask_first ? y2 : y1}};
+            return finalizeItem(std::move(ctx), std::move(opts), rng);
+        }
     }
     panic("bad task family");
 }

@@ -20,10 +20,10 @@ IlpSolution
 solveSingle(const IlpProblem &problem, const IlpSolveOptions &options)
 {
     switch (options.backend) {
-      case IlpBackend::BranchAndBound:
-        return solveBranchAndBound(problem, options.bnb_limits);
-      case IlpBackend::Dp:
-        return solveDp(problem, options.dp_resolution);
+        case IlpBackend::BranchAndBound:
+            return solveBranchAndBound(problem, options.bnb_limits);
+        case IlpBackend::Dp:
+            return solveDp(problem, options.dp_resolution);
     }
     panic("bad backend");
 }

@@ -67,16 +67,16 @@ Linear &
 Attention::linear(LayerRole role)
 {
     switch (role) {
-      case LayerRole::Q:
-        return *wq_;
-      case LayerRole::K:
-        return *wk_;
-      case LayerRole::V:
-        return *wv_;
-      case LayerRole::O:
-        return *wo_;
-      default:
-        panic("not an attention role");
+        case LayerRole::Q:
+            return *wq_;
+        case LayerRole::K:
+            return *wk_;
+        case LayerRole::V:
+            return *wv_;
+        case LayerRole::O:
+            return *wo_;
+        default:
+            panic("not an attention role");
     }
 }
 

@@ -24,13 +24,13 @@ Linear &
 TransformerBlock::linear(LayerRole role)
 {
     switch (role) {
-      case LayerRole::Q:
-      case LayerRole::K:
-      case LayerRole::V:
-      case LayerRole::O:
-        return attn_->linear(role);
-      default:
-        return mlp_->linear(role);
+        case LayerRole::Q:
+        case LayerRole::K:
+        case LayerRole::V:
+        case LayerRole::O:
+            return attn_->linear(role);
+        default:
+            return mlp_->linear(role);
     }
 }
 

@@ -60,18 +60,18 @@ int64_t
 LayerRegistry::outFeatures(int idx) const
 {
     switch (roleOf(idx)) {
-      case LayerRole::Q:
-        return config_.n_heads * config_.headDim();
-      case LayerRole::K:
-      case LayerRole::V:
-        return config_.kvDim();
-      case LayerRole::O:
-        return config_.d_model;
-      case LayerRole::Gate:
-      case LayerRole::Up:
-        return config_.ffn_hidden;
-      case LayerRole::Down:
-        return config_.d_model;
+        case LayerRole::Q:
+            return config_.n_heads * config_.headDim();
+        case LayerRole::K:
+        case LayerRole::V:
+            return config_.kvDim();
+        case LayerRole::O:
+            return config_.d_model;
+        case LayerRole::Gate:
+        case LayerRole::Up:
+            return config_.ffn_hidden;
+        case LayerRole::Down:
+            return config_.d_model;
     }
     panic("bad role");
 }
@@ -80,16 +80,16 @@ int64_t
 LayerRegistry::inFeatures(int idx) const
 {
     switch (roleOf(idx)) {
-      case LayerRole::Q:
-      case LayerRole::K:
-      case LayerRole::V:
-      case LayerRole::Gate:
-      case LayerRole::Up:
-        return config_.d_model;
-      case LayerRole::O:
-        return config_.n_heads * config_.headDim();
-      case LayerRole::Down:
-        return config_.ffn_hidden;
+        case LayerRole::Q:
+        case LayerRole::K:
+        case LayerRole::V:
+        case LayerRole::Gate:
+        case LayerRole::Up:
+            return config_.d_model;
+        case LayerRole::O:
+            return config_.n_heads * config_.headDim();
+        case LayerRole::Down:
+            return config_.ffn_hidden;
     }
     panic("bad role");
 }

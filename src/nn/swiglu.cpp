@@ -27,14 +27,14 @@ Linear &
 SwiGluMlp::linear(LayerRole role)
 {
     switch (role) {
-      case LayerRole::Gate:
-        return *gate_;
-      case LayerRole::Up:
-        return *up_;
-      case LayerRole::Down:
-        return *down_;
-      default:
-        panic("not an MLP role");
+        case LayerRole::Gate:
+            return *gate_;
+        case LayerRole::Up:
+            return *up_;
+        case LayerRole::Down:
+            return *down_;
+        default:
+            panic("not an MLP role");
     }
 }
 

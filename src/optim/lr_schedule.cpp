@@ -22,11 +22,11 @@ double
 LrSchedule::at(int64_t step) const
 {
     switch (kind_) {
-      case LrScheduleKind::Constant:
-        return base_lr_;
-      case LrScheduleKind::Cosine:
-      case LrScheduleKind::WarmupCosine:
-        break;
+        case LrScheduleKind::Constant:
+            return base_lr_;
+        case LrScheduleKind::Cosine:
+        case LrScheduleKind::WarmupCosine:
+            break;
     }
     if (kind_ == LrScheduleKind::WarmupCosine && step < warmup_steps_ &&
         warmup_steps_ > 0) {

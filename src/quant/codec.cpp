@@ -11,10 +11,10 @@ const char *
 roundingName(Rounding r)
 {
     switch (r) {
-      case Rounding::Nearest:
-        return "nearest";
-      case Rounding::Stochastic:
-        return "stochastic";
+        case Rounding::Nearest:
+            return "nearest";
+        case Rounding::Stochastic:
+            return "stochastic";
     }
     return "?";
 }
@@ -34,6 +34,24 @@ ulpAt(float x, const FloatFormat &fmt)
     int e;
     std::frexp(ax, &e);
     return std::ldexp(1.0, (e - 1) - fmt.mantissa_bits);
+}
+
+QuantGrid
+quantGrid(const FloatFormat &fmt)
+{
+    QuantGrid g;
+    g.max_value = static_cast<float>(fmt.maxValue());
+    g.min_normal = static_cast<float>(fmt.minNormal());
+    g.min_subnormal = static_cast<float>(fmt.minSubnormal());
+    // 1/minSubnormal = 2^(bias + mantissa_bits - 1); split into two
+    // factors so each stays a normal float even for bf16 (2^133).
+    int t = fmt.bias + fmt.mantissa_bits - 1;
+    int hi = t / 2;
+    g.inv_min_sub_hi = std::ldexp(1.0f, hi);
+    g.inv_min_sub_lo = std::ldexp(1.0f, t - hi);
+    g.two_pow_neg_mant = std::ldexp(1.0f, -fmt.mantissa_bits);
+    g.mantissa_bits = fmt.mantissa_bits;
+    return g;
 }
 
 namespace {

@@ -50,6 +50,34 @@ float quantizeValue(float x, const FloatFormat &fmt, Rounding mode,
 /** Spacing of the format's grid at value @p x (the ULP). */
 double ulpAt(float x, const FloatFormat &fmt);
 
+/**
+ * Precomputed float-domain constants describing a format's grid, for
+ * vectorized grid-snap kernels (simd/). All fields are exact powers of
+ * two or exactly representable floats, so a kernel built on them can
+ * reproduce quantizeNearest() bit for bit:
+ *   - a normal-range value ax in [min_normal, max_value] quantizes as
+ *     roundeven(retag(ax)) * 2^-mantissa_bits * binade(ax), where
+ *     retag(ax) keeps ax's mantissa and forces the exponent to
+ *     mantissa_bits (the grid index, exact in float);
+ *   - a subnormal-range value quantizes as
+ *     roundeven(ax * inv_min_sub_hi * inv_min_sub_lo) * min_subnormal
+ *     (the inverse subnormal spacing is split into two power-of-two
+ *     factors because e.g. bf16's 2^133 overflows a single float).
+ */
+struct QuantGrid
+{
+    float max_value;        ///< saturation bound (fmt.maxValue())
+    float min_normal;       ///< normal/subnormal grid boundary
+    float min_subnormal;    ///< grid spacing below min_normal
+    float inv_min_sub_hi;   ///< 1/min_subnormal = hi * lo, both
+    float inv_min_sub_lo;   ///<   powers of two within float range
+    float two_pow_neg_mant; ///< 2^-mantissa_bits
+    int mantissa_bits;
+};
+
+/** Grid constants for @p fmt (see QuantGrid). */
+QuantGrid quantGrid(const FloatFormat &fmt);
+
 } // namespace snip
 
 #endif // SNIP_QUANT_CODEC_H

@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "simd/dispatch.h"
+#include "simd/kernels.h"
 #include "tensor/ops.h"
 
 namespace snip {
@@ -16,15 +18,13 @@ measureQuantError(const Tensor &t, const QuantConfig &cfg,
 
     QuantError err;
     err.input_norm = frobeniusNorm(t);
-    const float *pt = t.data();
-    const float *pq = q.data();
+    // Vectorized accumulators via the dispatched backend; max_error is
+    // exact, the sum of squares may differ across backends in
+    // low-order bits.
     double acc = 0.0;
     double max_e = 0.0;
-    for (int64_t i = 0; i < t.numel(); ++i) {
-        double d = static_cast<double>(pq[i]) - pt[i];
-        acc += d * d;
-        max_e = std::max(max_e, std::fabs(d));
-    }
+    simd::activeKernels().errorStats(t.data(), q.data(), t.numel(),
+                                     &acc, &max_e);
     err.abs_error = std::sqrt(acc);
     err.max_error = max_e;
     err.rel_error = err.input_norm > 0 ? err.abs_error / err.input_norm

@@ -4,6 +4,8 @@
 #include <cstring>
 
 #include "runtime/thread_pool.h"
+#include "simd/dispatch.h"
+#include "simd/kernels.h"
 #include "util/string_util.h"
 
 namespace snip {
@@ -20,14 +22,14 @@ const char *
 precisionName(Precision p)
 {
     switch (p) {
-      case Precision::BF16:
-        return "BF16";
-      case Precision::FP8:
-        return "FP8";
-      case Precision::FP6:
-        return "FP6";
-      case Precision::FP4:
-        return "FP4";
+        case Precision::BF16:
+            return "BF16";
+        case Precision::FP8:
+            return "FP8";
+        case Precision::FP6:
+            return "FP6";
+        case Precision::FP4:
+            return "FP4";
     }
     return "?";
 }
@@ -36,14 +38,14 @@ int
 precisionBits(Precision p)
 {
     switch (p) {
-      case Precision::BF16:
-        return 16;
-      case Precision::FP8:
-        return 8;
-      case Precision::FP6:
-        return 6;
-      case Precision::FP4:
-        return 4;
+        case Precision::BF16:
+            return 16;
+        case Precision::FP8:
+            return 8;
+        case Precision::FP6:
+            return 6;
+        case Precision::FP4:
+            return 4;
     }
     return 0;
 }
@@ -52,12 +54,12 @@ const char *
 tensorRoleName(TensorRole role)
 {
     switch (role) {
-      case TensorRole::Activation:
-        return "activation";
-      case TensorRole::Weight:
-        return "weight";
-      case TensorRole::OutputGrad:
-        return "output_grad";
+        case TensorRole::Activation:
+            return "activation";
+        case TensorRole::Weight:
+            return "weight";
+        case TensorRole::OutputGrad:
+            return "output_grad";
     }
     return "?";
 }
@@ -83,21 +85,21 @@ rolePolicy(Precision precision, TensorRole role)
 {
     QuantConfig cfg;
     switch (precision) {
-      case Precision::BF16:
-        cfg.format = bf16();
-        cfg.scaling = {Granularity::Tensorwise, 0};
-        cfg.rounding = Rounding::Nearest;
-        return cfg;
-      case Precision::FP8:
-        cfg.format = (role == TensorRole::OutputGrad) ? fp8E5m2()
-                                                      : fp8E4m3();
-        break;
-      case Precision::FP6:
-        cfg.format = fp6E3m2();
-        break;
-      case Precision::FP4:
-        cfg.format = fp4E2m1();
-        break;
+        case Precision::BF16:
+            cfg.format = bf16();
+            cfg.scaling = {Granularity::Tensorwise, 0};
+            cfg.rounding = Rounding::Nearest;
+            return cfg;
+        case Precision::FP8:
+            cfg.format = (role == TensorRole::OutputGrad) ? fp8E5m2()
+                                                          : fp8E4m3();
+            break;
+        case Precision::FP6:
+            cfg.format = fp6E3m2();
+            break;
+        case Precision::FP4:
+            cfg.format = fp4E2m1();
+            break;
     }
     if (role == TensorRole::Weight) {
         cfg.scaling = {Granularity::Blockwise, 128};
@@ -121,34 +123,18 @@ FakeQuantizer::quantize(const Tensor &t, const QuantConfig &cfg)
     return out;
 }
 
-namespace {
-
-/** Exact bf16 round-to-nearest-even via bit manipulation (fast path:
- *  bf16 needs no rescaling, so the whole tensor is one tight loop). */
-float
-roundToBf16(float x)
-{
-    uint32_t u;
-    static_assert(sizeof(u) == sizeof(x));
-    std::memcpy(&u, &x, sizeof(u));
-    u += 0x7FFFu + ((u >> 16) & 1u);
-    u &= 0xFFFF0000u;
-    float out;
-    std::memcpy(&out, &u, sizeof(out));
-    return out;
-}
-
-} // namespace
-
 void
 FakeQuantizer::quantizeInPlace(Tensor &t, const QuantConfig &cfg)
 {
+    const simd::KernelTable &kt = simd::activeKernels();
     if (cfg.format.name == "bf16" && cfg.rounding == Rounding::Nearest) {
+        // Fast path: bf16 needs no rescaling, so the whole tensor is
+        // one tight round-to-nearest-even sweep (exact bit
+        // manipulation in every backend).
         float *p = t.data();
         runtime::parallelFor(0, t.numel(), 1 << 15,
-                             [p](int64_t i0, int64_t i1) {
-                                 for (int64_t i = i0; i < i1; ++i)
-                                     p[i] = roundToBf16(p[i]);
+                             [p, &kt](int64_t i0, int64_t i1) {
+                                 kt.bf16Round(p + i0, i1 - i0);
                              });
         return;
     }
@@ -169,33 +155,47 @@ FakeQuantizer::quantizeInPlace(Tensor &t, const QuantConfig &cfg)
 
     const std::vector<ScalingRegion> regions =
         collectRegions(rows, cols, cfg.scaling);
+    const QuantGrid grid = quantGrid(cfg.format);
     runtime::parallelFor(
         0, static_cast<int64_t>(regions.size()), 8,
         [&](int64_t g0, int64_t g1) {
+            const simd::KernelTable &kt = simd::activeKernels();
             for (int64_t g = g0; g < g1; ++g) {
                 const ScalingRegion &reg =
                     regions[static_cast<size_t>(g)];
                 double max_abs = 0.0;
                 for (int64_t r = reg.r0; r < reg.r1; ++r) {
-                    const float *row = p + r * cols;
-                    for (int64_t c = reg.c0; c < reg.c1; ++c)
-                        max_abs = std::max(
-                            max_abs,
-                            std::fabs(static_cast<double>(row[c])));
+                    max_abs = std::max(
+                        max_abs, static_cast<double>(kt.maxAbs(
+                                     p + r * cols + reg.c0,
+                                     reg.c1 - reg.c0)));
                 }
                 const double scale = regionScale(max_abs, fmt_max);
                 const float fscale = static_cast<float>(scale);
                 const float inv = static_cast<float>(1.0 / scale);
+                if (!stochastic) {
+                    // Nearest rounding takes the vectorized grid-snap
+                    // kernel (bit-exact across backends).
+                    for (int64_t r = reg.r0; r < reg.r1; ++r) {
+                        kt.quantizeNearest(p + r * cols + reg.c0,
+                                           reg.c1 - reg.c0, cfg.format,
+                                           grid, fscale, inv);
+                    }
+                    continue;
+                }
+                // Stochastic rounding stays scalar: the per-region RNG
+                // stream consumes one draw per element in row-major
+                // order, and that sequence is part of the determinism
+                // contract.
                 Rng region_rng(call_key +
                                0x9E3779B97F4A7C15ull *
                                    (static_cast<uint64_t>(g) + 1));
-                Rng *rng = stochastic ? &region_rng : nullptr;
                 for (int64_t r = reg.r0; r < reg.r1; ++r) {
                     float *row = p + r * cols;
                     for (int64_t c = reg.c0; c < reg.c1; ++c) {
                         row[c] = quantizeValue(row[c] * fscale,
                                                cfg.format, cfg.rounding,
-                                               rng) *
+                                               &region_rng) *
                                  inv;
                     }
                 }

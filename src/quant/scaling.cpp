@@ -6,16 +6,16 @@ const char *
 granularityName(Granularity g)
 {
     switch (g) {
-      case Granularity::Tensorwise:
-        return "tensorwise";
-      case Granularity::Rowwise:
-        return "rowwise";
-      case Granularity::Columnwise:
-        return "columnwise";
-      case Granularity::Blockwise:
-        return "blockwise";
-      case Granularity::Tilewise:
-        return "tilewise";
+        case Granularity::Tensorwise:
+            return "tensorwise";
+        case Granularity::Rowwise:
+            return "rowwise";
+        case Granularity::Columnwise:
+            return "columnwise";
+        case Granularity::Blockwise:
+            return "blockwise";
+        case Granularity::Tilewise:
+            return "tilewise";
     }
     return "?";
 }
@@ -27,27 +27,27 @@ forEachRegion(
 {
     const int64_t nb = std::max<int64_t>(1, spec.block);
     switch (spec.granularity) {
-      case Granularity::Tensorwise:
-        fn(0, rows, 0, cols);
-        break;
-      case Granularity::Rowwise:
-        for (int64_t r = 0; r < rows; ++r)
-            fn(r, r + 1, 0, cols);
-        break;
-      case Granularity::Columnwise:
-        for (int64_t c = 0; c < cols; ++c)
-            fn(0, rows, c, c + 1);
-        break;
-      case Granularity::Blockwise:
-        for (int64_t r = 0; r < rows; r += nb)
-            for (int64_t c = 0; c < cols; c += nb)
-                fn(r, std::min(r + nb, rows), c, std::min(c + nb, cols));
-        break;
-      case Granularity::Tilewise:
-        for (int64_t r = 0; r < rows; ++r)
-            for (int64_t c = 0; c < cols; c += nb)
-                fn(r, r + 1, c, std::min(c + nb, cols));
-        break;
+        case Granularity::Tensorwise:
+            fn(0, rows, 0, cols);
+            break;
+        case Granularity::Rowwise:
+            for (int64_t r = 0; r < rows; ++r)
+                fn(r, r + 1, 0, cols);
+            break;
+        case Granularity::Columnwise:
+            for (int64_t c = 0; c < cols; ++c)
+                fn(0, rows, c, c + 1);
+            break;
+        case Granularity::Blockwise:
+            for (int64_t r = 0; r < rows; r += nb)
+                for (int64_t c = 0; c < cols; c += nb)
+                    fn(r, std::min(r + nb, rows), c, std::min(c + nb, cols));
+            break;
+        case Granularity::Tilewise:
+            for (int64_t r = 0; r < rows; ++r)
+                for (int64_t c = 0; c < cols; c += nb)
+                    fn(r, r + 1, c, std::min(c + nb, cols));
+            break;
     }
 }
 
@@ -77,16 +77,16 @@ scaleCount(int64_t rows, int64_t cols, const ScalingSpec &spec)
     const int64_t nb = std::max<int64_t>(1, spec.block);
     auto ceil_div = [](int64_t a, int64_t b) { return (a + b - 1) / b; };
     switch (spec.granularity) {
-      case Granularity::Tensorwise:
-        return 1;
-      case Granularity::Rowwise:
-        return rows;
-      case Granularity::Columnwise:
-        return cols;
-      case Granularity::Blockwise:
-        return ceil_div(rows, nb) * ceil_div(cols, nb);
-      case Granularity::Tilewise:
-        return rows * ceil_div(cols, nb);
+        case Granularity::Tensorwise:
+            return 1;
+        case Granularity::Rowwise:
+            return rows;
+        case Granularity::Columnwise:
+            return cols;
+        case Granularity::Blockwise:
+            return ceil_div(rows, nb) * ceil_div(cols, nb);
+        case Granularity::Tilewise:
+            return rows * ceil_div(cols, nb);
     }
     return 0;
 }

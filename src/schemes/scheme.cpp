@@ -11,20 +11,20 @@ const char *
 layerRoleName(LayerRole role)
 {
     switch (role) {
-      case LayerRole::Q:
-        return "Q";
-      case LayerRole::K:
-        return "K";
-      case LayerRole::V:
-        return "V";
-      case LayerRole::O:
-        return "O";
-      case LayerRole::Gate:
-        return "Gate";
-      case LayerRole::Up:
-        return "Up";
-      case LayerRole::Down:
-        return "Down";
+        case LayerRole::Q:
+            return "Q";
+        case LayerRole::K:
+            return "K";
+        case LayerRole::V:
+            return "V";
+        case LayerRole::O:
+            return "O";
+        case LayerRole::Gate:
+            return "Gate";
+        case LayerRole::Up:
+            return "Up";
+        case LayerRole::Down:
+            return "Down";
     }
     return "?";
 }
@@ -42,12 +42,12 @@ const char *
 gemmKindName(GemmKind kind)
 {
     switch (kind) {
-      case GemmKind::Fwd:
-        return "fwd";
-      case GemmKind::Dgrad:
-        return "dgrad";
-      case GemmKind::Wgrad:
-        return "wgrad";
+        case GemmKind::Fwd:
+            return "fwd";
+        case GemmKind::Dgrad:
+            return "dgrad";
+        case GemmKind::Wgrad:
+            return "wgrad";
     }
     return "?";
 }
@@ -165,30 +165,30 @@ makeOptionSet(OptionSetKind kind)
     using P = Precision;
     std::vector<LayerScheme> opts;
     switch (kind) {
-      case OptionSetKind::Simple:
-        opts.push_back(LayerScheme::uniform(P::FP8));
-        opts.push_back(LayerScheme::uniform(P::FP4));
-        break;
-      case OptionSetKind::Standard:
-        opts.push_back(LayerScheme::uniform(P::FP8));
-        opts.push_back(LayerScheme{{P::FP4, P::FP8, P::FP8}});
-        opts.push_back(LayerScheme{{P::FP8, P::FP4, P::FP4}});
-        opts.push_back(LayerScheme::uniform(P::FP4));
-        break;
-      case OptionSetKind::Full:
-        for (int bits = 0; bits < 8; ++bits) {
-            LayerScheme s;
-            for (int g = 0; g < kGemmsPerLayer; ++g) {
-                s.gemm[static_cast<size_t>(g)] =
-                    (bits >> g) & 1 ? P::FP4 : P::FP8;
+        case OptionSetKind::Simple:
+            opts.push_back(LayerScheme::uniform(P::FP8));
+            opts.push_back(LayerScheme::uniform(P::FP4));
+            break;
+        case OptionSetKind::Standard:
+            opts.push_back(LayerScheme::uniform(P::FP8));
+            opts.push_back(LayerScheme{{P::FP4, P::FP8, P::FP8}});
+            opts.push_back(LayerScheme{{P::FP8, P::FP4, P::FP4}});
+            opts.push_back(LayerScheme::uniform(P::FP4));
+            break;
+        case OptionSetKind::Full:
+            for (int bits = 0; bits < 8; ++bits) {
+                LayerScheme s;
+                for (int g = 0; g < kGemmsPerLayer; ++g) {
+                    s.gemm[static_cast<size_t>(g)] =
+                        (bits >> g) & 1 ? P::FP4 : P::FP8;
+                }
+                opts.push_back(s);
             }
-            opts.push_back(s);
-        }
-        std::stable_sort(opts.begin(), opts.end(),
-                         [](const LayerScheme &a, const LayerScheme &b) {
-                             return a.fp4Fraction() < b.fp4Fraction();
-                         });
-        break;
+            std::stable_sort(opts.begin(), opts.end(),
+                             [](const LayerScheme &a, const LayerScheme &b) {
+                                 return a.fp4Fraction() < b.fp4Fraction();
+                             });
+            break;
     }
     return opts;
 }

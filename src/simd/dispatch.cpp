@@ -1,0 +1,117 @@
+#include "simd/dispatch.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+#include "simd/kernels.h"
+#include "util/logging.h"
+
+namespace snip {
+namespace simd {
+
+namespace {
+
+std::atomic<const KernelTable *> g_active{nullptr};
+
+bool
+hostHasAvx2()
+{
+#if defined(SNIP_SIMD_HAVE_AVX2)
+    return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+#else
+    return false;
+#endif
+}
+
+/** Map a SNIP_SIMD spelling onto a table; null for unknown names. */
+const KernelTable *
+resolve(const char *spec)
+{
+    if (spec == nullptr || *spec == '\0' ||
+        std::strcmp(spec, "auto") == 0) {
+        return cpuSupportsAvx2() ? &avx2Kernels() : &scalarKernels();
+    }
+    if (std::strcmp(spec, "scalar") == 0)
+        return &scalarKernels();
+    if (std::strcmp(spec, "avx2") == 0) {
+        if (cpuSupportsAvx2())
+            return &avx2Kernels();
+        warn("SNIP_SIMD=avx2 requested but ",
+             avx2Compiled() ? "this CPU lacks AVX2+FMA"
+                            : "the AVX2 backend is not compiled in",
+             "; using the scalar backend");
+        return &scalarKernels();
+    }
+    return nullptr;
+}
+
+const KernelTable *
+resolveFromEnv()
+{
+    const char *spec = std::getenv("SNIP_SIMD");
+    const KernelTable *t = resolve(spec);
+    if (t == nullptr) {
+        warn("unknown SNIP_SIMD value '", spec,
+             "' (expected auto|avx2|scalar); using auto");
+        t = resolve("auto");
+    }
+    return t;
+}
+
+} // namespace
+
+const KernelTable &
+activeKernels()
+{
+    const KernelTable *t = g_active.load(std::memory_order_acquire);
+    if (t == nullptr) {
+        // Benign race: every initializer computes the same answer.
+        t = resolveFromEnv();
+        g_active.store(t, std::memory_order_release);
+    }
+    return *t;
+}
+
+Backend
+activeBackend()
+{
+    return &activeKernels() == &scalarKernels() ? Backend::Scalar
+                                                : Backend::Avx2;
+}
+
+const char *
+activeBackendName()
+{
+    return activeKernels().name;
+}
+
+bool
+cpuSupportsAvx2()
+{
+    static const bool supported = hostHasAvx2();
+    return supported;
+}
+
+bool
+setBackendByName(const char *name)
+{
+    if (name != nullptr && std::strcmp(name, "avx2") == 0 &&
+        !cpuSupportsAvx2()) {
+        return false;
+    }
+    const KernelTable *t = resolve(name);
+    if (t == nullptr)
+        return false;
+    g_active.store(t, std::memory_order_release);
+    return true;
+}
+
+void
+reinitFromEnv()
+{
+    g_active.store(resolveFromEnv(), std::memory_order_release);
+}
+
+} // namespace simd
+} // namespace snip

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Runtime kernel-backend dispatch.
+ *
+ * At first use the library picks a KernelTable (simd/kernels.h) from
+ * the SNIP_SIMD environment variable:
+ *
+ *   SNIP_SIMD=auto    CPUID-detect: AVX2+FMA backend when the host
+ *                     supports it, scalar otherwise (default).
+ *   SNIP_SIMD=avx2    Force the AVX2 backend; falls back to scalar
+ *                     with a warning when the host (or the build)
+ *                     lacks AVX2+FMA.
+ *   SNIP_SIMD=scalar  Force the portable scalar backend.
+ *
+ * The AVX2 translation unit is compiled with -mavx2 -mfma but is only
+ * ever *called* behind this CPUID check, so the binary still runs on
+ * baseline x86-64 (and non-x86 builds compile the scalar backend
+ * only).
+ *
+ * Determinism contract: within one backend, results are bit-identical
+ * for any thread count (see runtime/thread_pool.h); switching backends
+ * may change low-order bits of GEMM and sum-of-squares reductions,
+ * while quantization itself is bit-exact across backends.
+ */
+#ifndef SNIP_SIMD_DISPATCH_H
+#define SNIP_SIMD_DISPATCH_H
+
+namespace snip {
+namespace simd {
+
+struct KernelTable;
+
+/** Kernel backends the dispatcher can select. */
+enum class Backend
+{
+    Scalar,
+    Avx2,
+};
+
+/** The currently selected kernel set (resolves SNIP_SIMD on first
+ *  call; thread-safe). */
+const KernelTable &activeKernels();
+
+/** Backend behind activeKernels(). */
+Backend activeBackend();
+
+/** "scalar" or "avx2" — the backend actually in use (after any
+ *  fallback), for logs, tests and bench context. */
+const char *activeBackendName();
+
+/** True when the AVX2 backend is compiled in AND the CPU reports
+ *  AVX2+FMA support. */
+bool cpuSupportsAvx2();
+
+/**
+ * Programmatically select a backend by SNIP_SIMD spelling
+ * ("auto" | "avx2" | "scalar"). Returns false (selection unchanged)
+ * for unknown names or for "avx2" on hosts without AVX2+FMA support.
+ * Intended for tests and benches; must not race with in-flight
+ * parallel kernels.
+ */
+bool setBackendByName(const char *name);
+
+/** Re-resolve the backend from the SNIP_SIMD environment variable
+ *  (tests use this after setenv()). */
+void reinitFromEnv();
+
+} // namespace simd
+} // namespace snip
+
+#endif // SNIP_SIMD_DISPATCH_H

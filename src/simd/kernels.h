@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Portable kernel-backend interface for the three hot paths.
+ *
+ * A KernelTable bundles the architecture-specific inner kernels the
+ * library dispatches at runtime (simd/dispatch.h): the GEMM block
+ * microkernels, the nearest-rounding grid-snap sweep, and the
+ * error-metric reductions. Backends implement the same block
+ * decomposition (the constants below) and a fixed per-block
+ * accumulation order, so each backend keeps the PR 1 guarantee that
+ * results are bit-identical for any thread count. Different backends
+ * may legitimately differ in low-order bits of GEMM and sum-of-squares
+ * results (FMA contraction, vector-lane accumulation order); the
+ * quantize, bf16-round and max-abs kernels are required to agree
+ * bit-for-bit across backends. tests/test_simd.cpp enforces both
+ * contracts.
+ */
+#ifndef SNIP_SIMD_KERNELS_H
+#define SNIP_SIMD_KERNELS_H
+
+#include <cstdint>
+
+#include "quant/codec.h"
+
+namespace snip {
+namespace simd {
+
+/// GEMM block sizes shared by every backend (an A-panel plus a B-panel
+/// fit in L1/L2). The M-block is also the parallelFor unit in
+/// tensor/gemm.cpp: workers own whole rows of C, so the decomposition
+/// — and therefore each backend's accumulation order — never depends
+/// on thread count.
+constexpr int64_t kGemmBlockM = 64;
+constexpr int64_t kGemmBlockN = 64;
+constexpr int64_t kGemmBlockK = 128;
+
+/**
+ * One C-row-block of a GEMM: rows [i0, i1) of the M dimension.
+ *
+ * The caller (tensor/gemm.cpp) has already zeroed the rows when not
+ * accumulating, so every kernel unconditionally adds into C. @p m is
+ * the full M extent (needed by the TN variant, whose A is K x M).
+ */
+using GemmBlockFn = void (*)(const float *a, const float *b, float *c,
+                             int64_t i0, int64_t i1, int64_t m, int64_t n,
+                             int64_t k);
+
+/**
+ * In-place nearest-rounding fake quantization of @p count values:
+ * p[i] = quantizeNearest(p[i] * scale, fmt) * inv_scale.
+ * Must match the scalar codec (quant/codec.h) bit for bit. @p grid is
+ * quantGrid(fmt), hoisted by the caller so per-span calls (one per
+ * row segment of a scaling region, as few as 128 elements) don't pay
+ * the constant setup.
+ */
+using QuantizeNearestFn = void (*)(float *p, int64_t count,
+                                   const FloatFormat &fmt,
+                                   const QuantGrid &grid, float scale,
+                                   float inv_scale);
+
+/** In-place bf16 round-to-nearest-even of @p count values (the
+ *  tensorwise bf16 fast path; pure bit manipulation, exact). */
+using Bf16RoundFn = void (*)(float *p, int64_t count);
+
+/** Largest |p[i]| over @p count values; 0 for empty runs. NaN inputs
+ *  are ignored (never returned), matching a scalar max-reduction. */
+using MaxAbsFn = float (*)(const float *p, int64_t count);
+
+/**
+ * Error-metric reduction: *sum_sq = sum((q[i]-ref[i])^2) accumulated
+ * in double, *max_err = max |q[i]-ref[i]|. max_err must be exact;
+ * sum_sq may differ across backends in low-order bits.
+ */
+using ErrorStatsFn = void (*)(const float *ref, const float *q,
+                              int64_t count, double *sum_sq,
+                              double *max_err);
+
+/** The dispatchable kernel set of one backend. */
+struct KernelTable
+{
+    const char *name;
+    GemmBlockFn gemmNtBlock; ///< C[i,:] += A[i,:] * B^T (B is N x K)
+    GemmBlockFn gemmNnBlock; ///< C[i,:] += A[i,:] * B   (B is K x N)
+    GemmBlockFn gemmTnBlock; ///< C[i,:] += A[:,i]^T * B (A is K x M)
+    QuantizeNearestFn quantizeNearest;
+    Bf16RoundFn bf16Round;
+    MaxAbsFn maxAbs;
+    ErrorStatsFn errorStats;
+};
+
+/** The portable plain-C++ backend (always available). */
+const KernelTable &scalarKernels();
+
+/** True when the AVX2+FMA backend was compiled in. */
+bool avx2Compiled();
+
+/** The AVX2+FMA backend; only valid to *call into* when
+ *  dispatch.h's cpuSupportsAvx2() is true. */
+const KernelTable &avx2Kernels();
+
+} // namespace simd
+} // namespace snip
+
+#endif // SNIP_SIMD_KERNELS_H

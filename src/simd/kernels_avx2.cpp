@@ -1,0 +1,444 @@
+/**
+ * @file
+ * AVX2+FMA backend.
+ *
+ * This translation unit is the only one compiled with -mavx2 -mfma
+ * (per-file options in CMakeLists.txt), and it is only entered behind
+ * the CPUID check in simd/dispatch.cpp, so the binary still runs on
+ * baseline x86-64.
+ *
+ * Kernel contracts (simd/kernels.h):
+ *   - GEMM blocks keep the scalar backend's block decomposition and a
+ *     fixed per-element accumulation order, so results are
+ *     bit-identical across thread counts *within this backend*; FMA
+ *     contraction and 8-lane accumulators make low-order bits differ
+ *     from the scalar backend (tests bound the relative error).
+ *   - The quantize / bf16-round / max-abs kernels reproduce the scalar
+ *     codec bit for bit (tests assert exact equality): every step
+ *     below is an exact power-of-two scale, an exact bit manipulation,
+ *     or the same correctly-rounded float op the scalar path performs.
+ */
+#include "simd/kernels.h"
+
+#if defined(SNIP_SIMD_HAVE_AVX2)
+
+#include <immintrin.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+
+#include "quant/codec.h"
+
+namespace snip {
+namespace simd {
+
+namespace {
+
+// ------------------------------------------------------------- GEMM
+
+float
+hsum8(__m256 v)
+{
+    __m128 lo = _mm256_castps256_ps128(v);
+    __m128 hi = _mm256_extractf128_ps(v, 1);
+    lo = _mm_add_ps(lo, hi);
+    __m128 sh = _mm_movehl_ps(lo, lo);
+    lo = _mm_add_ps(lo, sh);
+    sh = _mm_shuffle_ps(lo, lo, 0x1);
+    lo = _mm_add_ss(lo, sh);
+    return _mm_cvtss_f32(lo);
+}
+
+/** One dot product arow·brow with 8-wide FMA and a scalar tail. */
+float
+dotAvx2(const float *arow, const float *brow, int64_t k)
+{
+    const int64_t k8 = k & ~int64_t{7};
+    __m256 acc = _mm256_setzero_ps();
+    for (int64_t kk = 0; kk < k8; kk += 8)
+        acc = _mm256_fmadd_ps(_mm256_loadu_ps(arow + kk),
+                              _mm256_loadu_ps(brow + kk), acc);
+    float sum = hsum8(acc);
+    for (int64_t kk = k8; kk < k; ++kk)
+        sum += arow[kk] * brow[kk];
+    return sum;
+}
+
+/**
+ * NT register-tiled microkernel: a 2-row x 4-column tile of C is held
+ * in eight 8-lane accumulators, so every A load feeds four FMAs and
+ * every B load two. Operand panels are contiguous along K already (A
+ * row-major M x K, B row-major N x K), so no copy-pack step is needed
+ * — the packed layout the microkernel wants is the layout it gets.
+ * The tile walk over a block is a pure function of the block bounds,
+ * never of the thread count.
+ */
+void
+gemmNtBlockAvx2(const float *a, const float *b, float *c, int64_t i0,
+                int64_t i1, int64_t /*m*/, int64_t n, int64_t k)
+{
+    const int64_t k8 = k & ~int64_t{7};
+    for (int64_t j0 = 0; j0 < n; j0 += kGemmBlockN) {
+        const int64_t j1 = std::min(j0 + kGemmBlockN, n);
+        int64_t i = i0;
+        for (; i + 2 <= i1; i += 2) {
+            const float *a0 = a + i * k;
+            const float *a1 = a0 + k;
+            float *c0 = c + i * n;
+            float *c1 = c0 + n;
+            int64_t j = j0;
+            for (; j + 4 <= j1; j += 4) {
+                const float *b0 = b + j * k;
+                const float *b1 = b0 + k;
+                const float *b2 = b1 + k;
+                const float *b3 = b2 + k;
+                __m256 acc00 = _mm256_setzero_ps();
+                __m256 acc01 = _mm256_setzero_ps();
+                __m256 acc02 = _mm256_setzero_ps();
+                __m256 acc03 = _mm256_setzero_ps();
+                __m256 acc10 = _mm256_setzero_ps();
+                __m256 acc11 = _mm256_setzero_ps();
+                __m256 acc12 = _mm256_setzero_ps();
+                __m256 acc13 = _mm256_setzero_ps();
+                for (int64_t kk = 0; kk < k8; kk += 8) {
+                    __m256 va0 = _mm256_loadu_ps(a0 + kk);
+                    __m256 va1 = _mm256_loadu_ps(a1 + kk);
+                    __m256 vb0 = _mm256_loadu_ps(b0 + kk);
+                    __m256 vb1 = _mm256_loadu_ps(b1 + kk);
+                    __m256 vb2 = _mm256_loadu_ps(b2 + kk);
+                    __m256 vb3 = _mm256_loadu_ps(b3 + kk);
+                    acc00 = _mm256_fmadd_ps(va0, vb0, acc00);
+                    acc01 = _mm256_fmadd_ps(va0, vb1, acc01);
+                    acc02 = _mm256_fmadd_ps(va0, vb2, acc02);
+                    acc03 = _mm256_fmadd_ps(va0, vb3, acc03);
+                    acc10 = _mm256_fmadd_ps(va1, vb0, acc10);
+                    acc11 = _mm256_fmadd_ps(va1, vb1, acc11);
+                    acc12 = _mm256_fmadd_ps(va1, vb2, acc12);
+                    acc13 = _mm256_fmadd_ps(va1, vb3, acc13);
+                }
+                float s00 = hsum8(acc00), s01 = hsum8(acc01);
+                float s02 = hsum8(acc02), s03 = hsum8(acc03);
+                float s10 = hsum8(acc10), s11 = hsum8(acc11);
+                float s12 = hsum8(acc12), s13 = hsum8(acc13);
+                for (int64_t kk = k8; kk < k; ++kk) {
+                    float av0 = a0[kk], av1 = a1[kk];
+                    s00 += av0 * b0[kk];
+                    s01 += av0 * b1[kk];
+                    s02 += av0 * b2[kk];
+                    s03 += av0 * b3[kk];
+                    s10 += av1 * b0[kk];
+                    s11 += av1 * b1[kk];
+                    s12 += av1 * b2[kk];
+                    s13 += av1 * b3[kk];
+                }
+                c0[j] += s00;
+                c0[j + 1] += s01;
+                c0[j + 2] += s02;
+                c0[j + 3] += s03;
+                c1[j] += s10;
+                c1[j + 1] += s11;
+                c1[j + 2] += s12;
+                c1[j + 3] += s13;
+            }
+            for (; j < j1; ++j) {
+                const float *brow = b + j * k;
+                c0[j] += dotAvx2(a0, brow, k);
+                c1[j] += dotAvx2(a1, brow, k);
+            }
+        }
+        for (; i < i1; ++i) {
+            const float *arow = a + i * k;
+            float *crow = c + i * n;
+            for (int64_t j = j0; j < j1; ++j)
+                crow[j] += dotAvx2(arow, b + j * k, k);
+        }
+    }
+}
+
+/** Shared NN/TN inner sweep: crow[0..n) += av * brow[0..n). */
+inline void
+axpyRowAvx2(float av, const float *brow, float *crow, int64_t n)
+{
+    const __m256 vav = _mm256_set1_ps(av);
+    const int64_t n8 = n & ~int64_t{7};
+    for (int64_t j = 0; j < n8; j += 8) {
+        __m256 cv = _mm256_loadu_ps(crow + j);
+        cv = _mm256_fmadd_ps(vav, _mm256_loadu_ps(brow + j), cv);
+        _mm256_storeu_ps(crow + j, cv);
+    }
+    for (int64_t j = n8; j < n; ++j)
+        crow[j] += av * brow[j];
+}
+
+void
+gemmNnBlockAvx2(const float *a, const float *b, float *c, int64_t i0,
+                int64_t i1, int64_t /*m*/, int64_t n, int64_t k)
+{
+    // Same k-blocked structure as the scalar backend; per C element
+    // the kk addition order is unchanged (an unrolled pair issues its
+    // two FMAs in kk order), so this backend is thread-count-invariant.
+    for (int64_t k0 = 0; k0 < k; k0 += kGemmBlockK) {
+        const int64_t k1 = std::min(k0 + kGemmBlockK, k);
+        for (int64_t i = i0; i < i1; ++i) {
+            const float *arow = a + i * k;
+            float *crow = c + i * n;
+            const int64_t n8 = n & ~int64_t{7};
+            int64_t kk = k0;
+            for (; kk + 2 <= k1; kk += 2) {
+                const __m256 va0 = _mm256_set1_ps(arow[kk]);
+                const __m256 va1 = _mm256_set1_ps(arow[kk + 1]);
+                const float *b0 = b + kk * n;
+                const float *b1 = b0 + n;
+                for (int64_t j = 0; j < n8; j += 8) {
+                    __m256 cv = _mm256_loadu_ps(crow + j);
+                    cv = _mm256_fmadd_ps(va0, _mm256_loadu_ps(b0 + j),
+                                         cv);
+                    cv = _mm256_fmadd_ps(va1, _mm256_loadu_ps(b1 + j),
+                                         cv);
+                    _mm256_storeu_ps(crow + j, cv);
+                }
+                for (int64_t j = n8; j < n; ++j) {
+                    crow[j] += arow[kk] * b0[j];
+                    crow[j] += arow[kk + 1] * b1[j];
+                }
+            }
+            for (; kk < k1; ++kk)
+                axpyRowAvx2(arow[kk], b + kk * n, crow, n);
+        }
+    }
+}
+
+void
+gemmTnBlockAvx2(const float *a, const float *b, float *c, int64_t i0,
+                int64_t i1, int64_t m, int64_t n, int64_t k)
+{
+    for (int64_t k0 = 0; k0 < k; k0 += kGemmBlockK) {
+        const int64_t k1 = std::min(k0 + kGemmBlockK, k);
+        for (int64_t kk = k0; kk < k1; ++kk) {
+            const float *arow = a + kk * m;
+            const float *brow = b + kk * n;
+            for (int64_t i = i0; i < i1; ++i) {
+                float av = arow[i];
+                if (av == 0.0f)
+                    continue;
+                axpyRowAvx2(av, brow, c + i * n, n);
+            }
+        }
+    }
+}
+
+// --------------------------------------------------- quantize / misc
+
+/**
+ * Eight-lane grid snap, bit-exact against quantizeNearest() (see
+ * QuantGrid in quant/codec.h for why each step is exact). Handling of
+ * the scalar path's special cases, in blend order: generic result →
+ * NaN forced to -max (the scalar "x > 0 ? +max : -max" on
+ * non-finites sends NaN negative regardless of its sign bit) → ±0
+ * preserved as +0. ±Inf needs no own blend: its binade scales the
+ * normal-path result to +Inf, the min() clamp brings it to max_value,
+ * and the sign bit is restored by OR.
+ */
+inline __m256
+quantize8Avx2(__m256 x, const QuantGrid &g)
+{
+    const __m256i abs_mask = _mm256_set1_epi32(0x7FFFFFFF);
+    const __m256i mant_mask = _mm256_set1_epi32(0x007FFFFF);
+    const __m256i exp_mask = _mm256_set1_epi32(0x7F800000);
+    const __m256i retag_exp =
+        _mm256_set1_epi32((127 + g.mantissa_bits) << 23);
+
+    __m256 ax = _mm256_and_ps(x, _mm256_castsi256_ps(abs_mask));
+    __m256 sign = _mm256_andnot_ps(_mm256_castsi256_ps(abs_mask), x);
+    __m256i bits = _mm256_castps_si256(ax);
+
+    // Normal range: grid index = mantissa-retagged ax, exact in float.
+    __m256 q = _mm256_castsi256_ps(_mm256_or_si256(
+        _mm256_and_si256(bits, mant_mask), retag_exp));
+    __m256 r = _mm256_round_ps(
+        q, _MM_FROUND_TO_NEAREST_INT | _MM_FROUND_NO_EXC);
+    __m256 binade = _mm256_castsi256_ps(_mm256_and_si256(bits, exp_mask));
+    __m256 res_norm = _mm256_mul_ps(
+        _mm256_mul_ps(r, _mm256_set1_ps(g.two_pow_neg_mant)), binade);
+
+    // Subnormal range: index = ax / min_subnormal via two exact
+    // power-of-two scales.
+    __m256 qs = _mm256_mul_ps(
+        _mm256_mul_ps(ax, _mm256_set1_ps(g.inv_min_sub_hi)),
+        _mm256_set1_ps(g.inv_min_sub_lo));
+    __m256 rs = _mm256_round_ps(
+        qs, _MM_FROUND_TO_NEAREST_INT | _MM_FROUND_NO_EXC);
+    __m256 res_sub = _mm256_mul_ps(rs, _mm256_set1_ps(g.min_subnormal));
+
+    __m256 is_sub =
+        _mm256_cmp_ps(ax, _mm256_set1_ps(g.min_normal), _CMP_LT_OQ);
+    __m256 res = _mm256_blendv_ps(res_norm, res_sub, is_sub);
+    // Saturation: values at or above max_value (and +Inf, and the
+    // rare round-up past the top grid point) all clamp here.
+    res = _mm256_min_ps(res, _mm256_set1_ps(g.max_value));
+    __m256 out = _mm256_or_ps(res, sign);
+
+    __m256 nan_mask = _mm256_cmp_ps(x, x, _CMP_UNORD_Q);
+    out = _mm256_blendv_ps(out, _mm256_set1_ps(-g.max_value), nan_mask);
+    __m256 zero_mask =
+        _mm256_cmp_ps(x, _mm256_setzero_ps(), _CMP_EQ_OQ);
+    return _mm256_blendv_ps(out, _mm256_setzero_ps(), zero_mask);
+}
+
+void
+quantizeNearestAvx2(float *p, int64_t count, const FloatFormat &fmt,
+                    const QuantGrid &g, float scale, float inv_scale)
+{
+    const __m256 vscale = _mm256_set1_ps(scale);
+    const __m256 vinv = _mm256_set1_ps(inv_scale);
+    const int64_t n8 = count & ~int64_t{7};
+    for (int64_t i = 0; i < n8; i += 8) {
+        __m256 x = _mm256_mul_ps(_mm256_loadu_ps(p + i), vscale);
+        _mm256_storeu_ps(p + i,
+                         _mm256_mul_ps(quantize8Avx2(x, g), vinv));
+    }
+    // Scalar codec on the tail: trivially bit-exact.
+    for (int64_t i = n8; i < count; ++i)
+        p[i] = quantizeNearest(p[i] * scale, fmt) * inv_scale;
+}
+
+void
+bf16RoundAvx2(float *p, int64_t count)
+{
+    // Same integer arithmetic as the scalar kernel, eight at a time.
+    const __m256i bias = _mm256_set1_epi32(0x7FFF);
+    const __m256i one = _mm256_set1_epi32(1);
+    const __m256i mask = _mm256_set1_epi32(
+        static_cast<int>(0xFFFF0000u));
+    const int64_t n8 = count & ~int64_t{7};
+    for (int64_t i = 0; i < n8; i += 8) {
+        __m256i u = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(p + i));
+        __m256i lsb =
+            _mm256_and_si256(_mm256_srli_epi32(u, 16), one);
+        u = _mm256_add_epi32(u, _mm256_add_epi32(bias, lsb));
+        u = _mm256_and_si256(u, mask);
+        _mm256_storeu_si256(reinterpret_cast<__m256i *>(p + i), u);
+    }
+    for (int64_t i = n8; i < count; ++i) {
+        uint32_t u;
+        std::memcpy(&u, &p[i], sizeof(u));
+        u += 0x7FFFu + ((u >> 16) & 1u);
+        u &= 0xFFFF0000u;
+        std::memcpy(&p[i], &u, sizeof(u));
+    }
+}
+
+float
+maxAbsAvx2(const float *p, int64_t count)
+{
+    const __m256 abs_mask =
+        _mm256_castsi256_ps(_mm256_set1_epi32(0x7FFFFFFF));
+    __m256 acc = _mm256_setzero_ps();
+    const int64_t n8 = count & ~int64_t{7};
+    for (int64_t i = 0; i < n8; i += 8) {
+        __m256 ax = _mm256_and_ps(_mm256_loadu_ps(p + i), abs_mask);
+        // maxps returns the second operand on unordered, so putting
+        // the accumulator second ignores NaN inputs like std::max.
+        acc = _mm256_max_ps(ax, acc);
+    }
+    __m128 lo = _mm_max_ps(_mm256_castps256_ps128(acc),
+                           _mm256_extractf128_ps(acc, 1));
+    lo = _mm_max_ps(lo, _mm_movehl_ps(lo, lo));
+    lo = _mm_max_ss(lo, _mm_shuffle_ps(lo, lo, 0x1));
+    float max_abs = _mm_cvtss_f32(lo);
+    for (int64_t i = n8; i < count; ++i)
+        max_abs = std::max(max_abs, std::fabs(p[i]));
+    return max_abs;
+}
+
+void
+errorStatsAvx2(const float *ref, const float *q, int64_t count,
+               double *sum_sq, double *max_err)
+{
+    __m256d acc0 = _mm256_setzero_pd();
+    __m256d acc1 = _mm256_setzero_pd();
+    __m256d vmax = _mm256_setzero_pd();
+    const __m256d abs_mask = _mm256_castsi256_pd(
+        _mm256_set1_epi64x(0x7FFFFFFFFFFFFFFFll));
+    const int64_t n8 = count & ~int64_t{7};
+    for (int64_t i = 0; i < n8; i += 8) {
+        __m256 vr = _mm256_loadu_ps(ref + i);
+        __m256 vq = _mm256_loadu_ps(q + i);
+        __m256d d0 = _mm256_sub_pd(
+            _mm256_cvtps_pd(_mm256_castps256_ps128(vq)),
+            _mm256_cvtps_pd(_mm256_castps256_ps128(vr)));
+        __m256d d1 =
+            _mm256_sub_pd(_mm256_cvtps_pd(_mm256_extractf128_ps(vq, 1)),
+                          _mm256_cvtps_pd(_mm256_extractf128_ps(vr, 1)));
+        acc0 = _mm256_fmadd_pd(d0, d0, acc0);
+        acc1 = _mm256_fmadd_pd(d1, d1, acc1);
+        vmax = _mm256_max_pd(_mm256_and_pd(d0, abs_mask), vmax);
+        vmax = _mm256_max_pd(_mm256_and_pd(d1, abs_mask), vmax);
+    }
+    __m256d acc = _mm256_add_pd(acc0, acc1);
+    __m128d s = _mm_add_pd(_mm256_castpd256_pd128(acc),
+                           _mm256_extractf128_pd(acc, 1));
+    double sum = _mm_cvtsd_f64(s) +
+                 _mm_cvtsd_f64(_mm_unpackhi_pd(s, s));
+    __m128d m = _mm_max_pd(_mm256_castpd256_pd128(vmax),
+                           _mm256_extractf128_pd(vmax, 1));
+    double max_e = std::max(_mm_cvtsd_f64(m),
+                            _mm_cvtsd_f64(_mm_unpackhi_pd(m, m)));
+    for (int64_t i = n8; i < count; ++i) {
+        double d = static_cast<double>(q[i]) - ref[i];
+        sum += d * d;
+        max_e = std::max(max_e, std::fabs(d));
+    }
+    *sum_sq = sum;
+    *max_err = max_e;
+}
+
+} // namespace
+
+const KernelTable &
+avx2Kernels()
+{
+    static const KernelTable table = {
+        "avx2",          gemmNtBlockAvx2, gemmNnBlockAvx2,
+        gemmTnBlockAvx2, quantizeNearestAvx2,
+        bf16RoundAvx2,   maxAbsAvx2,      errorStatsAvx2,
+    };
+    return table;
+}
+
+bool
+avx2Compiled()
+{
+    return true;
+}
+
+} // namespace simd
+} // namespace snip
+
+#else // !SNIP_SIMD_HAVE_AVX2
+
+namespace snip {
+namespace simd {
+
+const KernelTable &
+avx2Kernels()
+{
+    // Never selected: dispatch treats AVX2 as unavailable in builds
+    // without the backend. Returning the scalar table keeps the
+    // symbol defined without an #ifdef in every caller.
+    return scalarKernels();
+}
+
+bool
+avx2Compiled()
+{
+    return false;
+}
+
+} // namespace simd
+} // namespace snip
+
+#endif // SNIP_SIMD_HAVE_AVX2

@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Portable scalar backend: the plain C++ kernels every build compiles.
+ *
+ * These are the reference implementations — the GEMM blocks are the
+ * cache-blocked loops the library shipped before runtime dispatch
+ * existed, and the quantize sweep calls the scalar codec directly.
+ * tests/test_simd.cpp holds the AVX2 backend to these outputs.
+ */
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+
+#include "quant/codec.h"
+#include "simd/kernels.h"
+
+namespace snip {
+namespace simd {
+
+namespace {
+
+void
+gemmNtBlockScalar(const float *a, const float *b, float *c, int64_t i0,
+                  int64_t i1, int64_t /*m*/, int64_t n, int64_t k)
+{
+    // Each C element is one dot product; the N-blocked loop order is
+    // fixed, so any thread count reproduces the same bits.
+    for (int64_t j0 = 0; j0 < n; j0 += kGemmBlockN) {
+        int64_t j1 = std::min(j0 + kGemmBlockN, n);
+        for (int64_t i = i0; i < i1; ++i) {
+            const float *arow = a + i * k;
+            float *crow = c + i * n;
+            for (int64_t j = j0; j < j1; ++j) {
+                const float *brow = b + j * k;
+                float acc = 0.0f;
+                for (int64_t kk = 0; kk < k; ++kk)
+                    acc += arow[kk] * brow[kk];
+                crow[j] += acc;
+            }
+        }
+    }
+}
+
+void
+gemmNnBlockScalar(const float *a, const float *b, float *c, int64_t i0,
+                  int64_t i1, int64_t /*m*/, int64_t n, int64_t k)
+{
+    for (int64_t k0 = 0; k0 < k; k0 += kGemmBlockK) {
+        int64_t k1 = std::min(k0 + kGemmBlockK, k);
+        for (int64_t i = i0; i < i1; ++i) {
+            const float *arow = a + i * k;
+            float *crow = c + i * n;
+            for (int64_t kk = k0; kk < k1; ++kk) {
+                float av = arow[kk];
+                const float *brow = b + kk * n;
+                for (int64_t j = 0; j < n; ++j)
+                    crow[j] += av * brow[j];
+            }
+        }
+    }
+}
+
+void
+gemmTnBlockScalar(const float *a, const float *b, float *c, int64_t i0,
+                  int64_t i1, int64_t m, int64_t n, int64_t k)
+{
+    // C[i,j] += sum_kk A[kk,i] * B[kk,j]; kk stays the outer loop so A
+    // and B are read row-wise. Per C row the kk order is fixed.
+    for (int64_t k0 = 0; k0 < k; k0 += kGemmBlockK) {
+        int64_t k1 = std::min(k0 + kGemmBlockK, k);
+        for (int64_t kk = k0; kk < k1; ++kk) {
+            const float *arow = a + kk * m;
+            const float *brow = b + kk * n;
+            for (int64_t i = i0; i < i1; ++i) {
+                float av = arow[i];
+                if (av == 0.0f)
+                    continue;
+                float *crow = c + i * n;
+                for (int64_t j = 0; j < n; ++j)
+                    crow[j] += av * brow[j];
+            }
+        }
+    }
+}
+
+void
+quantizeNearestScalar(float *p, int64_t count, const FloatFormat &fmt,
+                      const QuantGrid & /*grid*/, float scale,
+                      float inv_scale)
+{
+    for (int64_t i = 0; i < count; ++i)
+        p[i] = quantizeNearest(p[i] * scale, fmt) * inv_scale;
+}
+
+void
+bf16RoundScalar(float *p, int64_t count)
+{
+    for (int64_t i = 0; i < count; ++i) {
+        uint32_t u;
+        std::memcpy(&u, &p[i], sizeof(u));
+        u += 0x7FFFu + ((u >> 16) & 1u);
+        u &= 0xFFFF0000u;
+        std::memcpy(&p[i], &u, sizeof(u));
+    }
+}
+
+float
+maxAbsScalar(const float *p, int64_t count)
+{
+    float max_abs = 0.0f;
+    for (int64_t i = 0; i < count; ++i)
+        max_abs = std::max(max_abs, std::fabs(p[i]));
+    return max_abs;
+}
+
+void
+errorStatsScalar(const float *ref, const float *q, int64_t count,
+                 double *sum_sq, double *max_err)
+{
+    double acc = 0.0;
+    double max_e = 0.0;
+    for (int64_t i = 0; i < count; ++i) {
+        double d = static_cast<double>(q[i]) - ref[i];
+        acc += d * d;
+        max_e = std::max(max_e, std::fabs(d));
+    }
+    *sum_sq = acc;
+    *max_err = max_e;
+}
+
+} // namespace
+
+const KernelTable &
+scalarKernels()
+{
+    static const KernelTable table = {
+        "scalar",          gemmNtBlockScalar, gemmNnBlockScalar,
+        gemmTnBlockScalar, quantizeNearestScalar,
+        bf16RoundScalar,   maxAbsScalar,      errorStatsScalar,
+    };
+    return table;
+}
+
+} // namespace simd
+} // namespace snip

@@ -3,24 +3,43 @@
 #include <cstring>
 
 #include "runtime/thread_pool.h"
+#include "simd/dispatch.h"
+#include "simd/kernels.h"
 
 namespace snip {
 
 namespace {
 
-/// Block sizes chosen so an A-panel plus a B-panel fit in L1/L2.
-constexpr int64_t kBlockM = 64;
-constexpr int64_t kBlockN = 64;
-constexpr int64_t kBlockK = 128;
-
-/// Number of kBlockM-row blocks (the parallelFor unit for all three
-/// variants: every worker owns whole rows of C, so outputs are disjoint
-/// and the per-element accumulation order never depends on thread
-/// count).
+/// Number of kGemmBlockM-row blocks (the parallelFor unit for all
+/// three variants: every worker owns whole rows of C, so outputs are
+/// disjoint and the per-element accumulation order never depends on
+/// thread count).
 int64_t
 mBlocks(int64_t m)
 {
-    return (m + kBlockM - 1) / kBlockM;
+    return (m + simd::kGemmBlockM - 1) / simd::kGemmBlockM;
+}
+
+/**
+ * Shared driver: fan M-blocks of C out over the thread pool and hand
+ * each block to the dispatched backend microkernel. Zeroing happens
+ * here (backend-independent) so the kernels always accumulate.
+ */
+void
+gemmBlocked(simd::GemmBlockFn block_fn, const float *a, const float *b,
+            float *c, int64_t m, int64_t n, int64_t k, bool accumulate)
+{
+    runtime::parallelFor(0, mBlocks(m), 1, [=](int64_t b0, int64_t b1) {
+        for (int64_t bi = b0; bi < b1; ++bi) {
+            const int64_t i0 = bi * simd::kGemmBlockM;
+            const int64_t i1 = std::min(i0 + simd::kGemmBlockM, m);
+            if (!accumulate)
+                std::memset(c + i0 * n, 0,
+                            sizeof(float) *
+                                static_cast<size_t>((i1 - i0) * n));
+            block_fn(a, b, c, i0, i1, m, n, k);
+        }
+    });
 }
 
 } // namespace
@@ -29,98 +48,24 @@ void
 gemmNN(const float *a, const float *b, float *c, int64_t m, int64_t n,
        int64_t k, bool accumulate)
 {
-    runtime::parallelFor(0, mBlocks(m), 1, [=](int64_t b0, int64_t b1) {
-        for (int64_t bi = b0; bi < b1; ++bi) {
-            const int64_t i0 = bi * kBlockM;
-            const int64_t i1 = std::min(i0 + kBlockM, m);
-            if (!accumulate)
-                std::memset(c + i0 * n, 0,
-                            sizeof(float) *
-                                static_cast<size_t>((i1 - i0) * n));
-            for (int64_t k0 = 0; k0 < k; k0 += kBlockK) {
-                int64_t k1 = std::min(k0 + kBlockK, k);
-                for (int64_t i = i0; i < i1; ++i) {
-                    const float *arow = a + i * k;
-                    float *crow = c + i * n;
-                    for (int64_t kk = k0; kk < k1; ++kk) {
-                        float av = arow[kk];
-                        const float *brow = b + kk * n;
-                        for (int64_t j = 0; j < n; ++j)
-                            crow[j] += av * brow[j];
-                    }
-                }
-            }
-        }
-    });
+    gemmBlocked(simd::activeKernels().gemmNnBlock, a, b, c, m, n, k,
+                accumulate);
 }
 
 void
 gemmNT(const float *a, const float *b, float *c, int64_t m, int64_t n,
        int64_t k, bool accumulate)
 {
-    // Each task owns an M-block x all-N stripe of C; within the stripe
-    // the N-blocked loop order matches the serial kernel exactly, and
-    // each C element is produced by a single dot product, so results are
-    // bit-identical for any thread count.
-    runtime::parallelFor(0, mBlocks(m), 1, [=](int64_t b0, int64_t b1) {
-        for (int64_t bi = b0; bi < b1; ++bi) {
-            const int64_t i0 = bi * kBlockM;
-            const int64_t i1 = std::min(i0 + kBlockM, m);
-            if (!accumulate)
-                std::memset(c + i0 * n, 0,
-                            sizeof(float) *
-                                static_cast<size_t>((i1 - i0) * n));
-            for (int64_t j0 = 0; j0 < n; j0 += kBlockN) {
-                int64_t j1 = std::min(j0 + kBlockN, n);
-                for (int64_t i = i0; i < i1; ++i) {
-                    const float *arow = a + i * k;
-                    float *crow = c + i * n;
-                    for (int64_t j = j0; j < j1; ++j) {
-                        const float *brow = b + j * k;
-                        float acc = 0.0f;
-                        for (int64_t kk = 0; kk < k; ++kk)
-                            acc += arow[kk] * brow[kk];
-                        crow[j] += acc;
-                    }
-                }
-            }
-        }
-    });
+    gemmBlocked(simd::activeKernels().gemmNtBlock, a, b, c, m, n, k,
+                accumulate);
 }
 
 void
 gemmTN(const float *a, const float *b, float *c, int64_t m, int64_t n,
        int64_t k, bool accumulate)
 {
-    // C[i,j] += sum_kk A[kk,i] * B[kk,j]; kk stays the outer loop so A
-    // and B are read row-wise, while workers partition the i (row-of-C)
-    // dimension. Per C row the kk accumulation order is unchanged, so
-    // any thread count reproduces the serial result bit for bit.
-    runtime::parallelFor(0, mBlocks(m), 1, [=](int64_t b0, int64_t b1) {
-        for (int64_t bi = b0; bi < b1; ++bi) {
-            const int64_t i0 = bi * kBlockM;
-            const int64_t i1 = std::min(i0 + kBlockM, m);
-            if (!accumulate)
-                std::memset(c + i0 * n, 0,
-                            sizeof(float) *
-                                static_cast<size_t>((i1 - i0) * n));
-            for (int64_t k0 = 0; k0 < k; k0 += kBlockK) {
-                int64_t k1 = std::min(k0 + kBlockK, k);
-                for (int64_t kk = k0; kk < k1; ++kk) {
-                    const float *arow = a + kk * m;
-                    const float *brow = b + kk * n;
-                    for (int64_t i = i0; i < i1; ++i) {
-                        float av = arow[i];
-                        if (av == 0.0f)
-                            continue;
-                        float *crow = c + i * n;
-                        for (int64_t j = 0; j < n; ++j)
-                            crow[j] += av * brow[j];
-                    }
-                }
-            }
-        }
-    });
+    gemmBlocked(simd::activeKernels().gemmTnBlock, a, b, c, m, n, k,
+                accumulate);
 }
 
 Tensor

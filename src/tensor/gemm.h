@@ -6,15 +6,18 @@
  *   - NT: C[M,N] = A[M,K] * B[N,K]^T   (forward:  Y  = X  W^T)
  *   - NN: C[M,N] = A[M,K] * B[K,N]     (backward: dX = dY W)
  *   - TN: C[M,N] = A[K,M]^T * B[K,N]   (backward: dW = dY^T X)
- * Kernels are cache-blocked plain C++ (the compiler vectorizes the inner
- * loops); raw-pointer entry points serve hot paths and Tensor wrappers
- * serve everything else.
+ * Kernels are cache-blocked and dispatch their inner block microkernel
+ * through the runtime-selected SIMD backend (simd/dispatch.h,
+ * SNIP_SIMD=auto|avx2|scalar); raw-pointer entry points serve hot
+ * paths and Tensor wrappers serve everything else.
  *
  * All three kernels fan M-blocks of C out over the shared thread pool
- * (runtime/thread_pool.h). Workers own whole rows of C and the
- * per-element accumulation order is fixed, so results are bit-identical
- * to the serial kernel for any thread count (set SNIP_THREADS=1 to
- * force serial execution).
+ * (runtime/thread_pool.h). Workers own whole rows of C and, within one
+ * backend, the per-element accumulation order is fixed, so results are
+ * bit-identical to the serial kernel for any thread count (set
+ * SNIP_THREADS=1 to force serial execution). Different SIMD backends
+ * may differ in low-order bits (FMA contraction, vector-lane
+ * accumulation order).
  */
 #ifndef SNIP_TENSOR_GEMM_H
 #define SNIP_TENSOR_GEMM_H

@@ -1,0 +1,360 @@
+/**
+ * @file
+ * SIMD backend dispatch and scalar-vs-AVX2 agreement.
+ *
+ * Contracts under test (simd/kernels.h):
+ *   - SNIP_SIMD forces a backend and activeBackendName() reports it;
+ *   - quantize / bf16-round / max-abs agree bit for bit across
+ *     backends (asserted exactly, which is stronger than the 1-ULP
+ *     requirement);
+ *   - GEMM agrees across backends within a relative-error bound and
+ *     is bit-identical across 1/2/8 threads within each backend.
+ * AVX2 comparisons skip with a message on hosts without AVX2+FMA.
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "quant/codec.h"
+#include "quant/error_metrics.h"
+#include "quant/quantizer.h"
+#include "simd/dispatch.h"
+#include "simd/kernels.h"
+#include "tensor/gemm.h"
+#include "tensor/ops.h"
+#include "testing_util.h"
+#include "util/rng.h"
+
+namespace snip {
+namespace {
+
+/** Restores the pre-test SNIP_SIMD value (and the dispatch decision
+ *  derived from it) when a test ends, so an externally forced backend
+ *  — e.g. CI's `SNIP_SIMD=scalar ctest -L simd` — stays forced for
+ *  the tests that follow. */
+struct BackendGuard
+{
+    BackendGuard()
+    {
+        const char *v = std::getenv("SNIP_SIMD");
+        had_value_ = v != nullptr;
+        if (had_value_)
+            saved_ = v;
+    }
+    BackendGuard(const BackendGuard &) = delete;
+    BackendGuard &operator=(const BackendGuard &) = delete;
+    ~BackendGuard()
+    {
+        if (had_value_)
+            setenv("SNIP_SIMD", saved_.c_str(), 1);
+        else
+            unsetenv("SNIP_SIMD");
+        simd::reinitFromEnv();
+    }
+
+  private:
+    bool had_value_ = false;
+    std::string saved_;
+};
+
+#define SKIP_WITHOUT_AVX2()                                               \
+    do {                                                                  \
+        if (!simd::cpuSupportsAvx2())                                     \
+            GTEST_SKIP() << "AVX2+FMA not available on this host/build"; \
+    } while (0)
+
+TEST(SimdDispatch, EnvForcesScalar)
+{
+    BackendGuard guard;
+    setenv("SNIP_SIMD", "scalar", 1);
+    simd::reinitFromEnv();
+    EXPECT_STREQ(simd::activeBackendName(), "scalar");
+    EXPECT_EQ(simd::activeBackend(), simd::Backend::Scalar);
+}
+
+TEST(SimdDispatch, EnvForcesAvx2)
+{
+    SKIP_WITHOUT_AVX2();
+    BackendGuard guard;
+    setenv("SNIP_SIMD", "avx2", 1);
+    simd::reinitFromEnv();
+    EXPECT_STREQ(simd::activeBackendName(), "avx2");
+    EXPECT_EQ(simd::activeBackend(), simd::Backend::Avx2);
+}
+
+TEST(SimdDispatch, AutoPicksBestAvailable)
+{
+    BackendGuard guard;
+    setenv("SNIP_SIMD", "auto", 1);
+    simd::reinitFromEnv();
+    EXPECT_STREQ(simd::activeBackendName(),
+                 simd::cpuSupportsAvx2() ? "avx2" : "scalar");
+}
+
+TEST(SimdDispatch, SetBackendByName)
+{
+    BackendGuard guard;
+    EXPECT_TRUE(simd::setBackendByName("scalar"));
+    EXPECT_STREQ(simd::activeBackendName(), "scalar");
+    EXPECT_FALSE(simd::setBackendByName("neon"));
+    EXPECT_STREQ(simd::activeBackendName(), "scalar");
+    EXPECT_EQ(simd::setBackendByName("avx2"),
+              simd::cpuSupportsAvx2());
+}
+
+/** Values exercising every quantizer branch: normals across binades,
+ *  subnormals, ties, saturation, zeros, and non-finites. */
+std::vector<float>
+adversarialValues(const FloatFormat &fmt)
+{
+    const float max_v = static_cast<float>(fmt.maxValue());
+    const float min_n = static_cast<float>(fmt.minNormal());
+    const float min_s = static_cast<float>(fmt.minSubnormal());
+    std::vector<float> vals = {
+        0.0f,
+        -0.0f,
+        min_s * 0.25f,
+        -min_s * 0.25f,
+        min_s * 0.5f, // tie on the subnormal grid
+        min_s,
+        min_n * 0.999f,
+        min_n,
+        max_v * 0.999f,
+        max_v,
+        -max_v,
+        max_v * 1.5f,
+        -max_v * 1.5f,
+        std::numeric_limits<float>::infinity(),
+        -std::numeric_limits<float>::infinity(),
+        std::numeric_limits<float>::quiet_NaN(),
+        std::numeric_limits<float>::denorm_min(),
+        std::numeric_limits<float>::max(),
+    };
+    // Dense coverage of the grid, including exact ties: odd multiples
+    // of half a ULP land exactly between grid points.
+    Rng rng(7);
+    for (int i = 0; i < 4000; ++i) {
+        float v = static_cast<float>(rng.nextGaussian() *
+                                     std::pow(10.0, rng.nextRange(-9, 9)));
+        vals.push_back(v);
+        double ulp = ulpAt(v, fmt);
+        vals.push_back(static_cast<float>(
+            std::fabs(static_cast<double>(v)) + 0.5 * ulp));
+    }
+    return vals;
+}
+
+TEST(SimdQuantize, BitExactAcrossBackendsEveryFormat)
+{
+    SKIP_WITHOUT_AVX2();
+    const FloatFormat *formats[] = {&fp4E2m1(),  &fp6E3m2(), &fp8E4m3(),
+                                    &fp8E5m2(),  &bf16(),    &fp16()};
+    for (const FloatFormat *fmt : formats) {
+        std::vector<float> vals = adversarialValues(*fmt);
+        const QuantGrid grid = quantGrid(*fmt);
+        for (float scale : {1.0f, 0.731f, 512.0f}) {
+            std::vector<float> a = vals, b = vals;
+            const float inv = 1.0f / scale;
+            simd::scalarKernels().quantizeNearest(
+                a.data(), static_cast<int64_t>(a.size()), *fmt, grid,
+                scale, inv);
+            simd::avx2Kernels().quantizeNearest(
+                b.data(), static_cast<int64_t>(b.size()), *fmt, grid,
+                scale, inv);
+            ASSERT_EQ(0, std::memcmp(a.data(), b.data(),
+                                     a.size() * sizeof(float)))
+                << fmt->name << " scale=" << scale;
+        }
+    }
+}
+
+TEST(SimdQuantize, Bf16RoundBitExactAcrossBackends)
+{
+    SKIP_WITHOUT_AVX2();
+    std::vector<float> vals = adversarialValues(bf16());
+    std::vector<float> a = vals, b = vals;
+    simd::scalarKernels().bf16Round(a.data(),
+                                    static_cast<int64_t>(a.size()));
+    simd::avx2Kernels().bf16Round(b.data(),
+                                  static_cast<int64_t>(b.size()));
+    EXPECT_EQ(0,
+              std::memcmp(a.data(), b.data(), a.size() * sizeof(float)));
+}
+
+TEST(SimdQuantize, MaxAbsBitExactAcrossBackends)
+{
+    SKIP_WITHOUT_AVX2();
+    Rng rng(17);
+    for (int64_t n : {0, 1, 7, 8, 9, 1000}) {
+        std::vector<float> v(static_cast<size_t>(n));
+        for (auto &x : v)
+            x = static_cast<float>(rng.nextGaussian() * 100.0);
+        if (n > 3)
+            v[3] = std::numeric_limits<float>::quiet_NaN();
+        float s = simd::scalarKernels().maxAbs(v.data(), n);
+        float a = simd::avx2Kernels().maxAbs(v.data(), n);
+        EXPECT_EQ(s, a) << "n=" << n;
+    }
+}
+
+TEST(SimdQuantize, FakeQuantizerEndToEndMatchesAt128Threads)
+{
+    SKIP_WITHOUT_AVX2();
+    BackendGuard backend_guard;
+    GlobalPoolGuard pool_guard;
+    Rng rng(5);
+    Tensor t = Tensor::randn({130, 257}, rng, 3.0f);
+    const QuantConfig cfg{fp4E2m1(),
+                          {Granularity::Tilewise, 128},
+                          Rounding::Nearest};
+
+    setenv("SNIP_SIMD", "scalar", 1);
+    simd::reinitFromEnv();
+    runtime::setGlobalThreadCount(1);
+    FakeQuantizer qs(9);
+    const Tensor ref = qs.quantize(t, cfg);
+
+    for (const char *backend : {"scalar", "avx2"}) {
+        setenv("SNIP_SIMD", backend, 1);
+        simd::reinitFromEnv();
+        for (int threads : {1, 2, 8}) {
+            runtime::setGlobalThreadCount(threads);
+            FakeQuantizer q(9);
+            EXPECT_TRUE(q.quantize(t, cfg) == ref)
+                << backend << " @ " << threads << " threads";
+        }
+    }
+}
+
+TEST(SimdGemm, BackendsAgreeWithinTolerance)
+{
+    SKIP_WITHOUT_AVX2();
+    BackendGuard backend_guard;
+    GlobalPoolGuard pool_guard;
+    // Shapes straddle the 64-wide block and the 2x4 register tile to
+    // exercise every remainder path.
+    const int64_t m = 131, n = 97, k = 71;
+    Rng rng(23);
+    Tensor a_nt = Tensor::randn({m, k}, rng);
+    Tensor b_nt = Tensor::randn({n, k}, rng);
+    Tensor a_nn = Tensor::randn({m, k}, rng);
+    Tensor b_nn = Tensor::randn({k, n}, rng);
+    Tensor a_tn = Tensor::randn({k, m}, rng);
+    Tensor b_tn = Tensor::randn({k, n}, rng);
+
+    auto compute = [&]() {
+        std::vector<Tensor> r;
+        r.push_back(matmulNT(a_nt, b_nt));
+        r.push_back(matmulNN(a_nn, b_nn));
+        r.push_back(matmulTN(a_tn, b_tn));
+        return r;
+    };
+
+    setenv("SNIP_SIMD", "scalar", 1);
+    simd::reinitFromEnv();
+    runtime::setGlobalThreadCount(1);
+    const std::vector<Tensor> ref = compute();
+
+    for (const char *backend : {"scalar", "avx2"}) {
+        setenv("SNIP_SIMD", backend, 1);
+        simd::reinitFromEnv();
+        runtime::setGlobalThreadCount(1);
+        const std::vector<Tensor> base = compute();
+        // Within one backend: bit-identical for any thread count.
+        for (int threads : {2, 8}) {
+            runtime::setGlobalThreadCount(threads);
+            const std::vector<Tensor> got = compute();
+            for (size_t v = 0; v < got.size(); ++v) {
+                EXPECT_TRUE(got[v] == base[v])
+                    << backend << " variant " << v << " @ " << threads
+                    << " threads";
+            }
+        }
+        // Across backends: low-order bits may differ (FMA, lane
+        // order); bound the relative Frobenius error.
+        for (size_t v = 0; v < base.size(); ++v) {
+            EXPECT_LT(diffNorm(base[v], ref[v]),
+                      1e-6 * (1.0 + frobeniusNorm(ref[v])))
+                << backend << " variant " << v;
+        }
+    }
+}
+
+TEST(SimdGemm, AccumulateAgreesAcrossBackends)
+{
+    SKIP_WITHOUT_AVX2();
+    BackendGuard guard;
+    const int64_t m = 66, n = 35, k = 19;
+    Rng rng(29);
+    Tensor a = Tensor::randn({m, k}, rng);
+    Tensor b = Tensor::randn({n, k}, rng);
+    Tensor init = Tensor::randn({m, n}, rng);
+
+    Tensor cs = init;
+    setenv("SNIP_SIMD", "scalar", 1);
+    simd::reinitFromEnv();
+    gemmNT(a.data(), b.data(), cs.data(), m, n, k, /*accumulate=*/true);
+
+    Tensor ca = init;
+    setenv("SNIP_SIMD", "avx2", 1);
+    simd::reinitFromEnv();
+    gemmNT(a.data(), b.data(), ca.data(), m, n, k, /*accumulate=*/true);
+
+    EXPECT_LT(diffNorm(cs, ca), 1e-6 * (1.0 + frobeniusNorm(cs)));
+}
+
+TEST(SimdErrorStats, BackendsAgree)
+{
+    SKIP_WITHOUT_AVX2();
+    Rng rng(31);
+    for (int64_t n : {0, 1, 5, 8, 13, 4096}) {
+        std::vector<float> ref(static_cast<size_t>(n)),
+            q(static_cast<size_t>(n));
+        for (int64_t i = 0; i < n; ++i) {
+            ref[static_cast<size_t>(i)] =
+                static_cast<float>(rng.nextGaussian());
+            q[static_cast<size_t>(i)] =
+                ref[static_cast<size_t>(i)] +
+                static_cast<float>(rng.nextGaussian() * 1e-3);
+        }
+        double ss = 0, sm = 0, as = 0, am = 0;
+        simd::scalarKernels().errorStats(ref.data(), q.data(), n, &ss,
+                                         &sm);
+        simd::avx2Kernels().errorStats(ref.data(), q.data(), n, &as,
+                                       &am);
+        EXPECT_EQ(sm, am) << "max must be exact, n=" << n;
+        EXPECT_NEAR(ss, as, 1e-12 * (1.0 + ss)) << "n=" << n;
+    }
+}
+
+TEST(SimdErrorStats, MeasureQuantErrorStableAcrossBackends)
+{
+    SKIP_WITHOUT_AVX2();
+    BackendGuard guard;
+    Rng rng(37);
+    Tensor t = Tensor::randn({64, 96}, rng);
+    FakeQuantizer quant(1);
+    const QuantConfig cfg{fp8E4m3(),
+                          {Granularity::Blockwise, 128},
+                          Rounding::Nearest};
+
+    setenv("SNIP_SIMD", "scalar", 1);
+    simd::reinitFromEnv();
+    QuantError es = measureQuantError(t, cfg, quant);
+
+    setenv("SNIP_SIMD", "avx2", 1);
+    simd::reinitFromEnv();
+    QuantError ea = measureQuantError(t, cfg, quant);
+
+    EXPECT_EQ(es.max_error, ea.max_error);
+    EXPECT_NEAR(es.abs_error, ea.abs_error, 1e-9 * (1.0 + es.abs_error));
+    EXPECT_NEAR(es.rel_error, ea.rel_error, 1e-9);
+}
+
+} // namespace
+} // namespace snip

@@ -1,0 +1,149 @@
+#!/usr/bin/env python3
+"""Tolerant google-benchmark regression gate.
+
+Compares a fresh ``--benchmark_out`` JSON file against a checked-in
+baseline (bench/baseline_kernels.json) and fails when any benchmark
+regressed by more than the tolerance.
+
+Because CI runners and developer machines differ in absolute speed,
+the comparison is *relative* by default: each benchmark's cost ratio
+(new / baseline) is normalized by the median ratio across all common
+benchmarks, so a uniformly slower machine cancels out and only
+benchmarks that regressed relative to their peers trip the gate. Use
+--absolute to compare raw ratios instead (same-machine runs).
+
+Cost is 1/items_per_second when the benchmark reports it, else
+real_time (normalized to nanoseconds). Aggregate rows (mean/median/
+stddev) and error rows are skipped; rows matching --exclude (e.g. the
+thread-sweep rows, whose scaling depends on the runner's core count)
+are ignored. Benchmarks present on only one side are reported but
+never fail the gate, so adding or retiring benchmarks does not require
+a lockstep baseline update.
+
+Usage:
+  check_bench.py NEW.json [--baseline bench/baseline_kernels.json]
+                 [--tolerance 0.25] [--exclude REGEX] [--absolute]
+                 [--update]
+"""
+
+import argparse
+import json
+import re
+import shutil
+import statistics
+import sys
+
+TIME_UNIT_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
+
+
+def load_costs(path, exclude):
+    """Map benchmark name -> cost (lower is better) from a JSON file."""
+    with open(path) as f:
+        data = json.load(f)
+    costs = {}
+    for bench in data.get("benchmarks", []):
+        name = bench.get("name", "")
+        if bench.get("run_type") == "aggregate":
+            continue
+        if bench.get("error_occurred"):
+            continue
+        if exclude and exclude.search(name):
+            continue
+        if bench.get("items_per_second"):
+            costs[name] = 1.0 / bench["items_per_second"]
+        elif "real_time" in bench:
+            unit = TIME_UNIT_NS.get(bench.get("time_unit", "ns"), 1.0)
+            costs[name] = bench["real_time"] * unit
+    return costs
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter
+    )
+    parser.add_argument("new", help="fresh --benchmark_out JSON file")
+    parser.add_argument(
+        "--baseline",
+        default="bench/baseline_kernels.json",
+        help="checked-in baseline JSON (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.25,
+        help="allowed fractional regression (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--exclude",
+        default=None,
+        help="regex of benchmark names to ignore (e.g. 'threads:')",
+    )
+    parser.add_argument(
+        "--absolute",
+        action="store_true",
+        help="skip median normalization (same-machine comparison)",
+    )
+    parser.add_argument(
+        "--update",
+        action="store_true",
+        help="copy NEW over the baseline instead of comparing",
+    )
+    args = parser.parse_args()
+
+    if args.update:
+        shutil.copyfile(args.new, args.baseline)
+        print(f"baseline updated: {args.baseline} <- {args.new}")
+        return 0
+
+    exclude = re.compile(args.exclude) if args.exclude else None
+    new = load_costs(args.new, exclude)
+    base = load_costs(args.baseline, exclude)
+
+    common = sorted(set(new) & set(base))
+    only_new = sorted(set(new) - set(base))
+    only_base = sorted(set(base) - set(new))
+    if only_new:
+        print(f"note: {len(only_new)} benchmark(s) not in baseline "
+              f"(not gated): {', '.join(only_new)}")
+    if only_base:
+        print(f"note: {len(only_base)} baseline benchmark(s) not in "
+              f"this run: {', '.join(only_base)}")
+    if not common:
+        print("error: no common benchmarks between run and baseline")
+        return 1
+
+    ratios = {name: new[name] / base[name] for name in common}
+    scale = 1.0 if args.absolute else statistics.median(ratios.values())
+    if scale <= 0:
+        print(f"error: non-positive normalization scale {scale}")
+        return 1
+    if not args.absolute:
+        print(f"machine-speed normalization: median cost ratio "
+              f"{scale:.3f} (1.0 = baseline machine)")
+
+    limit = 1.0 + args.tolerance
+    regressions = []
+    print(f"{'benchmark':<44} {'ratio':>8} {'norm':>8}")
+    for name in common:
+        norm = ratios[name] / scale
+        flag = ""
+        if norm > limit:
+            regressions.append((name, norm))
+            flag = f"  <-- REGRESSION (> {limit:.2f}x)"
+        print(f"{name:<44} {ratios[name]:>8.3f} {norm:>8.3f}{flag}")
+
+    if regressions:
+        print(f"\nFAIL: {len(regressions)} benchmark(s) regressed more "
+              f"than {args.tolerance:.0%} vs {args.baseline}:")
+        for name, norm in regressions:
+            print(f"  {name}: {norm:.2f}x normalized cost")
+        print("If the slowdown is intended, refresh the baseline with "
+              "--update and commit it.")
+        return 1
+    print(f"\nOK: {len(common)} benchmark(s) within {args.tolerance:.0%} "
+          f"of {args.baseline}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
