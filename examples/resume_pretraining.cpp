@@ -6,12 +6,20 @@
  * — BF16, SNIP at 75% FP4, and uniform FP4 — on identical data, and
  * compare losses and benchmark accuracy.
  *
+ * The SNIP resume runs with the *async* controller: scheme updates are
+ * solved on the background worker (through the persistent solve
+ * cache), training is checkpointed mid-interval with the update still
+ * in flight, and a fresh trainer+controller resume from that file and
+ * walk the identical loss trajectory.
+ *
  *   ./resume_pretraining [--warmup=300] [--steps=40]
  */
+#include <cmath>
 #include <cstdio>
 
 #include "core/controller.h"
 #include "eval/harness.h"
+#include "ilp/solve_cache.h"
 #include "train/checkpoint.h"
 #include "train/presets.h"
 #include "util/string_util.h"
@@ -74,5 +82,55 @@ main(int argc, char **argv)
                     policy.name, static_cast<long long>(steps),
                     losses.back(), eval.average);
     }
+
+    // --- Async controller + solve cache + mid-interval resume -------
+    std::printf("\nasync scheme updates with periodic re-search:\n");
+    SolveCache cache("resume_solve_cache.bin");
+    SnipController::Config cc;
+    cc.target_fp4_fraction = 0.75;
+    cc.update_interval = steps > 4 ? steps / 2 : 2;
+    cc.apply_delay = cc.update_interval / 2;
+    cc.async = true;
+    cc.solve.cache = &cache;
+
+    trainer.restore(ckpt);
+    SnipController controller(cc);
+    std::vector<double> first_half;
+    for (int64_t i = 0; i < steps / 2 + 1; ++i)
+        first_half.push_back(trainer.trainStep(&controller));
+    // Checkpoint while the second update may still be in flight; the
+    // pending scheme and its apply boundary land in the file.
+    if (saveCheckpoint(trainer, "resume_async.ckpt", &controller))
+        std::printf("  checkpointed mid-interval at step %lld "
+                    "(pending update: %s)\n",
+                    static_cast<long long>(trainer.step()),
+                    controller.hasPendingUpdate() ? "yes" : "no");
+    auto tail = trainer.train(steps - steps / 2 - 1, &controller);
+    const double direct_final = tail.empty()
+                                    ? first_half.back()
+                                    : tail.back();
+
+    Trainer resumed(cfg);
+    SnipController resumed_controller(cc);
+    if (!loadCheckpoint(resumed, "resume_async.ckpt",
+                        &resumed_controller)) {
+        std::printf("  could not reload resume_async.ckpt\n");
+        return 1;
+    }
+    auto resumed_tail =
+        resumed.train(steps - steps / 2 - 1, &resumed_controller);
+    const double resumed_final = resumed_tail.empty()
+                                     ? first_half.back()
+                                     : resumed_tail.back();
+    const OverheadTotals &t = resumed_controller.totals();
+    std::printf("  direct final loss %.6f vs resumed %.6f (%s)\n",
+                direct_final, resumed_final,
+                std::fabs(direct_final - resumed_final) < 1e-12
+                    ? "bit-identical"
+                    : "MISMATCH");
+    std::printf("  resumed run: %d updates, %d solved from cache, "
+                "solve time hidden %.1f ms / exposed %.1f ms\n",
+                t.updates, t.cache_hits, 1e3 * t.hidden_seconds,
+                1e3 * t.exposed_seconds);
     return 0;
 }

@@ -1,0 +1,89 @@
+#include "async/scheme_service.h"
+
+#include <chrono>
+#include <utility>
+
+#include "util/logging.h"
+
+namespace snip {
+
+SchemeUpdateResult
+runSchemeUpdate(const SchemeUpdateRequest &request)
+{
+    const auto start = std::chrono::steady_clock::now();
+
+    // Step 4: divergence analysis on the snapshotted statistics.
+    DivergenceAnalyzer analyzer(request.stats, &request.bwd_probe,
+                                &request.fwd_probe, request.flops);
+    SchemeUpdateResult result;
+    result.epoch = request.epoch;
+    result.apply_step = request.apply_step;
+    result.table = analyzer.analyze(request.options, request.divergence);
+
+    // Step 5: ILP solve (through the SolveCache when configured).
+    result.selection =
+        selectScheme(result.table, request.target_fp4_fraction,
+                     request.flops, request.solve, request.pipeline);
+
+    result.work_seconds = std::chrono::duration<double>(
+                              std::chrono::steady_clock::now() - start)
+                              .count();
+    return result;
+}
+
+uint64_t
+SchemeUpdateService::submit(SchemeUpdateRequest request)
+{
+    SNIP_ASSERT(request.epoch > 0, "epochs are 1-based");
+    const uint64_t epoch = request.epoch;
+    if (mode_ == Mode::Inline) {
+        publish(runSchemeUpdate(request));
+        return epoch;
+    }
+    // The worker owns the snapshot; nothing in it aliases trainer
+    // state, so the solve proceeds while training continues.
+    auto req = std::make_shared<SchemeUpdateRequest>(std::move(request));
+    worker_.submit([this, req] { publish(runSchemeUpdate(*req)); });
+    return epoch;
+}
+
+bool
+SchemeUpdateService::ready(uint64_t epoch) const
+{
+    std::unique_lock<std::mutex> lock(mu_);
+    return front_ >= 0 && slots_[front_].epoch >= epoch;
+}
+
+SchemeUpdateResult
+SchemeUpdateService::wait(uint64_t epoch)
+{
+    std::unique_lock<std::mutex> lock(mu_);
+    published_cv_.wait(lock, [&] {
+        return front_ >= 0 && slots_[front_].epoch >= epoch;
+    });
+    SNIP_ASSERT(slots_[front_].epoch == epoch,
+                "waited-for epoch was overwritten — more than one "
+                "update in flight?");
+    return slots_[front_];
+}
+
+uint64_t
+SchemeUpdateService::publishedEpoch() const
+{
+    std::unique_lock<std::mutex> lock(mu_);
+    return front_ >= 0 ? slots_[front_].epoch : 0;
+}
+
+void
+SchemeUpdateService::publish(SchemeUpdateResult result)
+{
+    {
+        std::unique_lock<std::mutex> lock(mu_);
+        const int back = front_ == 0 ? 1 : 0;
+        slots_[back] = std::move(result);
+        front_ = back;
+    }
+    published_cv_.notify_all();
+}
+
+} // namespace snip

@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Background scheme-update service (paper Sec. 6.3).
+ *
+ * The paper hides the scheme-search overhead by running the statistics
+ * analysis and the ILP solve asynchronously on the CPU while training
+ * continues. This service reproduces that split for the CPU-only
+ * reproduction:
+ *
+ *   1. At an update boundary the trainer runs Steps 1-3 (instrumented
+ *      iteration + the two noise probes) inline — these need the model
+ *      — and snapshots their outputs into a SchemeUpdateRequest. The
+ *      snapshot is self-contained (stats, probe responses, FLOPs model,
+ *      option set, solver knobs), so the worker never touches the
+ *      model or the trainer's thread pool.
+ *   2. The worker runs Steps 4-5 (divergence analysis + ILP solve,
+ *      optionally through the persistent SolveCache) on a dedicated
+ *      runtime::TaskThread and publishes the SchemeUpdateResult through
+ *      a double-buffered, epoch-tagged handoff slot.
+ *   3. The trainer adopts the published scheme at a *predetermined*
+ *      step boundary (request.apply_step), blocking if the worker has
+ *      not finished by then. Because both the snapshot content and the
+ *      application step are independent of worker timing, training is
+ *      bit-identical for any thread count and any worker speed.
+ *
+ * Mode::Inline computes the result synchronously inside submit() using
+ * the exact same runSchemeUpdate() path, so the inline fallback is
+ * bit-identical to the async mode with apply_delay = 0 — tests assert
+ * the same scheme sequence either way.
+ */
+#ifndef SNIP_ASYNC_SCHEME_SERVICE_H
+#define SNIP_ASYNC_SCHEME_SERVICE_H
+
+#include <condition_variable>
+#include <mutex>
+
+#include "core/snip_optimizer.h"
+#include "runtime/task_thread.h"
+
+namespace snip {
+
+/**
+ * Snapshot of everything Steps 4-5 need, taken at an update boundary.
+ * Owns deep copies: after submit() the trainer may freely mutate the
+ * model, optimizer and its statistics buffers.
+ */
+struct SchemeUpdateRequest
+{
+    /** Monotonic update id (1-based); tags the handoff slot. */
+    uint64_t epoch = 0;
+    /** Trainer step the snapshot was taken at. */
+    int64_t snapshot_step = 0;
+    /** Step boundary the result must be applied at (>= snapshot_step).
+     */
+    int64_t apply_step = 0;
+
+    /** Step 1-3 outputs. Gradient dumps should be cleared before
+     *  submission (the probes already consumed them). */
+    TrainingStats stats;
+    ProbeResult bwd_probe;
+    ProbeResult fwd_probe;
+
+    /** Analysis/solve inputs (value copies; FlopsModel owns its data).
+     */
+    FlopsModel flops;
+    std::vector<LayerScheme> options;
+    DivergenceOptions divergence;
+    double target_fp4_fraction = 0.5;
+    IlpSolveOptions solve; ///< may carry a SolveCache pointer
+    PipelineConstraint pipeline;
+};
+
+/** What the worker publishes for one epoch. */
+struct SchemeUpdateResult
+{
+    uint64_t epoch = 0;
+    int64_t apply_step = 0;
+    SchemeSelection selection;
+    DivergenceTable table;
+    /** Wall-clock seconds the worker spent on Steps 4-5 (analysis +
+     *  solve, including cache lookups). */
+    double work_seconds = 0.0;
+};
+
+/**
+ * Steps 4-5 as a pure function of the snapshot — the single code path
+ * both the inline fallback and the async worker execute, which is what
+ * makes the two modes bit-identical.
+ */
+SchemeUpdateResult runSchemeUpdate(const SchemeUpdateRequest &request);
+
+/** Owns the worker and the epoch-tagged handoff (see file comment). */
+class SchemeUpdateService
+{
+  public:
+    enum class Mode
+    {
+        Inline, ///< submit() computes synchronously on the caller
+        Async,  ///< submit() enqueues onto the dedicated worker
+    };
+
+    explicit SchemeUpdateService(Mode mode) : mode_(mode) {}
+
+    Mode mode() const { return mode_; }
+
+    /** Hand over a snapshot. Returns request.epoch. At most one update
+     *  may be in flight per service (the controller enforces this). */
+    uint64_t submit(SchemeUpdateRequest request);
+
+    /** True when @p epoch has been published (non-blocking). */
+    bool ready(uint64_t epoch) const;
+
+    /** Block until @p epoch is published and return a copy of it. */
+    SchemeUpdateResult wait(uint64_t epoch);
+
+    /** Newest published epoch (0 = none yet). */
+    uint64_t publishedEpoch() const;
+
+  private:
+    void publish(SchemeUpdateResult result);
+
+    Mode mode_;
+
+    /**
+     * Double buffer: the worker writes a finished result into the slot
+     * the trainer is NOT reading (the one not holding the newest
+     * published epoch) and then flips front_ under the lock, so a
+     * trainer copying the previous result never races the next
+     * publication.
+     */
+    mutable std::mutex mu_;
+    std::condition_variable published_cv_;
+    SchemeUpdateResult slots_[2];
+    int front_ = -1; ///< slot of the newest published result; -1 none
+
+    /** Declared last: destroyed (drained + joined) first, so in-flight
+     *  tasks can still publish into the members above. */
+    runtime::TaskThread worker_;
+};
+
+} // namespace snip
+
+#endif // SNIP_ASYNC_SCHEME_SERVICE_H

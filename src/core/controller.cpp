@@ -1,17 +1,53 @@
 #include "core/controller.h"
 
+#include <algorithm>
+#include <chrono>
+
+#include "async/scheme_service.h"
 #include "util/logging.h"
 
 namespace snip {
 
-SchemeSelection
-SnipController::updateScheme(LlamaModel &model, AdamW *optimizer,
-                             const Batch &batch,
+namespace {
+
+double
+secondsSince(const std::chrono::steady_clock::time_point &t0)
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - t0)
+        .count();
+}
+
+} // namespace
+
+SnipController::SnipController(const Config &config)
+    : config_(config),
+      service_(std::make_unique<SchemeUpdateService>(
+          config.async ? SchemeUpdateService::Mode::Async
+                       : SchemeUpdateService::Mode::Inline))
+{
+}
+
+SnipController::~SnipController() = default;
+
+int64_t
+SnipController::effectiveApplyDelay() const
+{
+    int64_t delay = std::max<int64_t>(0, config_.apply_delay);
+    // An update must be adopted before the next snapshot boundary, or
+    // the handoff would hold two epochs in flight.
+    if (config_.update_interval > 0)
+        delay = std::min(delay, config_.update_interval - 1);
+    return delay;
+}
+
+SchemeUpdateRequest
+SnipController::makeSnapshot(LlamaModel &model, AdamW *optimizer,
+                             const Batch &batch, int64_t step,
                              runtime::ThreadPool *pool)
 {
-    FlopsModel flops(model.registry());
-
-    // Steps 1-3: instrumented iteration + the two noise probes.
+    // Steps 1-3: instrumented iteration + the two noise probes. These
+    // need the model, so they always run on the trainer thread.
     StatsOptions stats_opts;
     stats_opts.pool = pool ? pool : config_.pool;
     stats_ = collectTrainingStats(model, optimizer, batch, stats_opts);
@@ -20,29 +56,107 @@ SnipController::updateScheme(LlamaModel &model, AdamW *optimizer,
     ProbeResult fwd = runNoiseProbe(model, batch, stats_,
                                     ProbeKind::Forward, config_.probe);
 
-    // Step 4: divergence analysis.
-    DivergenceAnalyzer analyzer(stats_, &bwd, &fwd, flops);
-    DivergenceOptions dopts;
-    dopts.metric = config_.metric;
-    dopts.weight_div_scale = config_.weight_div_scale;
-    table_ = analyzer.analyze(makeOptionSet(config_.option_set), dopts);
+    SchemeUpdateRequest req;
+    req.epoch = ++epoch_;
+    req.snapshot_step = step;
+    req.apply_step = step + effectiveApplyDelay();
+    // The probes above already diffed against the gradient dumps and
+    // the analysis never reads them, so keep them out of the snapshot
+    // copy: park them aside, copy the light scalars, put them back.
+    std::vector<Tensor> dumps;
+    dumps.reserve(stats_.layers.size());
+    for (auto &layer : stats_.layers)
+        dumps.push_back(std::move(layer.dw_dump));
+    req.stats = stats_;
+    for (size_t i = 0; i < dumps.size(); ++i)
+        stats_.layers[i].dw_dump = std::move(dumps[i]);
+    req.bwd_probe = std::move(bwd);
+    req.fwd_probe = std::move(fwd);
+    req.flops = FlopsModel(model.registry());
+    req.options = makeOptionSet(config_.option_set);
+    req.divergence.metric = config_.metric;
+    req.divergence.weight_div_scale = config_.weight_div_scale;
+    req.target_fp4_fraction = config_.target_fp4_fraction;
+    req.solve = config_.solve;
+    req.pipeline = config_.pipeline;
 
-    // Step 5: solve the ILP.
-    selection_ = selectScheme(table_, config_.target_fp4_fraction, flops,
-                              config_.solve, config_.pipeline);
+    overhead_ = UpdateOverhead{};
+    overhead_.extra_passes = 3;
+    overhead_.epoch = req.epoch;
+    return req;
+}
 
+void
+SnipController::applyResult(LlamaModel &model,
+                            const SchemeUpdateResult &result,
+                            double waited_seconds)
+{
     // Step 6: apply.
-    model.setScheme(selection_.scheme);
+    model.setScheme(result.selection.scheme);
+    selection_ = result.selection;
+    table_ = result.table;
     has_selection_ = true;
 
-    overhead_.extra_passes = 3;
-    overhead_.solve_seconds = selection_.ilp.solve_seconds;
-    overhead_.ilp_nodes = selection_.ilp.nodes_explored;
+    overhead_.epoch = result.epoch;
+    overhead_.solve_seconds = result.selection.ilp.solve_seconds;
+    overhead_.ilp_nodes = result.selection.ilp.nodes_explored;
+    overhead_.work_seconds = result.work_seconds;
+    overhead_.exposed_seconds = waited_seconds;
+    overhead_.hidden_seconds =
+        std::max(0.0, result.work_seconds - waited_seconds);
+    overhead_.solve_cached = result.selection.ilp.from_cache;
 
-    debugLog("SNIP scheme updated: fp4_fraction=",
-             selection_.fp4_fraction,
-             " objective=", selection_.ilp.objective);
+    ++totals_.updates;
+    totals_.work_seconds += overhead_.work_seconds;
+    totals_.hidden_seconds += overhead_.hidden_seconds;
+    totals_.exposed_seconds += overhead_.exposed_seconds;
+    totals_.cache_hits += overhead_.solve_cached ? 1 : 0;
+
+    debugLog("SNIP scheme updated: epoch=", result.epoch,
+             " fp4_fraction=", selection_.fp4_fraction,
+             " objective=", selection_.ilp.objective,
+             selection_.ilp.from_cache ? " (cached solve)" : "");
+}
+
+SchemeSelection
+SnipController::updateScheme(LlamaModel &model, AdamW *optimizer,
+                             const Batch &batch,
+                             runtime::ThreadPool *pool)
+{
+    // Synchronous Steps 1-6 on the caller. Bypasses the service so a
+    // manual update never races a pending async epoch.
+    SchemeUpdateRequest req =
+        makeSnapshot(model, optimizer, batch, /*step=*/0, pool);
+    req.apply_step = req.snapshot_step;
+    SchemeUpdateResult result = runSchemeUpdate(req);
+    applyResult(model, result, /*waited_seconds=*/result.work_seconds);
     return selection_;
+}
+
+void
+SnipController::adoptPending(LlamaModel &model)
+{
+    SNIP_ASSERT(pending_, "no pending update to adopt");
+    if (rearmed_) {
+        // Re-armed from a checkpoint: the solve happened before the
+        // checkpoint was written, so adoption is free in this process.
+        SchemeUpdateResult result;
+        result.epoch = pending_epoch_;
+        result.apply_step = pending_apply_step_;
+        result.selection = rearmed_selection_;
+        applyResult(model, result, /*waited_seconds=*/0.0);
+        rearmed_ = false;
+        pending_ = false;
+        return;
+    }
+    const auto t0 = std::chrono::steady_clock::now();
+    SchemeUpdateResult result = service_->wait(pending_epoch_);
+    // Any earlier blocking wait on this epoch (exportState during a
+    // mid-interval checkpoint) was trainer time too.
+    applyResult(model, result,
+                secondsSince(t0) + pending_wait_seconds_);
+    pending_wait_seconds_ = 0.0;
+    pending_ = false;
 }
 
 bool
@@ -50,14 +164,101 @@ SnipController::maybeUpdate(LlamaModel &model, AdamW *optimizer,
                             const Batch &batch, int64_t step,
                             runtime::ThreadPool *pool)
 {
+    bool applied = false;
+    // Deterministic handoff: a pending update is adopted exactly when
+    // the trainer reaches its apply boundary, blocking if the worker
+    // has not finished — never earlier, never later.
+    if (pending_ && step >= pending_apply_step_) {
+        adoptPending(model);
+        applied = true;
+    }
+
     const bool due =
-        (!has_selection_ && config_.update_at_start) ||
+        (!has_selection_ && !pending_ && config_.update_at_start) ||
         (config_.update_interval > 0 && step > 0 &&
          step % config_.update_interval == 0);
     if (!due)
-        return false;
-    updateScheme(model, optimizer, batch, pool);
-    return true;
+        return applied;
+
+    if (pending_) {
+        // A snapshot boundary arrived while an update was still in
+        // flight (apply_delay clamped == interval - 1 and a start
+        // trigger offset). Adopt it first so one epoch is in flight at
+        // a time.
+        adoptPending(model);
+        applied = true;
+    }
+
+    if (!config_.async) {
+        updateScheme(model, optimizer, batch, pool);
+        return true;
+    }
+
+    SchemeUpdateRequest req =
+        makeSnapshot(model, optimizer, batch, step, pool);
+    pending_epoch_ = req.epoch;
+    pending_apply_step_ = req.apply_step;
+    pending_ = true;
+    service_->submit(std::move(req));
+    if (pending_apply_step_ <= step) {
+        // apply_delay == 0: submit-and-wait, bit-identical to inline.
+        adoptPending(model);
+        applied = true;
+    }
+    return applied;
+}
+
+SnipController::PersistState
+SnipController::exportState()
+{
+    PersistState state;
+    state.epoch = epoch_;
+    state.has_selection = has_selection_;
+    state.applied_scheme = selection_.scheme;
+    state.applied_fp4_fraction = selection_.fp4_fraction;
+    state.pending = pending_;
+    if (pending_) {
+        state.pending_apply_step = pending_apply_step_;
+        if (rearmed_) {
+            state.pending_scheme = rearmed_selection_.scheme;
+            state.pending_fp4_fraction = rearmed_selection_.fp4_fraction;
+        } else {
+            // Wait for the in-flight solve; its outcome is part of the
+            // checkpoint. The update stays pending in this process,
+            // and the time blocked here counts as exposed when it is
+            // eventually adopted.
+            const auto t0 = std::chrono::steady_clock::now();
+            SchemeUpdateResult result = service_->wait(pending_epoch_);
+            pending_wait_seconds_ += secondsSince(t0);
+            state.pending_scheme = result.selection.scheme;
+            state.pending_fp4_fraction = result.selection.fp4_fraction;
+        }
+    }
+    return state;
+}
+
+void
+SnipController::importState(const PersistState &state)
+{
+    epoch_ = state.epoch;
+    has_selection_ = state.has_selection;
+    selection_ = SchemeSelection{};
+    selection_.scheme = state.applied_scheme;
+    selection_.fp4_fraction = state.applied_fp4_fraction;
+    stats_ = TrainingStats{};
+    table_ = DivergenceTable{};
+    overhead_ = UpdateOverhead{};
+    pending_ = state.pending;
+    pending_wait_seconds_ = 0.0;
+    rearmed_ = false;
+    if (pending_) {
+        pending_epoch_ = epoch_;
+        pending_apply_step_ = state.pending_apply_step;
+        rearmed_ = true;
+        rearmed_selection_ = SchemeSelection{};
+        rearmed_selection_.scheme = state.pending_scheme;
+        rearmed_selection_.fp4_fraction = state.pending_fp4_fraction;
+    }
 }
 
 } // namespace snip

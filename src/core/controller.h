@@ -4,14 +4,37 @@
  * workflow — collect stats, probe, analyze, solve, apply — periodically
  * during training.
  *
- * The paper runs analysis + ILP asynchronously on the CPU while GPU
- * training continues; in this CPU-only reproduction the controller runs
- * them inline but accounts for the overhead separately (the extra
- * passes of Steps 1-3 and the solve time), so the paper's overhead
- * discussion (Sec. 6.3) can still be reproduced.
+ * Two execution modes mirror the paper's Sec. 6.3 overhead discussion:
+ *
+ *  - **Inline** (Config::async = false, the default): Steps 1-6 run
+ *    synchronously at the update boundary, exactly the historical
+ *    behaviour. All solve time is *exposed* (the trainer waits).
+ *  - **Async** (Config::async = true): Steps 1-3 still run inline at
+ *    the boundary (they need the model), but the snapshot is handed to
+ *    the background SchemeUpdateService (src/async/), which runs the
+ *    divergence analysis and the ILP solve on a dedicated worker while
+ *    training continues. The resulting scheme is applied at the
+ *    predetermined boundary `snapshot_step + apply_delay`; if the
+ *    worker is late the trainer blocks there (that residue is the
+ *    *exposed* solve time, the rest is *hidden*). Because both the
+ *    snapshot content and the application step are independent of
+ *    worker timing and thread count, the scheme sequence and the
+ *    training losses are bit-identical across thread counts — and
+ *    with apply_delay = 0 they are bit-identical to inline mode.
+ *
+ * Solve results can be memoized across runs via Config::solve.cache
+ * (ilp/solve_cache.h): repeated or warm-restarted searches that pose a
+ * bit-identical problem skip the ILP entirely.
+ *
+ * UpdateOverhead splits each update's solver cost into hidden vs
+ * exposed seconds so the paper's "the search overhead is hidden by
+ * asynchronous execution" claim (Sec. 6.3) is measurable; see
+ * bench/fig12_pipeline_timeline.cpp.
  */
 #ifndef SNIP_CORE_CONTROLLER_H
 #define SNIP_CORE_CONTROLLER_H
+
+#include <memory>
 
 #include "core/snip_optimizer.h"
 
@@ -21,15 +44,42 @@ namespace runtime {
 class ThreadPool;
 } // namespace runtime
 
+class SchemeUpdateService;
+struct SchemeUpdateRequest;
+struct SchemeUpdateResult;
+
 /** Overhead accounting of one scheme update. */
 struct UpdateOverhead
 {
     /** Extra forward+backward passes run (Steps 1-3 => 3). */
     int extra_passes = 0;
-    /** ILP wall-clock seconds. */
+    /** ILP wall-clock seconds (the solver's own timer). */
     double solve_seconds = 0.0;
     /** ILP nodes explored. */
     int64_t ilp_nodes = 0;
+    /** Worker wall-clock of Steps 4-5 (analysis + solve). Inline mode:
+     *  the same work measured on the trainer thread. */
+    double work_seconds = 0.0;
+    /** Portion of work_seconds overlapped with training steps. Always
+     *  0 in inline mode. */
+    double hidden_seconds = 0.0;
+    /** Portion the trainer actually waited for (inline work, or the
+     *  blocking wait at the apply boundary in async mode). */
+    double exposed_seconds = 0.0;
+    /** True when the ILP solution came out of the solve cache. */
+    bool solve_cached = false;
+    /** Update id this accounting belongs to (1-based). */
+    uint64_t epoch = 0;
+};
+
+/** Running totals across all updates of one controller. */
+struct OverheadTotals
+{
+    int updates = 0;
+    double work_seconds = 0.0;
+    double hidden_seconds = 0.0;
+    double exposed_seconds = 0.0;
+    int cache_hits = 0;
 };
 
 /** Periodic scheme-update driver. */
@@ -50,20 +100,34 @@ class SnipController
         QualityMetric metric = QualityMetric::Snip;
         double weight_div_scale = 1.0;
         ProbeOptions probe;
+        /** Solver knobs; solve.cache (optional, not owned) enables the
+         *  persistent solve cache. */
         IlpSolveOptions solve;
         PipelineConstraint pipeline;
         /** Pool for the statistics sweep (Step 1); null = the
          *  process-wide shared pool, i.e. the same instance the
          *  trainer's kernels run on. */
         runtime::ThreadPool *pool = nullptr;
+
+        /** Run Steps 4-5 on the background worker (see file comment).
+         */
+        bool async = false;
+        /** Steps between the snapshot boundary and the deterministic
+         *  application boundary in async mode. Clamped to
+         *  [0, update_interval - 1] so an update is always adopted
+         *  before the next snapshot. 0 = submit-and-wait (bit-identical
+         *  to inline mode). */
+        int64_t apply_delay = 8;
     };
 
-    explicit SnipController(const Config &config) : config_(config) {}
+    explicit SnipController(const Config &config);
+    ~SnipController();
 
     /**
      * Run Steps 1-6 once on @p batch and apply the resulting scheme to
-     * the model. Leaves parameter gradients dirty — callers zero them
-     * before their next real training pass.
+     * the model — the synchronous path, regardless of Config::async.
+     * Leaves parameter gradients dirty — callers zero them before
+     * their next real training pass.
      *
      * @param pool overrides Config::pool for this update when non-null
      *             (the Trainer threads its own pool through here); both
@@ -74,9 +138,11 @@ class SnipController
                                  runtime::ThreadPool *pool = nullptr);
 
     /**
-     * Trainer hook: regenerate the scheme when @p step hits the update
-     * cadence. Returns true when an update ran. @p pool as in
-     * updateScheme().
+     * Trainer hook, called every step. Regenerates the scheme when
+     * @p step hits the update cadence; in async mode also adopts a
+     * pending background result once @p step reaches its apply
+     * boundary. Returns true when a scheme was applied to the model
+     * during this call. @p pool as in updateScheme().
      */
     bool maybeUpdate(LlamaModel &model, AdamW *optimizer,
                      const Batch &batch, int64_t step,
@@ -89,14 +155,69 @@ class SnipController
     const TrainingStats &lastStats() const { return stats_; }
     const DivergenceTable &lastTable() const { return table_; }
     const UpdateOverhead &lastOverhead() const { return overhead_; }
+    const OverheadTotals &totals() const { return totals_; }
+
+    /** Updates snapshotted so far (== epoch of the newest snapshot). */
+    uint64_t epoch() const { return epoch_; }
+
+    /** True when an async update has been submitted but not applied. */
+    bool hasPendingUpdate() const { return pending_; }
+    /** Boundary the pending update will be applied at. */
+    int64_t pendingApplyStep() const { return pending_apply_step_; }
+
+    /**
+     * Serializable controller state (train/checkpoint.cpp). Exporting
+     * waits for any in-flight solve and captures its outcome, so a
+     * checkpoint taken mid-interval resumes with the identical pending
+     * scheme re-armed at the identical apply step.
+     */
+    struct PersistState
+    {
+        uint64_t epoch = 0;
+        bool has_selection = false;
+        PrecisionScheme applied_scheme; ///< last applied (Step 6)
+        double applied_fp4_fraction = 0.0;
+        bool pending = false;
+        int64_t pending_apply_step = 0;
+        PrecisionScheme pending_scheme;
+        double pending_fp4_fraction = 0.0;
+    };
+
+    PersistState exportState();
+    void importState(const PersistState &state);
 
   private:
+    /** Steps 1-3 on the trainer thread -> self-contained snapshot. */
+    SchemeUpdateRequest makeSnapshot(LlamaModel &model, AdamW *optimizer,
+                                     const Batch &batch, int64_t step,
+                                     runtime::ThreadPool *pool);
+    /** Block for the pending epoch and apply it (Step 6). */
+    void adoptPending(LlamaModel &model);
+    void applyResult(LlamaModel &model, const SchemeUpdateResult &result,
+                     double waited_seconds);
+    int64_t effectiveApplyDelay() const;
+
     Config config_;
+    std::unique_ptr<SchemeUpdateService> service_;
     SchemeSelection selection_;
     TrainingStats stats_;
     DivergenceTable table_;
     UpdateOverhead overhead_;
+    OverheadTotals totals_;
     bool has_selection_ = false;
+
+    uint64_t epoch_ = 0;
+    bool pending_ = false;
+    uint64_t pending_epoch_ = 0;
+    int64_t pending_apply_step_ = 0;
+    /** Pending update re-armed from a checkpoint: already solved, just
+     *  awaiting its apply boundary. */
+    bool rearmed_ = false;
+    SchemeSelection rearmed_selection_;
+    /** Trainer seconds already spent blocked on the pending epoch
+     *  outside adoptPending (exportState's wait); charged to
+     *  exposed_seconds when the update is adopted. */
+    double pending_wait_seconds_ = 0.0;
 };
 
 } // namespace snip

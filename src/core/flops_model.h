@@ -23,6 +23,10 @@ double precisionThroughput(Precision p);
 class FlopsModel
 {
   public:
+    /** Empty model (no layers); a value-type placeholder so snapshot
+     *  structs (async/scheme_service.h) can default-construct. */
+    FlopsModel() = default;
+
     explicit FlopsModel(const LayerRegistry &registry);
 
     /** Per-layer GEMM FLOPs per token (all three GEMMs). */

@@ -73,7 +73,19 @@ struct IlpSolution
     /** Search statistics. */
     int64_t nodes_explored = 0;
     double solve_seconds = 0.0;
+    /** True when the solution came out of a SolveCache rather than a
+     *  fresh search (solve_seconds is then the lookup time). */
+    bool from_cache = false;
 };
+
+/**
+ * Content hash of an instance: FNV-1a over the exact bit patterns of
+ * every quality/efficiency coefficient, the target, and the group
+ * layout. Two problems hash equal iff their doubles are bit-identical,
+ * which is the right notion for a solve cache fed by a deterministic
+ * pipeline (same stats -> same bits -> same hash).
+ */
+uint64_t ilpProblemHash(const IlpProblem &problem);
 
 /** Recompute objective/efficiency of @p choice on @p problem and check
  *  all constraints; used to cross-validate the two solvers. */

@@ -1,0 +1,183 @@
+#include "ilp/solve_cache.h"
+
+#include <cstdio>
+#include <fstream>
+
+#include "util/logging.h"
+
+namespace snip {
+
+namespace {
+
+constexpr uint64_t kMagic = 0x534E4950534C4331ull; // "SNIPSLC1"
+
+void
+writeU64(std::ostream &out, uint64_t v)
+{
+    out.write(reinterpret_cast<const char *>(&v), sizeof(v));
+}
+
+bool
+readU64(std::istream &in, uint64_t &v)
+{
+    in.read(reinterpret_cast<char *>(&v), sizeof(v));
+    return static_cast<bool>(in);
+}
+
+void
+writeF64(std::ostream &out, double v)
+{
+    out.write(reinterpret_cast<const char *>(&v), sizeof(v));
+}
+
+bool
+readF64(std::istream &in, double &v)
+{
+    in.read(reinterpret_cast<char *>(&v), sizeof(v));
+    return static_cast<bool>(in);
+}
+
+} // namespace
+
+SolveCache::SolveCache(std::string path) : path_(std::move(path))
+{
+    load();
+}
+
+bool
+SolveCache::lookup(uint64_t key, IlpSolution *out)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = entries_.find(key);
+    if (it == entries_.end()) {
+        ++misses_;
+        return false;
+    }
+    ++hits_;
+    if (out)
+        *out = it->second;
+    return true;
+}
+
+void
+SolveCache::insert(uint64_t key, const IlpSolution &solution)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    IlpSolution stored = solution;
+    stored.from_cache = false; // stored entries are canonical solves
+    entries_[key] = std::move(stored);
+    if (!path_.empty() && !saveLocked())
+        warn("could not persist solve cache to ", path_);
+}
+
+bool
+SolveCache::load()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    entries_.clear();
+    if (path_.empty())
+        return false;
+    std::ifstream in(path_, std::ios::binary);
+    if (!in)
+        return false;
+
+    uint64_t magic = 0, count = 0;
+    if (!readU64(in, magic) || magic != kMagic || !readU64(in, count)) {
+        warn("ignoring unreadable solve cache ", path_);
+        return false;
+    }
+    std::unordered_map<uint64_t, IlpSolution> loaded;
+    for (uint64_t e = 0; e < count; ++e) {
+        uint64_t key = 0, feasible = 0, nodes = 0, n_choice = 0;
+        IlpSolution sol;
+        if (!readU64(in, key) || !readU64(in, feasible) ||
+            !readF64(in, sol.objective) ||
+            !readF64(in, sol.achieved_efficiency) ||
+            !readU64(in, nodes) || !readF64(in, sol.solve_seconds) ||
+            !readU64(in, n_choice)) {
+            warn("truncated solve cache ", path_, "; dropping it");
+            return false;
+        }
+        sol.feasible = feasible != 0;
+        sol.nodes_explored = static_cast<int64_t>(nodes);
+        sol.choice.resize(n_choice);
+        for (uint64_t i = 0; i < n_choice; ++i) {
+            uint64_t c = 0;
+            if (!readU64(in, c)) {
+                warn("truncated solve cache ", path_, "; dropping it");
+                return false;
+            }
+            sol.choice[i] = static_cast<int>(c);
+        }
+        loaded[key] = std::move(sol);
+    }
+    entries_ = std::move(loaded);
+    return true;
+}
+
+bool
+SolveCache::save() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return saveLocked();
+}
+
+bool
+SolveCache::saveLocked() const
+{
+    if (path_.empty())
+        return false;
+    const std::string tmp = path_ + ".tmp";
+    {
+        std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+        if (!out)
+            return false;
+        writeU64(out, kMagic);
+        writeU64(out, static_cast<uint64_t>(entries_.size()));
+        for (const auto &[key, sol] : entries_) {
+            writeU64(out, key);
+            writeU64(out, sol.feasible ? 1 : 0);
+            writeF64(out, sol.objective);
+            writeF64(out, sol.achieved_efficiency);
+            writeU64(out, static_cast<uint64_t>(sol.nodes_explored));
+            writeF64(out, sol.solve_seconds);
+            writeU64(out, static_cast<uint64_t>(sol.choice.size()));
+            for (int c : sol.choice)
+                writeU64(out, static_cast<uint64_t>(c));
+        }
+        if (!out)
+            return false;
+    }
+    return std::rename(tmp.c_str(), path_.c_str()) == 0;
+}
+
+size_t
+SolveCache::size() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return entries_.size();
+}
+
+int64_t
+SolveCache::hits() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return hits_;
+}
+
+int64_t
+SolveCache::misses() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return misses_;
+}
+
+void
+SolveCache::resetStats()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    hits_ = 0;
+    misses_ = 0;
+}
+
+} // namespace snip

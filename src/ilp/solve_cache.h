@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Persistent, content-addressed cache of ILP solutions.
+ *
+ * The scheme-search pipeline is deterministic: identical training state
+ * produces a bit-identical DivergenceTable and therefore a bit-identical
+ * IlpProblem. Warm-restarted or repeated searches (bench sweeps, resumed
+ * pretraining, the async service re-solving a checkpointed interval)
+ * hence re-pose problems the process — or a previous process — has
+ * already solved. The cache maps ilpProblemHash() x solve options to the
+ * stored IlpSolution so those solves are skipped entirely.
+ *
+ * Entries are verified against the live problem on every hit
+ * (verifySolution), so a hash collision or a stale file can never
+ * smuggle in an invalid scheme — it just degrades to a miss.
+ *
+ * On-disk format (binary, alongside the train/checkpoint format):
+ * magic "SNIPSLC1", entry count, then per entry the key, feasibility,
+ * objective, achieved efficiency, node count, original solve seconds
+ * and the choice vector. The file is rewritten atomically
+ * (tmp + rename) after each insert when a path is configured; an
+ * unreadable or corrupt file is treated as an empty cache.
+ *
+ * Thread-safe: the async worker and the trainer thread may look up and
+ * insert concurrently.
+ */
+#ifndef SNIP_ILP_SOLVE_CACHE_H
+#define SNIP_ILP_SOLVE_CACHE_H
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "ilp/problem.h"
+
+namespace snip {
+
+/** Problem-hash -> IlpSolution store, optionally file-backed. */
+class SolveCache
+{
+  public:
+    /** In-memory cache (no persistence). */
+    SolveCache() = default;
+
+    /** File-backed cache: loads @p path if it exists and rewrites it
+     *  after every insert. */
+    explicit SolveCache(std::string path);
+
+    /** Copy the solution stored under @p key into @p out. Counts a hit
+     *  or a miss. */
+    bool lookup(uint64_t key, IlpSolution *out);
+
+    /** Store (or overwrite) @p key; persists when file-backed. */
+    void insert(uint64_t key, const IlpSolution &solution);
+
+    /** Reload from the configured path, replacing the in-memory map.
+     *  Returns false (leaving the cache empty) when the file is
+     *  missing or corrupt. */
+    bool load();
+
+    /** Rewrite the configured path; false on I/O error or when
+     *  path-less. */
+    bool save() const;
+
+    size_t size() const;
+    int64_t hits() const;
+    int64_t misses() const;
+    void resetStats();
+    const std::string &path() const { return path_; }
+
+  private:
+    bool saveLocked() const; ///< writer; caller holds mu_
+
+    mutable std::mutex mu_;
+    std::unordered_map<uint64_t, IlpSolution> entries_;
+    std::string path_;
+    int64_t hits_ = 0;
+    int64_t misses_ = 0;
+};
+
+} // namespace snip
+
+#endif // SNIP_ILP_SOLVE_CACHE_H

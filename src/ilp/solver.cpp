@@ -1,5 +1,9 @@
 #include "ilp/solver.h"
 
+#include <chrono>
+#include <cstring>
+
+#include "ilp/solve_cache.h"
 #include "util/logging.h"
 
 namespace snip {
@@ -28,12 +32,9 @@ solveSingle(const IlpProblem &problem, const IlpSolveOptions &options)
     panic("bad backend");
 }
 
-} // namespace
-
 IlpSolution
-solveIlp(const IlpProblem &problem, const IlpSolveOptions &options)
+solveUncached(const IlpProblem &problem, const IlpSolveOptions &options)
 {
-    problem.validate();
     if (problem.groups.empty())
         return solveSingle(problem, options);
 
@@ -58,6 +59,74 @@ solveIlp(const IlpProblem &problem, const IlpSolveOptions &options)
         total.achieved_efficiency += s.achieved_efficiency;
     }
     return total;
+}
+
+inline void
+mixU64(uint64_t &h, uint64_t v)
+{
+    // Same FNV-1a step ilpProblemHash uses, continued over the knobs.
+    for (int b = 0; b < 8; ++b) {
+        h ^= (v >> (b * 8)) & 0xFFu;
+        h *= 0x100000001B3ull;
+    }
+}
+
+} // namespace
+
+uint64_t
+solveCacheKey(const IlpProblem &problem, const IlpSolveOptions &options)
+{
+    uint64_t h = ilpProblemHash(problem);
+    mixU64(h, static_cast<uint64_t>(options.backend));
+    if (options.backend == IlpBackend::Dp) {
+        mixU64(h, static_cast<uint64_t>(options.dp_resolution));
+    } else {
+        // B&B limits can truncate the search, so a solution obtained
+        // under tighter limits must not serve a looser request.
+        uint64_t bits;
+        double t = options.bnb_limits.time_limit_seconds;
+        std::memcpy(&bits, &t, sizeof(bits));
+        mixU64(h, bits);
+        mixU64(h, static_cast<uint64_t>(options.bnb_limits.max_nodes));
+    }
+    return h;
+}
+
+IlpSolution
+solveIlp(const IlpProblem &problem, const IlpSolveOptions &options)
+{
+    problem.validate();
+    if (!options.cache)
+        return solveUncached(problem, options);
+
+    const auto start = std::chrono::steady_clock::now();
+    const uint64_t key = solveCacheKey(problem, options);
+    IlpSolution cached;
+    if (options.cache->lookup(key, &cached)) {
+        // Trust nothing from disk: a collision or stale file must not
+        // produce an invalid scheme. Re-verify against the live
+        // instance and fall through to a fresh solve on mismatch.
+        double obj = 0.0, eff = 0.0;
+        const bool valid =
+            cached.feasible &&
+            verifySolution(problem, cached.choice, &obj, &eff);
+        if (valid) {
+            cached.objective = obj;
+            cached.achieved_efficiency = eff;
+            cached.from_cache = true;
+            cached.nodes_explored = 0;
+            cached.solve_seconds =
+                std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - start)
+                    .count();
+            return cached;
+        }
+        warn("solve cache entry failed verification; re-solving");
+    }
+    IlpSolution fresh = solveUncached(problem, options);
+    if (fresh.feasible)
+        options.cache->insert(key, fresh);
+    return fresh;
 }
 
 } // namespace snip

@@ -5,6 +5,13 @@
  * Grouped (pipeline-aware, Sec. 5.3) instances decompose into one
  * independent subproblem per group, because each group has its own
  * efficiency constraint and items appear in exactly one group.
+ *
+ * Reentrancy: solveIlp() is a pure function of its snapshot-style
+ * inputs — it reads only the IlpProblem and options it is handed and
+ * touches no global or thread-local state — so the async scheme-update
+ * worker (src/async/) may solve while the trainer thread runs, or
+ * solves another instance. The optional SolveCache is internally
+ * synchronized.
  */
 #ifndef SNIP_ILP_SOLVER_H
 #define SNIP_ILP_SOLVER_H
@@ -15,6 +22,8 @@
 #include "ilp/dp_solver.h"
 
 namespace snip {
+
+class SolveCache;
 
 /** Which backend solves each (sub)problem. */
 enum class IlpBackend
@@ -35,11 +44,23 @@ struct IlpSolveOptions
     IlpBackend backend = IlpBackend::Dp;
     BnbLimits bnb_limits;
     int dp_resolution = 20000;
+    /** Optional persistent solve cache (ilp/solve_cache.h). Hits skip
+     *  the search entirely; every hit is re-verified against the live
+     *  problem before being trusted. Not owned. */
+    SolveCache *cache = nullptr;
 };
+
+/** Cache key of one (problem, options) pairing: the content hash of
+ *  the instance folded with the solver knobs that can change the
+ *  returned solution. */
+uint64_t solveCacheKey(const IlpProblem &problem,
+                       const IlpSolveOptions &options);
 
 /**
  * Solve a (possibly grouped) instance. Statistics are summed across
  * subproblems; the solution is feasible iff every subproblem was.
+ * With options.cache set, the whole instance is looked up first and
+ * the solution stored back after a fresh solve.
  */
 IlpSolution solveIlp(const IlpProblem &problem,
                      const IlpSolveOptions &options = {});

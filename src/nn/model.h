@@ -102,9 +102,11 @@ class LlamaModel
 
     /** The shared fake quantizer (tests reseed its stream). */
     FakeQuantizer &quantizer() { return quantizer_; }
+    const FakeQuantizer &quantizer() const { return quantizer_; }
 
     /** Noise stream used for Steps 2-3 probes. */
     Rng &noiseRng() { return noise_rng_; }
+    const Rng &noiseRng() const { return noise_rng_; }
 
   private:
     ModelConfig config_;

@@ -92,6 +92,7 @@ class FakeQuantizer
 
     /** Access the rounding Rng (tests use this to fix the stream). */
     Rng &rng() { return rng_; }
+    const Rng &rng() const { return rng_; }
 
   private:
     Rng rng_;

@@ -1,0 +1,91 @@
+#include "runtime/task_thread.h"
+
+#include "util/logging.h"
+
+namespace snip {
+namespace runtime {
+
+TaskThread::~TaskThread()
+{
+    {
+        std::unique_lock<std::mutex> lock(mu_);
+        stop_ = true;
+    }
+    wake_cv_.notify_all();
+    if (worker_.joinable())
+        worker_.join();
+}
+
+void
+TaskThread::submit(std::function<void()> fn)
+{
+    SNIP_ASSERT(fn, "null task submitted");
+    {
+        std::unique_lock<std::mutex> lock(mu_);
+        SNIP_ASSERT(!stop_, "submit after TaskThread shutdown");
+        queue_.push_back(std::move(fn));
+        ++submitted_;
+        if (!started_) {
+            started_ = true;
+            worker_ = std::thread([this] { workerLoop(); });
+        }
+    }
+    wake_cv_.notify_one();
+}
+
+void
+TaskThread::drain()
+{
+    std::unique_lock<std::mutex> lock(mu_);
+    const int64_t target = submitted_;
+    idle_cv_.wait(lock, [&] { return completed_ >= target; });
+}
+
+int64_t
+TaskThread::submitted() const
+{
+    std::unique_lock<std::mutex> lock(mu_);
+    return submitted_;
+}
+
+int64_t
+TaskThread::completed() const
+{
+    std::unique_lock<std::mutex> lock(mu_);
+    return completed_;
+}
+
+bool
+TaskThread::busy() const
+{
+    std::unique_lock<std::mutex> lock(mu_);
+    return completed_ < submitted_;
+}
+
+void
+TaskThread::workerLoop()
+{
+    for (;;) {
+        std::function<void()> task;
+        {
+            std::unique_lock<std::mutex> lock(mu_);
+            wake_cv_.wait(lock,
+                          [&] { return stop_ || !queue_.empty(); });
+            // Drain remaining tasks even when stopping, so destruction
+            // never drops submitted work.
+            if (queue_.empty())
+                return;
+            task = std::move(queue_.front());
+            queue_.pop_front();
+        }
+        task();
+        {
+            std::unique_lock<std::mutex> lock(mu_);
+            ++completed_;
+        }
+        idle_cv_.notify_all();
+    }
+}
+
+} // namespace runtime
+} // namespace snip

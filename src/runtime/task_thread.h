@@ -1,0 +1,74 @@
+/**
+ * @file
+ * A single dedicated background executor.
+ *
+ * TaskThread complements ThreadPool: the pool runs *data-parallel*
+ * chunked loops on the trainer's critical path, while a TaskThread runs
+ * whole *tasks* (e.g. an ILP solve) off the critical path, one at a
+ * time, in submission order. Keeping the two separate means background
+ * work never contends for the pool's job slot with the kernels the
+ * trainer is executing — the pool serializes concurrent submissions, so
+ * routing long-running background tasks through it would stall training.
+ *
+ * The worker thread is started lazily on the first submit(), so a
+ * TaskThread that is never used (e.g. a controller in inline mode)
+ * costs nothing. Tasks run strictly FIFO; drain() blocks until every
+ * previously submitted task has finished. The destructor drains and
+ * joins.
+ */
+#ifndef SNIP_RUNTIME_TASK_THREAD_H
+#define SNIP_RUNTIME_TASK_THREAD_H
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+
+namespace snip {
+namespace runtime {
+
+/** FIFO single-thread task executor (see file comment). */
+class TaskThread
+{
+  public:
+    TaskThread() = default;
+    ~TaskThread();
+
+    TaskThread(const TaskThread &) = delete;
+    TaskThread &operator=(const TaskThread &) = delete;
+
+    /** Enqueue @p fn; starts the worker on first use. Tasks must not
+     *  throw (a throwing task panics — background work has no caller
+     *  to rethrow into). */
+    void submit(std::function<void()> fn);
+
+    /** Block until all tasks submitted so far have completed. */
+    void drain();
+
+    /** Tasks submitted / completed so far (monotonic counters). */
+    int64_t submitted() const;
+    int64_t completed() const;
+
+    /** True when a task is queued or running. */
+    bool busy() const;
+
+  private:
+    void workerLoop();
+
+    mutable std::mutex mu_;
+    std::condition_variable wake_cv_;
+    std::condition_variable idle_cv_;
+    std::deque<std::function<void()>> queue_;
+    std::thread worker_;
+    int64_t submitted_ = 0;
+    int64_t completed_ = 0;
+    bool started_ = false;
+    bool stop_ = false;
+};
+
+} // namespace runtime
+} // namespace snip
+
+#endif // SNIP_RUNTIME_TASK_THREAD_H

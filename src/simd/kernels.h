@@ -75,6 +75,13 @@ using ErrorStatsFn = void (*)(const float *ref, const float *q,
                               int64_t count, double *sum_sq,
                               double *max_err);
 
+/**
+ * sum(p[i]^2) accumulated in double — the Frobenius-norm reduction the
+ * stats collector and eval paths lean on (tensor/ops.cpp dispatches
+ * here). Like sum_sq above, backends may differ in low-order bits.
+ */
+using SumSquaresFn = double (*)(const float *p, int64_t count);
+
 /** The dispatchable kernel set of one backend. */
 struct KernelTable
 {
@@ -86,6 +93,7 @@ struct KernelTable
     Bf16RoundFn bf16Round;
     MaxAbsFn maxAbs;
     ErrorStatsFn errorStats;
+    SumSquaresFn sumSquares;
 };
 
 /** The portable plain-C++ backend (always available). */

@@ -396,6 +396,32 @@ errorStatsAvx2(const float *ref, const float *q, int64_t count,
     *max_err = max_e;
 }
 
+double
+sumSquaresAvx2(const float *p, int64_t count)
+{
+    // Two 4-wide double accumulators mirror errorStatsAvx2: each float
+    // is widened to double before squaring, so only the lane-order of
+    // the final additions differs from the scalar backend.
+    __m256d acc0 = _mm256_setzero_pd();
+    __m256d acc1 = _mm256_setzero_pd();
+    const int64_t n8 = count & ~int64_t{7};
+    for (int64_t i = 0; i < n8; i += 8) {
+        __m256 v = _mm256_loadu_ps(p + i);
+        __m256d d0 = _mm256_cvtps_pd(_mm256_castps256_ps128(v));
+        __m256d d1 = _mm256_cvtps_pd(_mm256_extractf128_ps(v, 1));
+        acc0 = _mm256_fmadd_pd(d0, d0, acc0);
+        acc1 = _mm256_fmadd_pd(d1, d1, acc1);
+    }
+    __m256d acc = _mm256_add_pd(acc0, acc1);
+    __m128d s = _mm_add_pd(_mm256_castpd256_pd128(acc),
+                           _mm256_extractf128_pd(acc, 1));
+    double sum = _mm_cvtsd_f64(s) +
+                 _mm_cvtsd_f64(_mm_unpackhi_pd(s, s));
+    for (int64_t i = n8; i < count; ++i)
+        sum += static_cast<double>(p[i]) * p[i];
+    return sum;
+}
+
 } // namespace
 
 const KernelTable &
@@ -405,6 +431,7 @@ avx2Kernels()
         "avx2",          gemmNtBlockAvx2, gemmNnBlockAvx2,
         gemmTnBlockAvx2, quantizeNearestAvx2,
         bf16RoundAvx2,   maxAbsAvx2,      errorStatsAvx2,
+        sumSquaresAvx2,
     };
     return table;
 }

@@ -129,6 +129,15 @@ errorStatsScalar(const float *ref, const float *q, int64_t count,
     *max_err = max_e;
 }
 
+double
+sumSquaresScalar(const float *p, int64_t count)
+{
+    double acc = 0.0;
+    for (int64_t i = 0; i < count; ++i)
+        acc += static_cast<double>(p[i]) * p[i];
+    return acc;
+}
+
 } // namespace
 
 const KernelTable &
@@ -138,6 +147,7 @@ scalarKernels()
         "scalar",          gemmNtBlockScalar, gemmNnBlockScalar,
         gemmTnBlockScalar, quantizeNearestScalar,
         bf16RoundScalar,   maxAbsScalar,      errorStatsScalar,
+        sumSquaresScalar,
     };
     return table;
 }

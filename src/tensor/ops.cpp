@@ -2,16 +2,21 @@
 
 #include <cmath>
 
+#include "simd/dispatch.h"
+#include "simd/kernels.h"
+
 namespace snip {
+
+// The three norm/max reductions below are the hot statistics paths
+// (Step 1 collects a Frobenius norm per streamed tensor), so they
+// dispatch to the active KernelTable backend. Per the backend contract
+// (simd/kernels.h): maxAbs is bit-exact across backends; the
+// sum-of-squares reductions may differ in low-order bits.
 
 double
 sumSquares(const Tensor &t)
 {
-    const float *p = t.data();
-    double acc = 0.0;
-    for (int64_t i = 0; i < t.numel(); ++i)
-        acc += static_cast<double>(p[i]) * p[i];
-    return acc;
+    return simd::activeKernels().sumSquares(t.data(), t.numel());
 }
 
 double
@@ -23,11 +28,7 @@ frobeniusNorm(const Tensor &t)
 float
 maxAbs(const Tensor &t)
 {
-    const float *p = t.data();
-    float m = 0.0f;
-    for (int64_t i = 0; i < t.numel(); ++i)
-        m = std::max(m, std::fabs(p[i]));
-    return m;
+    return simd::activeKernels().maxAbs(t.data(), t.numel());
 }
 
 double
@@ -46,14 +47,10 @@ double
 diffNorm(const Tensor &a, const Tensor &b)
 {
     SNIP_ASSERT(a.sameShape(b));
-    const float *pa = a.data();
-    const float *pb = b.data();
-    double acc = 0.0;
-    for (int64_t i = 0; i < a.numel(); ++i) {
-        double d = static_cast<double>(pa[i]) - pb[i];
-        acc += d * d;
-    }
-    return std::sqrt(acc);
+    double sum_sq = 0.0, max_err = 0.0;
+    simd::activeKernels().errorStats(a.data(), b.data(), a.numel(),
+                                     &sum_sq, &max_err);
+    return std::sqrt(sum_sq);
 }
 
 void

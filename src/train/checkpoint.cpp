@@ -1,6 +1,7 @@
 #include "train/checkpoint.h"
 
 #include <cstdint>
+#include <cstdio>
 #include <fstream>
 
 #include "util/logging.h"
@@ -9,7 +10,11 @@ namespace snip {
 
 namespace {
 
-constexpr uint64_t kMagic = 0x534E4950434B5031ull; // "SNIPCKP1"
+// v2 added the quantizer/noise RNG stream states (bit-exact resume
+// under stochastic rounding) and the optional controller section.
+constexpr uint64_t kMagic = 0x534E4950434B5032ull;    // "SNIPCKP2"
+constexpr uint64_t kMagicV1 = 0x534E4950434B5031ull;  // "SNIPCKP1"
+constexpr uint64_t kCtlMagic = 0x534E495043544C31ull; // "SNIPCTL1"
 
 void
 writeU64(std::ostream &out, uint64_t v)
@@ -56,12 +61,58 @@ readTensorInto(std::istream &in, Tensor &t)
     return static_cast<bool>(in);
 }
 
+void
+writeScheme(std::ostream &out, const PrecisionScheme &scheme)
+{
+    writeU64(out, static_cast<uint64_t>(scheme.layers.size()));
+    for (const auto &layer : scheme.layers) {
+        for (Precision p : layer.gemm)
+            out.put(static_cast<char>(p));
+    }
+}
+
+bool
+readScheme(std::istream &in, PrecisionScheme &scheme)
+{
+    uint64_t n_layers;
+    if (!readU64(in, n_layers))
+        return false;
+    scheme.layers.assign(n_layers, LayerScheme{});
+    for (auto &layer : scheme.layers) {
+        for (auto &p : layer.gemm) {
+            int c = in.get();
+            if (c == EOF || c < 0 ||
+                c > static_cast<int>(Precision::FP4))
+                return false;
+            p = static_cast<Precision>(c);
+        }
+    }
+    return static_cast<bool>(in);
+}
+
+void
+writeF64(std::ostream &out, double v)
+{
+    out.write(reinterpret_cast<const char *>(&v), sizeof(v));
+}
+
+bool
+readF64(std::istream &in, double &v)
+{
+    in.read(reinterpret_cast<char *>(&v), sizeof(v));
+    return static_cast<bool>(in);
+}
+
 } // namespace
 
 bool
-saveCheckpoint(const Trainer &trainer, const std::string &path)
+saveCheckpoint(const Trainer &trainer, const std::string &path,
+               SnipController *controller)
 {
-    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    // Write to a temp file and rename, so a crash mid-save never
+    // leaves a truncated file at the checkpoint path.
+    const std::string tmp = path + ".tmp";
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
     if (!out)
         return false;
 
@@ -70,24 +121,62 @@ saveCheckpoint(const Trainer &trainer, const std::string &path)
     writeU64(out, static_cast<uint64_t>(snap.param_values.size()));
     writeU64(out, static_cast<uint64_t>(snap.step));
     writeU64(out, static_cast<uint64_t>(snap.opt_step_count));
+    writeF64(out, snap.lr);
+    writeScheme(out, snap.scheme);
+    for (uint64_t s : snap.quant_rng_state)
+        writeU64(out, s);
+    for (uint64_t s : snap.noise_rng_state)
+        writeU64(out, s);
     for (const auto &t : snap.param_values)
         writeTensor(out, t);
     for (const auto &s : snap.opt_states) {
         writeTensor(out, s.m);
         writeTensor(out, s.v);
     }
-    return static_cast<bool>(out);
+
+    if (controller) {
+        // exportState() waits for any in-flight background solve, so
+        // the pending update's outcome lands in the file.
+        SnipController::PersistState state = controller->exportState();
+        writeU64(out, kCtlMagic);
+        writeU64(out, state.epoch);
+        writeU64(out, state.has_selection ? 1 : 0);
+        writeScheme(out, state.applied_scheme);
+        writeF64(out, state.applied_fp4_fraction);
+        writeU64(out, state.pending ? 1 : 0);
+        if (state.pending) {
+            writeU64(out,
+                     static_cast<uint64_t>(state.pending_apply_step));
+            writeScheme(out, state.pending_scheme);
+            writeF64(out, state.pending_fp4_fraction);
+        }
+    }
+    out.close();
+    if (!out) {
+        std::remove(tmp.c_str());
+        return false;
+    }
+    return std::rename(tmp.c_str(), path.c_str()) == 0;
 }
 
 bool
-loadCheckpoint(Trainer &trainer, const std::string &path)
+loadCheckpoint(Trainer &trainer, const std::string &path,
+               SnipController *controller)
 {
     std::ifstream in(path, std::ios::binary);
     if (!in)
         return false;
 
     uint64_t magic, n_params, step, opt_step;
-    if (!readU64(in, magic) || magic != kMagic)
+    if (!readU64(in, magic))
+        return false;
+    if (magic == kMagicV1) {
+        // Outdated format (no RNG stream states): report unreadable so
+        // callers (e.g. the bench checkpoint cache) regenerate it.
+        warn("outdated SNIPCKP1 checkpoint, ignoring: ", path);
+        return false;
+    }
+    if (magic != kMagic)
         fatal("not a SNIP checkpoint: ", path);
     if (!readU64(in, n_params) || !readU64(in, step) ||
         !readU64(in, opt_step))
@@ -98,6 +187,18 @@ loadCheckpoint(Trainer &trainer, const std::string &path)
         fatal("checkpoint parameter count mismatch");
     snap.step = static_cast<int64_t>(step);
     snap.opt_step_count = static_cast<int64_t>(opt_step);
+    if (!readF64(in, snap.lr))
+        return false;
+    if (!readScheme(in, snap.scheme))
+        return false;
+    for (auto &s : snap.quant_rng_state) {
+        if (!readU64(in, s))
+            return false;
+    }
+    for (auto &s : snap.noise_rng_state) {
+        if (!readU64(in, s))
+            return false;
+    }
     for (auto &t : snap.param_values) {
         if (!readTensorInto(in, t))
             return false;
@@ -106,7 +207,38 @@ loadCheckpoint(Trainer &trainer, const std::string &path)
         if (!readTensorInto(in, s.m) || !readTensorInto(in, s.v))
             return false;
     }
+
+    // Optional trailing controller section (absent in old files).
+    // Parse it fully BEFORE touching the trainer, so a file truncated
+    // mid-section reports failure without mutating any state.
+    bool have_ctl = false;
+    SnipController::PersistState state;
+    uint64_t ctl_magic;
+    if (readU64(in, ctl_magic)) {
+        if (ctl_magic != kCtlMagic)
+            fatal("corrupt controller section in ", path);
+        uint64_t has_selection, pending;
+        if (!readU64(in, state.epoch) || !readU64(in, has_selection) ||
+            !readScheme(in, state.applied_scheme) ||
+            !readF64(in, state.applied_fp4_fraction) ||
+            !readU64(in, pending))
+            return false;
+        state.has_selection = has_selection != 0;
+        state.pending = pending != 0;
+        if (state.pending) {
+            uint64_t apply_step;
+            if (!readU64(in, apply_step) ||
+                !readScheme(in, state.pending_scheme) ||
+                !readF64(in, state.pending_fp4_fraction))
+                return false;
+            state.pending_apply_step = static_cast<int64_t>(apply_step);
+        }
+        have_ctl = true;
+    }
+
     trainer.restore(snap);
+    if (controller && have_ctl)
+        controller->importState(state);
     return true;
 }
 

@@ -2,11 +2,25 @@
  * @file
  * Binary checkpoint serialization for Trainer state.
  *
- * Simple self-describing format: magic, version, parameter count, then
- * per parameter (name, shape, FP32 data), then the optimizer moments and
- * step counters. Checkpoints let the examples/benches reproduce the
- * paper's "resume pretraining from a released checkpoint" workflow
- * (Sec. 6.1) across process runs.
+ * Simple self-describing format (v2, magic "SNIPCKP2"): parameter
+ * count and clocks, the optimizer lr, the model's active precision
+ * scheme, the quantizer/noise RNG stream states, then the FP32
+ * parameter tensors and optimizer moments. The scheme + RNG states
+ * make resumes bit-exact even under stochastic-rounding schemes.
+ * Checkpoints let the examples/benches reproduce the paper's "resume
+ * pretraining from a released checkpoint" workflow (Sec. 6.1) across
+ * process runs; outdated v1 files are reported as unreadable (callers
+ * regenerate them).
+ *
+ * When a SnipController is passed, an optional trailing section also
+ * persists the controller's update state — its epoch counter, last
+ * applied scheme, and any in-flight async update (saving waits for the
+ * background solve and records its outcome plus its apply boundary).
+ * Loading such a checkpoint re-arms the pending update, so a run
+ * checkpointed mid-interval resumes with the identical scheme
+ * sequence. Files written without a controller load with or without
+ * one, and controller-bearing files load fine when no controller is
+ * supplied (the section is skipped).
  */
 #ifndef SNIP_TRAIN_CHECKPOINT_H
 #define SNIP_TRAIN_CHECKPOINT_H
@@ -17,14 +31,23 @@
 
 namespace snip {
 
-/** Serialize the trainer's current state. Returns false on I/O error. */
-bool saveCheckpoint(const Trainer &trainer, const std::string &path);
+/**
+ * Serialize the trainer's current state. With @p controller, the
+ * scheme/controller section is appended (see file comment); exporting
+ * blocks until any in-flight async update has solved. Returns false on
+ * I/O error.
+ */
+bool saveCheckpoint(const Trainer &trainer, const std::string &path,
+                    SnipController *controller = nullptr);
 
 /**
  * Restore state saved by saveCheckpoint into an identically configured
- * trainer. fatal() on structural mismatch; returns false on I/O error.
+ * trainer. With @p controller, also restores the controller section
+ * when present (and re-applies the persisted precision scheme to the
+ * model). fatal() on structural mismatch; returns false on I/O error.
  */
-bool loadCheckpoint(Trainer &trainer, const std::string &path);
+bool loadCheckpoint(Trainer &trainer, const std::string &path,
+                    SnipController *controller = nullptr);
 
 } // namespace snip
 

@@ -85,6 +85,11 @@ Trainer::snapshot() const
     snap.opt_states = opt_->snapshot();
     snap.opt_step_count = opt_->stepCount();
     snap.step = step_;
+    snap.lr = opt_->config().lr;
+    snap.scheme = model_->currentScheme();
+    const LlamaModel &model = *model_;
+    snap.quant_rng_state = model.quantizer().rng().state();
+    snap.noise_rng_state = model.noiseRng().state();
     return snap;
 }
 
@@ -100,6 +105,10 @@ Trainer::restore(const TrainerSnapshot &snap)
         params[i].grad->zero();
     }
     opt_->restore(snap.opt_states, snap.opt_step_count);
+    opt_->setLr(snap.lr);
+    model_->setScheme(snap.scheme);
+    model_->quantizer().rng().setState(snap.quant_rng_state);
+    model_->noiseRng().setState(snap.noise_rng_state);
     step_ = snap.step;
     // Replay the data stream to the snapshot position so resumed runs
     // see the batches they would have seen.

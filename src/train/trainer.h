@@ -8,6 +8,7 @@
 #ifndef SNIP_TRAIN_TRAINER_H
 #define SNIP_TRAIN_TRAINER_H
 
+#include <array>
 #include <functional>
 #include <memory>
 
@@ -33,13 +34,24 @@ struct TrainerConfig
     uint64_t data_seed = 7;
 };
 
-/** Full training state snapshot (parameters + optimizer + clock). */
+/** Full training state snapshot (parameters + optimizer + clock +
+ *  active scheme + stochastic streams). The scheme and RNG states make
+ *  restores bit-exact even under quantized training: the restored run
+ *  quantizes with the same precisions and replays the stochastic
+ *  rounding / probe-noise draws exactly where the snapshot left them. */
 struct TrainerSnapshot
 {
     std::vector<Tensor> param_values;
     std::vector<AdamW::State> opt_states;
     int64_t opt_step_count = 0;
     int64_t step = 0;
+    /** Optimizer lr at snapshot time. The schedule overwrites it every
+     *  step, but the SNIP statistics pass reads it *before* that, so a
+     *  restore must reproduce the exact pre-step value. */
+    double lr = 0.0;
+    PrecisionScheme scheme;
+    std::array<uint64_t, 4> quant_rng_state{};
+    std::array<uint64_t, 4> noise_rng_state{};
 };
 
 /** Owns one training run. */

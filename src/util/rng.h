@@ -11,6 +11,7 @@
 #ifndef SNIP_UTIL_RNG_H
 #define SNIP_UTIL_RNG_H
 
+#include <array>
 #include <cstdint>
 
 namespace snip {
@@ -53,6 +54,19 @@ class Rng
 
     /** Derive an independent child generator (hash-mixed). */
     Rng split();
+
+    /** Opaque 256-bit stream position, for checkpointing: restoring a
+     *  captured state replays the exact draw sequence (stochastic
+     *  rounding, probe noise) a resumed run would have seen. */
+    std::array<uint64_t, 4> state() const
+    {
+        return {s_[0], s_[1], s_[2], s_[3]};
+    }
+    void setState(const std::array<uint64_t, 4> &state)
+    {
+        for (int i = 0; i < 4; ++i)
+            s_[i] = state[static_cast<std::size_t>(i)];
+    }
 
   private:
     uint64_t s_[4];

@@ -332,6 +332,47 @@ TEST(SimdErrorStats, BackendsAgree)
     }
 }
 
+TEST(SimdReductions, SumSquaresBackendsAgree)
+{
+    SKIP_WITHOUT_AVX2();
+    Rng rng(41);
+    for (int64_t n : {0, 1, 5, 8, 13, 4096}) {
+        std::vector<float> v(static_cast<size_t>(n));
+        for (auto &x : v)
+            x = static_cast<float>(rng.nextGaussian() * 10.0);
+        const double s =
+            simd::scalarKernels().sumSquares(v.data(), n);
+        const double a = simd::avx2Kernels().sumSquares(v.data(), n);
+        EXPECT_NEAR(s, a, 1e-12 * (1.0 + s)) << "n=" << n;
+    }
+}
+
+TEST(SimdReductions, TensorOpsFollowTheActiveBackend)
+{
+    // The stats-collector/eval reductions (tensor/ops.cpp) dispatch
+    // through the KernelTable: maxAbs must agree bit for bit across
+    // backends, the sum-of-squares norms within low-order bits.
+    SKIP_WITHOUT_AVX2();
+    BackendGuard guard;
+    Rng rng(43);
+    Tensor t = Tensor::randn({130, 257}, rng, 5.0f);
+    Tensor u = Tensor::randn({130, 257}, rng, 5.0f);
+
+    setenv("SNIP_SIMD", "scalar", 1);
+    simd::reinitFromEnv();
+    const double norm_s = frobeniusNorm(t);
+    const double sumsq_s = sumSquares(t);
+    const double diff_s = diffNorm(t, u);
+    const float max_s = maxAbs(t);
+
+    setenv("SNIP_SIMD", "avx2", 1);
+    simd::reinitFromEnv();
+    EXPECT_EQ(maxAbs(t), max_s);
+    EXPECT_NEAR(frobeniusNorm(t), norm_s, 1e-9 * (1.0 + norm_s));
+    EXPECT_NEAR(sumSquares(t), sumsq_s, 1e-9 * (1.0 + sumsq_s));
+    EXPECT_NEAR(diffNorm(t, u), diff_s, 1e-9 * (1.0 + diff_s));
+}
+
 TEST(SimdErrorStats, MeasureQuantErrorStableAcrossBackends)
 {
     SKIP_WITHOUT_AVX2();
