@@ -85,7 +85,10 @@ main(int argc, char **argv)
 
     // --- Async controller + solve cache + mid-interval resume -------
     std::printf("\nasync scheme updates with periodic re-search:\n");
-    SolveCache cache("resume_solve_cache.bin");
+    // LRU-bounded: long-running jobs re-pose many intervals, so cap
+    // the persistent cache at 512 solves / 4 MiB (coldest evicted).
+    SolveCache cache("resume_solve_cache.bin", /*max_entries=*/512,
+                     /*max_bytes=*/size_t{4} << 20);
     SnipController::Config cc;
     cc.target_fp4_fraction = 0.75;
     cc.update_interval = steps > 4 ? steps / 2 : 2;

@@ -136,8 +136,11 @@ collectTrainingStats(LlamaModel &model, AdamW *optimizer,
     if (optimizer) {
         stats.opt_scale = optimizer->updateScaleFactor();
         for (int i = 0; i < reg.numLinear(); ++i) {
-            const int pidx =
-                optimizer->paramIndexOf(&model.linear(i).weight());
+            // Pointer-identity lookup only: go through the const
+            // accessor so the layer's packed-weight cache stays armed
+            // (the non-const weight() assumes an impending mutation).
+            const Linear &lin = model.linear(i);
+            const int pidx = optimizer->paramIndexOf(&lin.weight());
             SNIP_ASSERT(pidx >= 0, "linear weight not in optimizer");
             stats.layers[static_cast<size_t>(i)].opt_sensitivity =
                 optimizer->updateSensitivityNorm(

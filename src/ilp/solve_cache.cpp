@@ -2,6 +2,7 @@
 
 #include <cstdio>
 #include <fstream>
+#include <vector>
 
 #include "util/logging.h"
 
@@ -39,9 +40,41 @@ readF64(std::istream &in, double &v)
 
 } // namespace
 
-SolveCache::SolveCache(std::string path) : path_(std::move(path))
+SolveCache::SolveCache(std::string path, size_t max_entries,
+                       size_t max_bytes)
+    : path_(std::move(path)),
+      max_entries_(max_entries),
+      max_bytes_(max_bytes)
 {
     load();
+}
+
+size_t
+SolveCache::entryBytes(const IlpSolution &solution)
+{
+    // Key + fixed solution fields + choice payload; close enough for a
+    // budget knob (allocator overhead is ignored).
+    return sizeof(uint64_t) + sizeof(IlpSolution) +
+           solution.choice.size() * sizeof(int);
+}
+
+void
+SolveCache::setLimits(size_t max_entries, size_t max_bytes)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    max_entries_ = max_entries;
+    max_bytes_ = max_bytes;
+    const size_t before = entries_.size();
+    enforceLimitsLocked();
+    if (entries_.size() != before && !path_.empty() && !saveLocked())
+        warn("could not persist solve cache to ", path_);
+}
+
+void
+SolveCache::touchLocked(Entry &entry, uint64_t key)
+{
+    (void)key;
+    lru_.splice(lru_.begin(), lru_, entry.lru_it);
 }
 
 bool
@@ -54,18 +87,53 @@ SolveCache::lookup(uint64_t key, IlpSolution *out)
         return false;
     }
     ++hits_;
+    touchLocked(it->second, key);
     if (out)
-        *out = it->second;
+        *out = it->second.solution;
     return true;
+}
+
+void
+SolveCache::insertLocked(uint64_t key, const IlpSolution &solution)
+{
+    IlpSolution stored = solution;
+    stored.from_cache = false; // stored entries are canonical solves
+    auto it = entries_.find(key);
+    if (it != entries_.end()) {
+        bytes_ -= entryBytes(it->second.solution);
+        it->second.solution = std::move(stored);
+        bytes_ += entryBytes(it->second.solution);
+        touchLocked(it->second, key);
+    } else {
+        lru_.push_front(key);
+        bytes_ += entryBytes(stored);
+        entries_[key] = Entry{std::move(stored), lru_.begin()};
+    }
+    enforceLimitsLocked();
+}
+
+void
+SolveCache::enforceLimitsLocked()
+{
+    // Evict cold entries until both bounds hold; the freshest entry
+    // always survives, so an insert can never evict itself.
+    while (lru_.size() > 1 &&
+           ((max_entries_ > 0 && entries_.size() > max_entries_) ||
+            (max_bytes_ > 0 && bytes_ > max_bytes_))) {
+        const uint64_t victim = lru_.back();
+        auto it = entries_.find(victim);
+        bytes_ -= entryBytes(it->second.solution);
+        entries_.erase(it);
+        lru_.pop_back();
+        ++evictions_;
+    }
 }
 
 void
 SolveCache::insert(uint64_t key, const IlpSolution &solution)
 {
     std::lock_guard<std::mutex> lock(mu_);
-    IlpSolution stored = solution;
-    stored.from_cache = false; // stored entries are canonical solves
-    entries_[key] = std::move(stored);
+    insertLocked(key, solution);
     if (!path_.empty() && !saveLocked())
         warn("could not persist solve cache to ", path_);
 }
@@ -75,6 +143,8 @@ SolveCache::load()
 {
     std::lock_guard<std::mutex> lock(mu_);
     entries_.clear();
+    lru_.clear();
+    bytes_ = 0;
     if (path_.empty())
         return false;
     std::ifstream in(path_, std::ios::binary);
@@ -86,7 +156,11 @@ SolveCache::load()
         warn("ignoring unreadable solve cache ", path_);
         return false;
     }
-    std::unordered_map<uint64_t, IlpSolution> loaded;
+    // Entries are persisted most-recently-used first; re-inserting in
+    // reverse file order rebuilds the same recency (and applies the
+    // bounds: the file's coldest entries fall off first).
+    std::vector<std::pair<uint64_t, IlpSolution>> loaded;
+    loaded.reserve(static_cast<size_t>(count));
     for (uint64_t e = 0; e < count; ++e) {
         uint64_t key = 0, feasible = 0, nodes = 0, n_choice = 0;
         IlpSolution sol;
@@ -96,6 +170,9 @@ SolveCache::load()
             !readU64(in, nodes) || !readF64(in, sol.solve_seconds) ||
             !readU64(in, n_choice)) {
             warn("truncated solve cache ", path_, "; dropping it");
+            entries_.clear();
+            lru_.clear();
+            bytes_ = 0;
             return false;
         }
         sol.feasible = feasible != 0;
@@ -105,13 +182,19 @@ SolveCache::load()
             uint64_t c = 0;
             if (!readU64(in, c)) {
                 warn("truncated solve cache ", path_, "; dropping it");
+                entries_.clear();
+                lru_.clear();
+                bytes_ = 0;
                 return false;
             }
             sol.choice[i] = static_cast<int>(c);
         }
-        loaded[key] = std::move(sol);
+        loaded.emplace_back(key, std::move(sol));
     }
-    entries_ = std::move(loaded);
+    const int64_t evictions_before = evictions_;
+    for (auto it = loaded.rbegin(); it != loaded.rend(); ++it)
+        insertLocked(it->first, it->second);
+    evictions_ = evictions_before; // load trimming is not an eviction
     return true;
 }
 
@@ -134,7 +217,8 @@ SolveCache::saveLocked() const
             return false;
         writeU64(out, kMagic);
         writeU64(out, static_cast<uint64_t>(entries_.size()));
-        for (const auto &[key, sol] : entries_) {
+        for (uint64_t key : lru_) { // MRU first: recency persists
+            const IlpSolution &sol = entries_.at(key).solution;
             writeU64(out, key);
             writeU64(out, sol.feasible ? 1 : 0);
             writeF64(out, sol.objective);
@@ -172,12 +256,27 @@ SolveCache::misses() const
     return misses_;
 }
 
+int64_t
+SolveCache::evictions() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return evictions_;
+}
+
+size_t
+SolveCache::bytesUsed() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return bytes_;
+}
+
 void
 SolveCache::resetStats()
 {
     std::lock_guard<std::mutex> lock(mu_);
     hits_ = 0;
     misses_ = 0;
+    evictions_ = 0;
 }
 
 } // namespace snip

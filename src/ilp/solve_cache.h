@@ -21,6 +21,13 @@
  * (tmp + rename) after each insert when a path is configured; an
  * unreadable or corrupt file is treated as an empty cache.
  *
+ * The cache is LRU-bounded: setLimits() caps the entry count and the
+ * approximate in-memory bytes (0 = unlimited, the default). Lookups
+ * refresh recency; inserts evict from the cold end before the file is
+ * rewritten, so the persisted cache respects the bounds too. Entries
+ * are persisted most-recently-used first and reloaded in that order,
+ * so recency survives restarts.
+ *
  * Thread-safe: the async worker and the trainer thread may look up and
  * insert concurrently.
  */
@@ -28,6 +35,7 @@
 #define SNIP_ILP_SOLVE_CACHE_H
 
 #include <cstdint>
+#include <list>
 #include <mutex>
 #include <string>
 #include <unordered_map>
@@ -44,8 +52,18 @@ class SolveCache
     SolveCache() = default;
 
     /** File-backed cache: loads @p path if it exists and rewrites it
-     *  after every insert. */
-    explicit SolveCache(std::string path);
+     *  after every insert. Optional LRU bounds as in setLimits(). */
+    explicit SolveCache(std::string path, size_t max_entries = 0,
+                        size_t max_bytes = 0);
+
+    /**
+     * Bound the cache: at most @p max_entries entries and (approximate,
+     * per entryBytes()) @p max_bytes bytes; 0 disables a bound. Takes
+     * effect immediately (evicting the least-recently-used entries) and
+     * on every subsequent insert/load. The most recent entry is never
+     * evicted.
+     */
+    void setLimits(size_t max_entries, size_t max_bytes);
 
     /** Copy the solution stored under @p key into @p out. Counts a hit
      *  or a miss. */
@@ -66,17 +84,38 @@ class SolveCache
     size_t size() const;
     int64_t hits() const;
     int64_t misses() const;
+    /** Entries dropped by the LRU bounds since construction. */
+    int64_t evictions() const;
+    /** Approximate bytes held (sum of entryBytes()). */
+    size_t bytesUsed() const;
     void resetStats();
     const std::string &path() const { return path_; }
 
+    /** Approximate in-memory footprint of one cached solution. */
+    static size_t entryBytes(const IlpSolution &solution);
+
   private:
-    bool saveLocked() const; ///< writer; caller holds mu_
+    struct Entry
+    {
+        IlpSolution solution;
+        std::list<uint64_t>::iterator lru_it;
+    };
+
+    bool saveLocked() const;   ///< writer; caller holds mu_
+    void insertLocked(uint64_t key, const IlpSolution &solution);
+    void enforceLimitsLocked(); ///< evict cold entries over the bounds
+    void touchLocked(Entry &entry, uint64_t key);
 
     mutable std::mutex mu_;
-    std::unordered_map<uint64_t, IlpSolution> entries_;
+    std::unordered_map<uint64_t, Entry> entries_;
+    std::list<uint64_t> lru_; ///< front = most recently used
     std::string path_;
+    size_t max_entries_ = 0;
+    size_t max_bytes_ = 0;
+    size_t bytes_ = 0;
     int64_t hits_ = 0;
     int64_t misses_ = 0;
+    int64_t evictions_ = 0;
 };
 
 } // namespace snip

@@ -15,16 +15,49 @@ Linear::Linear(std::string name, int64_t out_features, int64_t in_features,
 {
 }
 
-Tensor
-Linear::quantized(const Tensor &t, GemmKind kind, TensorRole role)
+Linear::QuantPlan
+Linear::plan(GemmKind kind, TensorRole role) const
 {
-    const Precision p = scheme_.of(kind);
+    QuantPlan p;
+    const Precision prec = scheme_.of(kind);
     // BF16 GEMMs are the high-precision reference: the FP32 master is
     // used directly (bf16 rounding of FP32 master weights is treated as
     // exact, as the paper treats its BF16 baseline).
-    if (quantizer_ == nullptr || p == Precision::BF16)
+    if (quantizer_ == nullptr || prec == Precision::BF16)
+        return p;
+    p.cfg = rolePolicy(prec, role);
+    if (p.cfg.rounding == Rounding::Stochastic)
+        p.materialize = true; // RNG stream order forbids fusing
+    else
+        p.fused = true;
+    return p;
+}
+
+Tensor
+Linear::materialized(const Tensor &t, const QuantPlan &plan)
+{
+    if (!plan.fused && !plan.materialize)
         return t;
-    return quantizer_->quantize(t, rolePolicy(p, role));
+    return quantizer_->quantize(t, plan.cfg);
+}
+
+const Tensor &
+Linear::packedSrc(const Tensor &t, const QuantPlan &plan, Tensor &storage,
+                  const QuantConfig **fused)
+{
+    if (plan.materialize) {
+        storage = quantizer_->quantize(t, plan.cfg);
+        *fused = nullptr;
+        return storage;
+    }
+    *fused = plan.fusedCfg();
+    return t;
+}
+
+PackedWeightCache *
+Linear::activeCache()
+{
+    return w_packs_.implicitCachingActive() ? &w_packs_ : nullptr;
 }
 
 Tensor
@@ -33,9 +66,21 @@ Linear::forward(const Tensor &x)
     SNIP_ASSERT(x.rank() == 2 && x.size(1) == inFeatures(),
                 "bad input shape for ", name_);
     saved_x_ = x;
-    Tensor xq = quantized(x, GemmKind::Fwd, TensorRole::Activation);
-    Tensor wq = quantized(w_, GemmKind::Fwd, TensorRole::Weight);
-    Tensor y = matmulNT(xq, wq);
+    Tensor y;
+    if (gemmPackEnabled(x.size(0), outFeatures(), inFeatures())) {
+        QuantPlan xp = plan(GemmKind::Fwd, TensorRole::Activation);
+        QuantPlan wp = plan(GemmKind::Fwd, TensorRole::Weight);
+        Tensor xs;
+        const QuantConfig *xq = nullptr;
+        const Tensor &xa = packedSrc(x, xp, xs, &xq);
+        y = quantMatmulNT(xa, xq, w_, wp.fusedCfg(), activeCache());
+    } else {
+        Tensor xq =
+            materialized(x, plan(GemmKind::Fwd, TensorRole::Activation));
+        Tensor wq =
+            materialized(w_, plan(GemmKind::Fwd, TensorRole::Weight));
+        y = matmulNT(xq, wq);
+    }
     if (tap_)
         tap_->onForward(tap_idx_, x, w_, y);
     return y;
@@ -48,19 +93,53 @@ Linear::backward(const Tensor &dy)
                 "bad grad shape for ", name_);
     SNIP_ASSERT(saved_x_.numel() > 0, "backward before forward in ",
                 name_);
+    const int64_t rows = dy.size(0);
 
     // dX = dY W (Dgrad GEMM).
-    Tensor dyq_d = quantized(dy, GemmKind::Dgrad, TensorRole::OutputGrad);
-    Tensor wq_d = quantized(w_, GemmKind::Dgrad, TensorRole::Weight);
-    Tensor dx = matmulNN(dyq_d, wq_d);
+    Tensor dx;
+    if (gemmPackEnabled(rows, inFeatures(), outFeatures())) {
+        QuantPlan dp = plan(GemmKind::Dgrad, TensorRole::OutputGrad);
+        QuantPlan wp = plan(GemmKind::Dgrad, TensorRole::Weight);
+        Tensor dys;
+        const QuantConfig *dq = nullptr;
+        const Tensor &dya = packedSrc(dy, dp, dys, &dq);
+        dx = quantMatmulNN(dya, dq, w_, wp.fusedCfg(), activeCache());
+    } else {
+        Tensor dyq = materialized(
+            dy, plan(GemmKind::Dgrad, TensorRole::OutputGrad));
+        Tensor wq =
+            materialized(w_, plan(GemmKind::Dgrad, TensorRole::Weight));
+        dx = matmulNN(dyq, wq);
+    }
 
-    // dW = dY^T X (Wgrad GEMM).
-    Tensor dyq_w = quantized(dy, GemmKind::Wgrad, TensorRole::OutputGrad);
-    Tensor xq_w =
-        quantized(saved_x_, GemmKind::Wgrad, TensorRole::Activation);
-    Tensor dw = matmulTN(dyq_w, xq_w);
+    // dW = dY^T X (Wgrad GEMM). Without a tap the packed path
+    // accumulates straight into grad_w_ (one add of the full k-sum per
+    // element — bit-identical to materializing dW and adding it).
+    if (gemmPackEnabled(outFeatures(), inFeatures(), rows)) {
+        QuantPlan dp = plan(GemmKind::Wgrad, TensorRole::OutputGrad);
+        QuantPlan xp = plan(GemmKind::Wgrad, TensorRole::Activation);
+        Tensor dys;
+        const QuantConfig *dq = nullptr;
+        const Tensor &dya = packedSrc(dy, dp, dys, &dq);
+        if (tap_) {
+            // The tap observes the dW increment, so materialize it.
+            Tensor dw(outFeatures(), inFeatures());
+            quantGemmTN(dya, dq, saved_x_, xp.fusedCfg(), dw,
+                        /*accumulate=*/false);
+            addInPlace(grad_w_, dw);
+            tap_->onBackward(tap_idx_, dy, dx, dw);
+            return dx;
+        }
+        quantGemmTN(dya, dq, saved_x_, xp.fusedCfg(), grad_w_,
+                    /*accumulate=*/true);
+        return dx;
+    }
+    Tensor dyq =
+        materialized(dy, plan(GemmKind::Wgrad, TensorRole::OutputGrad));
+    Tensor xq = materialized(
+        saved_x_, plan(GemmKind::Wgrad, TensorRole::Activation));
+    Tensor dw = matmulTN(dyq, xq);
     addInPlace(grad_w_, dw);
-
     if (tap_)
         tap_->onBackward(tap_idx_, dy, dx, dw);
     return dx;

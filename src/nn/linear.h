@@ -16,6 +16,7 @@
 #include "nn/param.h"
 #include "quant/quantizer.h"
 #include "schemes/scheme.h"
+#include "tensor/gemm.h"
 #include "tensor/tensor.h"
 
 namespace snip {
@@ -48,6 +49,16 @@ class LinearTap
  *
  * One forward() must be followed by at most one backward() (the layer
  * saves its input activation in between).
+ *
+ * Large GEMMs take the packed pipeline (tensor/gemm.h,
+ * SNIP_GEMM_PACK): nearest-rounded operands are quantized ON THE PACK
+ * (no quantized tensor copy is materialized — the quantization
+ * decision is a pack policy), stochastic-rounded operands (FP4
+ * gradients) are materialized first, and the layer's PackedWeightCache
+ * keeps the packed+quantized weight panels alive across the GEMMs of
+ * one step. Mutating the weight through the non-const weight()
+ * accessor invalidates the cache; the optimizer and checkpoint paths
+ * invalidate globally via invalidateWeightPacks().
  */
 class Linear
 {
@@ -83,8 +94,14 @@ class Linear
         tap_idx_ = idx;
     }
 
-    /** Master (FP32) weight [out, in]. */
-    Tensor &weight() { return w_; }
+    /** Master (FP32) weight [out, in]. The non-const accessor assumes
+     *  the caller may mutate and drops the packed-weight cache. */
+    Tensor &
+    weight()
+    {
+        w_packs_.invalidate();
+        return w_;
+    }
     const Tensor &weight() const { return w_; }
 
     /** Weight gradient (same shape as weight). */
@@ -105,8 +122,42 @@ class Linear
     const std::string &name() const { return name_; }
 
   private:
-    /** Fake-quantize @p t for one GEMM under the current scheme. */
-    Tensor quantized(const Tensor &t, GemmKind kind, TensorRole role);
+    /**
+     * How one operand of one GEMM is quantized under the current
+     * scheme: a pack policy (`fused` — applied during the operand
+     * pack, nothing materialized), a materialization (`materialize` —
+     * stochastic rounding, whose RNG stream is order-sensitive), or
+     * passthrough (BF16 / no quantizer; both false).
+     */
+    struct QuantPlan
+    {
+        bool fused = false;
+        bool materialize = false;
+        QuantConfig cfg;
+
+        const QuantConfig *fusedCfg() const
+        {
+            return fused ? &cfg : nullptr;
+        }
+    };
+
+    QuantPlan plan(GemmKind kind, TensorRole role) const;
+
+    /** Legacy-path materialization of @p t under @p plan. */
+    Tensor materialized(const Tensor &t, const QuantPlan &plan);
+
+    /**
+     * Resolve one packed-GEMM operand: returns the tensor to feed the
+     * GEMM (@p t, or @p storage after materializing a
+     * stochastic-rounded copy into it) and sets @p fused to the
+     * pack-policy config (null when materialized or passthrough).
+     * @p plan and @p storage must outlive the GEMM call.
+     */
+    const Tensor &packedSrc(const Tensor &t, const QuantPlan &plan,
+                            Tensor &storage, const QuantConfig **fused);
+
+    /** The weight cache, or null while implicit reuse is unsafe. */
+    PackedWeightCache *activeCache();
 
     std::string name_;
     Tensor w_;
@@ -116,6 +167,8 @@ class Linear
     FakeQuantizer *quantizer_ = nullptr;
     LinearTap *tap_ = nullptr;
     int tap_idx_ = -1;
+    /** Packed+quantized weight panels, one slot per GEMM orientation. */
+    PackedWeightCache w_packs_;
 };
 
 } // namespace snip

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "tensor/gemm.h"
 #include "tensor/ops.h"
 #include "util/logging.h"
 
@@ -34,6 +35,9 @@ void
 AdamW::step()
 {
     ++step_count_;
+    // Every parameter is about to change: packed+quantized weight
+    // panels cached from this step are stale.
+    invalidateWeightPacks();
     const double b1 = config_.beta1;
     const double b2 = config_.beta2;
     const double bias1 =

@@ -43,6 +43,12 @@ struct ThreadPool::Job
 
     std::atomic<int64_t> next_chunk{0};
     std::atomic<int64_t> done_chunks{0};
+    /** Workers currently inside runChunks for this job (incremented
+     *  under mu_ when a worker picks the job up). The submitter only
+     *  recycles the storage once this drops to zero, so a straggler
+     *  that finished its chunks but is still unwinding can never see
+     *  the fields reinitialized under it. */
+    std::atomic<int> active_workers{0};
 
     std::mutex err_mu;
     std::exception_ptr error;
@@ -111,11 +117,19 @@ ThreadPool::workerLoop()
                 return;
             seen = generation_;
             job = job_;
+            if (job)
+                job->active_workers.fetch_add(
+                    1, std::memory_order_relaxed);
         }
         if (!job)
             continue;
         runChunks(*job);
-        if (job->done_chunks.load() >= job->n_chunks) {
+        // Read completion BEFORE dropping the active count: after the
+        // decrement the submitter may recycle the Job's fields.
+        const bool all_done =
+            job->done_chunks.load() >= job->n_chunks;
+        job->active_workers.fetch_sub(1, std::memory_order_release);
+        if (all_done) {
             std::lock_guard<std::mutex> lk(mu_);
             done_cv_.notify_all();
         }
@@ -146,7 +160,22 @@ ThreadPool::parallelFor(int64_t begin, int64_t end, int64_t grain,
 
     std::lock_guard<std::mutex> submit_lk(submit_mu_);
 
-    auto job = std::make_shared<Job>();
+    // Reuse the recycled Job unless a straggling worker from the
+    // previous submission is still unwinding (acquire pairs with the
+    // worker's release decrement; a stale non-zero read just costs one
+    // allocation).
+    std::shared_ptr<Job> job;
+    if (job_storage_ &&
+        job_storage_->active_workers.load(std::memory_order_acquire) ==
+            0) {
+        job = job_storage_;
+        job->next_chunk.store(0, std::memory_order_relaxed);
+        job->done_chunks.store(0, std::memory_order_relaxed);
+        job->error = nullptr;
+    } else {
+        job = std::make_shared<Job>();
+        job_storage_ = job;
+    }
     job->begin = begin;
     job->end = end;
     job->grain = grain;

@@ -95,6 +95,11 @@ class ThreadPool
     std::condition_variable wake_cv_;
     std::condition_variable done_cv_;
     std::shared_ptr<Job> job_;
+    /** Recycled Job storage: parallelFor reuses it whenever no
+     *  straggling worker still references the previous job, making
+     *  steady-state submissions allocation-free (the zero-alloc GEMM
+     *  contract, tests/test_workspace.cpp). */
+    std::shared_ptr<Job> job_storage_;
     uint64_t generation_ = 0;
     bool stop_ = false;
 

@@ -1,0 +1,112 @@
+#include "runtime/workspace_arena.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <new>
+
+namespace snip {
+namespace runtime {
+
+namespace {
+
+constexpr size_t kAlign = 64;
+constexpr size_t kMinSlabBytes = size_t{1} << 20; // 1 MiB
+
+size_t
+roundUp(size_t v, size_t a)
+{
+    return (v + a - 1) / a * a;
+}
+
+char *
+alignedAlloc(size_t bytes)
+{
+    // operator new with alignment keeps the arena visible to the
+    // allocation-counting tests (they interpose operator new).
+    return static_cast<char *>(
+        ::operator new(bytes, std::align_val_t{kAlign}));
+}
+
+void
+alignedFree(char *p)
+{
+    ::operator delete(p, std::align_val_t{kAlign});
+}
+
+} // namespace
+
+/** Overflow block: used only in the episode that first outgrows the
+ *  slab; reset() folds its size into the next slab and frees it. */
+struct WorkspaceArena::Spill
+{
+    Spill *next;
+    size_t bytes;
+    char *data;
+};
+
+WorkspaceArena::~WorkspaceArena()
+{
+    reset();                 // fold spills into the accounting
+    alignedFree(slab_);
+}
+
+float *
+WorkspaceArena::getFloats(size_t count)
+{
+    const size_t bytes = roundUp(count * sizeof(float), kAlign);
+    if (used_ + bytes <= slab_bytes_) {
+        float *p = reinterpret_cast<float *>(slab_ + used_);
+        used_ += bytes;
+        return p;
+    }
+    if (used_ == 0) {
+        // Empty arena: grow the slab in place of spilling.
+        alignedFree(slab_);
+        slab_bytes_ = std::max(roundUp(bytes, kAlign), kMinSlabBytes);
+        slab_ = alignedAlloc(slab_bytes_);
+        ++alloc_count_;
+        used_ = bytes;
+        return reinterpret_cast<float *>(slab_);
+    }
+    // Mid-episode overflow: live buffers pin the slab, so satisfy the
+    // request from a spill block; reset() coalesces afterwards.
+    Spill *s = new Spill;
+    ++alloc_count_;
+    s->bytes = bytes;
+    s->data = alignedAlloc(bytes);
+    ++alloc_count_;
+    s->next = spills_;
+    spills_ = s;
+    spill_bytes_ += bytes;
+    return reinterpret_cast<float *>(s->data);
+}
+
+void
+WorkspaceArena::reset()
+{
+    used_ = 0;
+    if (spills_ == nullptr)
+        return;
+    size_t total = slab_bytes_ + spill_bytes_;
+    while (spills_) {
+        Spill *s = spills_;
+        spills_ = s->next;
+        alignedFree(s->data);
+        delete s;
+    }
+    spill_bytes_ = 0;
+    alignedFree(slab_);
+    slab_bytes_ = roundUp(total, kAlign);
+    slab_ = alignedAlloc(slab_bytes_);
+    ++alloc_count_;
+}
+
+WorkspaceArena &
+WorkspaceArena::forCurrentThread()
+{
+    static thread_local WorkspaceArena arena;
+    return arena;
+}
+
+} // namespace runtime
+} // namespace snip

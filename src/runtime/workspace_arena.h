@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Zero-steady-state-allocation scratch memory for the packed GEMM path.
+ *
+ * A WorkspaceArena is a bump allocator over one large 64-byte-aligned
+ * slab. Requests are served by advancing a watermark; ArenaScope
+ * restores the watermark on destruction, so a caller's transient
+ * buffers (packed panels, scale tables) vanish without any free. When
+ * a request overflows the slab the arena remembers the high-water
+ * mark, and the next reset() re-allocates one slab big enough for the
+ * whole episode — after at most one warm-up pass the arena never
+ * touches the heap again (tests/test_workspace.cpp counts allocations
+ * to hold it to that).
+ *
+ * One arena exists per thread (forCurrentThread()), covering both
+ * pool workers packing their A-panels and caller threads staging the
+ * shared B-panel. Buffers are plain float storage: no constructors,
+ * no ownership — a pointer is valid until the enclosing ArenaScope
+ * closes or reset() is called. Arenas are not thread-safe and never
+ * shared; passing an arena pointer to another thread is a bug, but
+ * *reading* memory obtained from another thread's arena (the shared
+ * packed-B panel) is fine for the lifetime of its scope.
+ */
+#ifndef SNIP_RUNTIME_WORKSPACE_ARENA_H
+#define SNIP_RUNTIME_WORKSPACE_ARENA_H
+
+#include <cstddef>
+#include <cstdint>
+
+namespace snip {
+namespace runtime {
+
+class WorkspaceArena
+{
+  public:
+    WorkspaceArena() = default;
+    ~WorkspaceArena();
+
+    WorkspaceArena(const WorkspaceArena &) = delete;
+    WorkspaceArena &operator=(const WorkspaceArena &) = delete;
+
+    /**
+     * A 64-byte-aligned buffer of @p count floats, valid until the
+     * enclosing ArenaScope closes (or reset()). Grows the slab when
+     * the episode needs more than any previous one did.
+     */
+    float *getFloats(size_t count);
+
+    /** Rewind the watermark to zero and, if the last episode
+     *  overflowed into spill blocks, coalesce into one slab. */
+    void reset();
+
+    /** Current watermark (bytes handed out since the last reset). */
+    size_t used() const { return used_; }
+
+    /** Slab bytes owned (stable in steady state; tests assert on it). */
+    size_t reservedBytes() const { return slab_bytes_ + spill_bytes_; }
+
+    /** Heap allocations the arena has performed since construction
+     *  (slab growth); stable in steady state. */
+    int64_t allocCount() const { return alloc_count_; }
+
+    /** The calling thread's arena (created on first use). */
+    static WorkspaceArena &forCurrentThread();
+
+  private:
+    char *slab_ = nullptr;      ///< main slab (aligned)
+    size_t slab_bytes_ = 0;
+    size_t used_ = 0;           ///< watermark within the episode
+    size_t spill_bytes_ = 0;    ///< overflow blocks live this episode
+    int64_t alloc_count_ = 0;
+
+    struct Spill;
+    Spill *spills_ = nullptr;   ///< singly-linked overflow blocks
+
+    friend class ArenaScope;
+};
+
+/** RAII watermark: buffers obtained inside the scope are released
+ *  (watermark rewound) when it closes. Scopes nest. */
+class ArenaScope
+{
+  public:
+    explicit ArenaScope(WorkspaceArena &arena)
+        : arena_(arena), saved_(arena.used_)
+    {
+    }
+    ~ArenaScope()
+    {
+        arena_.used_ = saved_;
+        if (saved_ == 0)
+            arena_.reset(); // top-level close: coalesce any spills
+    }
+
+    ArenaScope(const ArenaScope &) = delete;
+    ArenaScope &operator=(const ArenaScope &) = delete;
+
+  private:
+    WorkspaceArena &arena_;
+    size_t saved_;
+};
+
+} // namespace runtime
+} // namespace snip
+
+#endif // SNIP_RUNTIME_WORKSPACE_ARENA_H

@@ -34,6 +34,47 @@ constexpr int64_t kGemmBlockM = 64;
 constexpr int64_t kGemmBlockN = 64;
 constexpr int64_t kGemmBlockK = 128;
 
+/// Packed-path register-tile edges, shared by every backend: packed A
+/// panels hold kGemmPackMR-row strips, packed B panels kGemmPackNR-
+/// column strips (6 x 16 is the classic AVX2+FMA sweet spot — twelve
+/// 8-lane accumulators). The parallelFor unit of the packed path stays
+/// the kGemmBlockM row block, so M-block ownership is identical to the
+/// unpacked path and thread count still cannot change numerics.
+constexpr int64_t kGemmPackMR = 6;
+constexpr int64_t kGemmPackNR = 16;
+
+/// Strip count of a packed dimension (panels are zero-padded to whole
+/// strips).
+constexpr int64_t
+packStrips(int64_t extent, int64_t strip)
+{
+    return (extent + strip - 1) / strip;
+}
+
+/**
+ * Fused quantize-on-pack parameters: the grid-snap (nearest-rounding)
+ * quantizer applied to every element as it is copied into a packed
+ * panel, so no quantized tensor copy is ever materialized. Scales are
+ * per scaling region of the SOURCE matrix (quant/scaling.h geometry):
+ * the region of source element (r, c) is
+ *     (r / row_block) * regions_per_row + c / col_block
+ * and the caller precomputes scale[] / inv_scale[] exactly as the
+ * materializing quantizer would, so fused and materialized results are
+ * bit-identical (both backends' grid snap already is). Stochastic
+ * rounding is NOT fusable (its RNG stream consumes draws in row-major
+ * region order); callers materialize those operands first.
+ */
+struct PackQuant
+{
+    const FloatFormat *fmt = nullptr;
+    const QuantGrid *grid = nullptr;
+    const float *scale = nullptr;
+    const float *inv_scale = nullptr;
+    int64_t row_block = 0;
+    int64_t col_block = 0;
+    int64_t regions_per_row = 0;
+};
+
 /**
  * One C-row-block of a GEMM: rows [i0, i1) of the M dimension.
  *
@@ -76,6 +117,56 @@ using ErrorStatsFn = void (*)(const float *ref, const float *q,
                               double *max_err);
 
 /**
+ * Pack rows [i0, i1) of the logical GEMM A operand (M x K) into
+ * kGemmPackMR-row strips:
+ *     ap[s*MR*k + kk*MR + r] = A[i0 + s*MR + r, kk]
+ * (zero for i0+s*MR+r >= i1). When @p k_major is false the source is
+ * A itself, row-major [M, K] with leading dimension @p ld = K; when
+ * true the source is the TN variant's A, row-major [K, M] with
+ * @p ld = M, and the element is src[kk*ld + i]. @p pq (nullable)
+ * applies fused quantize-on-pack; its region coordinates are SOURCE
+ * coordinates ((i, kk) when !k_major, (kk, i) when k_major).
+ *
+ * Callers must size the destination with at least 8 floats of
+ * headroom past the final strip: vectorized backends store transposed
+ * 8-lane groups at stride kGemmPackMR, so the last store of the last
+ * strip spills two lanes past the panel (every earlier spill is
+ * overwritten by later in-panel stores).
+ */
+using PackAFn = void (*)(const float *src, int64_t ld, bool k_major,
+                         float *ap, int64_t i0, int64_t i1, int64_t k,
+                         const PackQuant *pq);
+
+/**
+ * Pack columns [j0, j1) of the logical GEMM B operand (K x N) into
+ * kGemmPackNR-column strips:
+ *     bp[s*NR*k + kk*NR + r] = B[kk, s*NR + r]
+ * (zero for s*NR+r >= n; @p j0 must be strip-aligned — it is a
+ * parallelFor boundary). When @p k_major the source is row-major
+ * [K, N] with @p ld = N (the NN/TN B operand); otherwise it is
+ * row-major [N, K] with @p ld = K (the NT B operand, e.g. weights) and
+ * the element is src[j*ld + kk]. @p bp points at the panel base (strip
+ * offsets are computed from j0). Region coordinates for @p pq are
+ * SOURCE coordinates ((kk, j) when k_major, (j, kk) otherwise).
+ */
+using PackBFn = void (*)(const float *src, int64_t ld, bool k_major,
+                         float *bp, int64_t j0, int64_t j1, int64_t n,
+                         int64_t k, const PackQuant *pq);
+
+/**
+ * One M-row-block of the packed GEMM: C[0..mb) x [0..n) at @p c
+ * (leading dimension @p ldc) += Ap * Bp, where ap holds the block's
+ * packed A panel and bp the full packed B panel. Strip walk order and
+ * the per-element k-ascending accumulation are pure functions of the
+ * arguments, so the packed path keeps the bit-exactness-for-any-
+ * thread-count contract (it may differ from the unpacked kernels in
+ * low-order bits — a separate, documented contract).
+ */
+using GemmPackedBlockFn = void (*)(const float *ap, const float *bp,
+                                   float *c, int64_t ldc, int64_t mb,
+                                   int64_t n, int64_t k);
+
+/**
  * sum(p[i]^2) accumulated in double — the Frobenius-norm reduction the
  * stats collector and eval paths lean on (tensor/ops.cpp dispatches
  * here). Like sum_sq above, backends may differ in low-order bits.
@@ -89,6 +180,9 @@ struct KernelTable
     GemmBlockFn gemmNtBlock; ///< C[i,:] += A[i,:] * B^T (B is N x K)
     GemmBlockFn gemmNnBlock; ///< C[i,:] += A[i,:] * B   (B is K x N)
     GemmBlockFn gemmTnBlock; ///< C[i,:] += A[:,i]^T * B (A is K x M)
+    PackAFn packA;           ///< strip-pack (+ fused quantize) A panels
+    PackBFn packB;           ///< strip-pack (+ fused quantize) B panels
+    GemmPackedBlockFn gemmPackedBlock; ///< packed-panel M-block GEMM
     QuantizeNearestFn quantizeNearest;
     Bf16RoundFn bf16Round;
     MaxAbsFn maxAbs;

@@ -229,6 +229,464 @@ gemmTnBlockAvx2(const float *a, const float *b, float *c, int64_t i0,
     }
 }
 
+// ------------------------------------------------------------ packed
+
+__m256 quantize8Avx2(__m256 x, const QuantGrid &g);
+inline void transpose8x8(__m256 r0, __m256 r1, __m256 r2, __m256 r3,
+                         __m256 r4, __m256 r5, __m256 r6, __m256 r7,
+                         __m256 out[8]);
+
+/** Scalar fused quantize for pack tails/gathers (bit-exact with the
+ *  vector path by the backend contract). */
+inline float
+packQuantOneAvx2(float x, const PackQuant *pq, int64_t sr, int64_t sc)
+{
+    if (pq == nullptr)
+        return x;
+    const int64_t reg = (sr / pq->row_block) * pq->regions_per_row +
+                        sc / pq->col_block;
+    return quantizeNearest(x * pq->scale[reg], *pq->fmt) *
+           pq->inv_scale[reg];
+}
+
+/**
+ * Copy (optionally fused-quantizing) a contiguous source row into a
+ * packed panel with stride @p stride at lane @p r: for kk in [0, k),
+ * dst[kk*stride + r] = q(row[kk]). @p src_row is the source-matrix row
+ * of the run (regions advance along the columns only). The 8-wide
+ * vector quantize runs per region segment; the strided scatter stays
+ * scalar (pack cost is O(MK + NK) against the GEMM's O(MNK)).
+ */
+inline void
+packRowAvx2(const float *row, float *dst, int64_t stride, int64_t r,
+            int64_t k, const PackQuant *pq, int64_t src_row)
+{
+    if (pq == nullptr) {
+        for (int64_t kk = 0; kk < k; ++kk)
+            dst[kk * stride + r] = row[kk];
+        return;
+    }
+    const QuantGrid &g = *pq->grid;
+    const int64_t reg_row =
+        (src_row / pq->row_block) * pq->regions_per_row;
+    int64_t kk = 0;
+    while (kk < k) {
+        const int64_t reg = reg_row + kk / pq->col_block;
+        const int64_t seg_end =
+            std::min(k, (kk / pq->col_block + 1) * pq->col_block);
+        const __m256 vs = _mm256_set1_ps(pq->scale[reg]);
+        const __m256 vi = _mm256_set1_ps(pq->inv_scale[reg]);
+        for (; kk + 8 <= seg_end; kk += 8) {
+            __m256 q = _mm256_mul_ps(
+                quantize8Avx2(
+                    _mm256_mul_ps(_mm256_loadu_ps(row + kk), vs), g),
+                vi);
+            alignas(32) float t[8];
+            _mm256_store_ps(t, q);
+            for (int u = 0; u < 8; ++u)
+                dst[(kk + u) * stride + r] = t[u];
+        }
+        for (; kk < seg_end; ++kk)
+            dst[kk * stride + r] =
+                quantizeNearest(row[kk] * pq->scale[reg], *pq->fmt) *
+                pq->inv_scale[reg];
+    }
+}
+
+void
+packAAvx2(const float *src, int64_t ld, bool k_major, float *ap,
+          int64_t i0, int64_t i1, int64_t k, const PackQuant *pq)
+{
+    const int64_t mb = i1 - i0;
+    const int64_t strips = packStrips(mb, kGemmPackMR);
+    for (int64_t s = 0; s < strips; ++s) {
+        float *dst = ap + s * kGemmPackMR * k;
+        const int64_t rows = std::min(kGemmPackMR, mb - s * kGemmPackMR);
+        if (!k_major && rows == kGemmPackMR) {
+            // Full strip: 6 rows x 8 columns per step through the 8x8
+            // transpose; out[t] then holds {A[i0..i0+5, kk+t], x, x}
+            // and is stored 8 wide at stride 6 — the two garbage
+            // lanes land in the next step's (or strip's) territory and
+            // are overwritten, except after the very last step, which
+            // spills into the PackA headroom the caller guarantees
+            // (simd/kernels.h).
+            const float *r0 = src + (i0 + s * kGemmPackMR) * ld;
+            int64_t reg_of_row[6];
+            if (pq != nullptr)
+                for (int64_t r = 0; r < 6; ++r)
+                    reg_of_row[r] = ((i0 + s * kGemmPackMR + r) /
+                                     pq->row_block) *
+                                    pq->regions_per_row;
+            int64_t kk = 0;
+            while (kk < k) {
+                const int64_t seg_end =
+                    pq == nullptr
+                        ? k
+                        : std::min(k, (kk / pq->col_block + 1) *
+                                          pq->col_block);
+                const int64_t vec_end =
+                    kk + ((seg_end - kk) & ~int64_t{7});
+                for (; kk < vec_end; kk += 8) {
+                    __m256 rows8[8], out[8];
+                    for (int64_t r = 0; r < 6; ++r) {
+                        __m256 v = _mm256_loadu_ps(r0 + r * ld + kk);
+                        if (pq != nullptr) {
+                            const int64_t reg =
+                                reg_of_row[r] + kk / pq->col_block;
+                            v = _mm256_mul_ps(
+                                quantize8Avx2(
+                                    _mm256_mul_ps(
+                                        v, _mm256_set1_ps(
+                                               pq->scale[reg])),
+                                    *pq->grid),
+                                _mm256_set1_ps(pq->inv_scale[reg]));
+                        }
+                        rows8[r] = v;
+                    }
+                    rows8[6] = _mm256_setzero_ps();
+                    rows8[7] = _mm256_setzero_ps();
+                    transpose8x8(rows8[0], rows8[1], rows8[2],
+                                 rows8[3], rows8[4], rows8[5],
+                                 rows8[6], rows8[7], out);
+                    for (int64_t t = 0; t < 8; ++t)
+                        _mm256_storeu_ps(
+                            dst + (kk + t) * kGemmPackMR, out[t]);
+                }
+                for (; kk < seg_end; ++kk)
+                    for (int64_t r = 0; r < 6; ++r)
+                        dst[kk * kGemmPackMR + r] = packQuantOneAvx2(
+                            r0[r * ld + kk], pq,
+                            i0 + s * kGemmPackMR + r, kk);
+            }
+            continue;
+        }
+        const int64_t i0s = i0 + s * kGemmPackMR;
+        if (k_major && rows == kGemmPackMR && i0s + 8 <= ld &&
+            (pq == nullptr ||
+             i0s / pq->col_block == (i0s + kGemmPackMR - 1) /
+                                        pq->col_block)) {
+            // TN gather, full strip: the strip's 6 source columns are
+            // contiguous per source row, so each kk is one (8-wide,
+            // 6-valid) load + vector quantize + 6-lane masked store.
+            // Needs 8 readable floats from the strip start on the last
+            // source row, and (when quantizing) one column region
+            // across the 6 lanes; rare boundary strips fall through to
+            // the scalar path below.
+            const __m256i mask6 =
+                _mm256_setr_epi32(-1, -1, -1, -1, -1, -1, 0, 0);
+            if (pq == nullptr) {
+                for (int64_t kk = 0; kk < k; ++kk)
+                    _mm256_maskstore_ps(
+                        dst + kk * kGemmPackMR, mask6,
+                        _mm256_loadu_ps(src + kk * ld + i0s));
+            } else {
+                const QuantGrid &g = *pq->grid;
+                const int64_t reg_col = i0s / pq->col_block;
+                for (int64_t kk = 0; kk < k; ++kk) {
+                    const int64_t reg =
+                        (kk / pq->row_block) * pq->regions_per_row +
+                        reg_col;
+                    __m256 v = _mm256_mul_ps(
+                        _mm256_loadu_ps(src + kk * ld + i0s),
+                        _mm256_set1_ps(pq->scale[reg]));
+                    v = _mm256_mul_ps(
+                        quantize8Avx2(v, g),
+                        _mm256_set1_ps(pq->inv_scale[reg]));
+                    _mm256_maskstore_ps(dst + kk * kGemmPackMR, mask6,
+                                        v);
+                }
+            }
+            continue;
+        }
+        for (int64_t r = 0; r < kGemmPackMR; ++r) {
+            if (r >= rows) {
+                for (int64_t kk = 0; kk < k; ++kk)
+                    dst[kk * kGemmPackMR + r] = 0.0f;
+                continue;
+            }
+            const int64_t i = i0 + s * kGemmPackMR + r;
+            if (k_major) {
+                // TN gather: stride-ld walk, scalar fused quantize.
+                for (int64_t kk = 0; kk < k; ++kk)
+                    dst[kk * kGemmPackMR + r] = packQuantOneAvx2(
+                        src[kk * ld + i], pq, kk, i);
+            } else {
+                packRowAvx2(src + i * ld, dst, kGemmPackMR, r, k, pq,
+                            i);
+            }
+        }
+    }
+}
+
+/**
+ * 8x8 in-register transpose: out[t] holds lane t of each input row.
+ */
+inline void
+transpose8x8(__m256 r0, __m256 r1, __m256 r2, __m256 r3, __m256 r4,
+             __m256 r5, __m256 r6, __m256 r7, __m256 out[8])
+{
+    __m256 t0 = _mm256_unpacklo_ps(r0, r1);
+    __m256 t1 = _mm256_unpackhi_ps(r0, r1);
+    __m256 t2 = _mm256_unpacklo_ps(r2, r3);
+    __m256 t3 = _mm256_unpackhi_ps(r2, r3);
+    __m256 t4 = _mm256_unpacklo_ps(r4, r5);
+    __m256 t5 = _mm256_unpackhi_ps(r4, r5);
+    __m256 t6 = _mm256_unpacklo_ps(r6, r7);
+    __m256 t7 = _mm256_unpackhi_ps(r6, r7);
+    __m256 s0 = _mm256_shuffle_ps(t0, t2, 0x44);
+    __m256 s1 = _mm256_shuffle_ps(t0, t2, 0xEE);
+    __m256 s2 = _mm256_shuffle_ps(t1, t3, 0x44);
+    __m256 s3 = _mm256_shuffle_ps(t1, t3, 0xEE);
+    __m256 s4 = _mm256_shuffle_ps(t4, t6, 0x44);
+    __m256 s5 = _mm256_shuffle_ps(t4, t6, 0xEE);
+    __m256 s6 = _mm256_shuffle_ps(t5, t7, 0x44);
+    __m256 s7 = _mm256_shuffle_ps(t5, t7, 0xEE);
+    out[0] = _mm256_permute2f128_ps(s0, s4, 0x20);
+    out[1] = _mm256_permute2f128_ps(s1, s5, 0x20);
+    out[2] = _mm256_permute2f128_ps(s2, s6, 0x20);
+    out[3] = _mm256_permute2f128_ps(s3, s7, 0x20);
+    out[4] = _mm256_permute2f128_ps(s0, s4, 0x31);
+    out[5] = _mm256_permute2f128_ps(s1, s5, 0x31);
+    out[6] = _mm256_permute2f128_ps(s2, s6, 0x31);
+    out[7] = _mm256_permute2f128_ps(s3, s7, 0x31);
+}
+
+/**
+ * Vectorized NT-orientation B pack of one full 8-row half-strip over
+ * one k run that stays inside a single column region per row: loads 8
+ * source rows 8 columns at a time, quantizes each row vector with its
+ * own scale, transposes, and stores 8 contiguous lanes per kk at
+ * dst[kk*16 + half]. Requires k0 and k_end both multiples of 8 away
+ * from each other... handled by the caller (tail goes scalar).
+ */
+inline void
+packHalfStripTransposed(const float *src, int64_t ld, float *dst,
+                        int64_t half, int64_t k0, int64_t k_end,
+                        const PackQuant *pq, const int64_t *reg_of_row,
+                        int64_t reg_col)
+{
+    __m256 out[8];
+    for (int64_t kk = k0; kk + 8 <= k_end; kk += 8) {
+        __m256 rows[8];
+        for (int r = 0; r < 8; ++r) {
+            __m256 v = _mm256_loadu_ps(src + r * ld + kk);
+            if (pq != nullptr) {
+                const int64_t reg = reg_of_row[r] + reg_col;
+                v = _mm256_mul_ps(
+                    quantize8Avx2(
+                        _mm256_mul_ps(
+                            v, _mm256_set1_ps(pq->scale[reg])),
+                        *pq->grid),
+                    _mm256_set1_ps(pq->inv_scale[reg]));
+            }
+            rows[r] = v;
+        }
+        transpose8x8(rows[0], rows[1], rows[2], rows[3], rows[4],
+                     rows[5], rows[6], rows[7], out);
+        for (int t = 0; t < 8; ++t)
+            _mm256_storeu_ps(dst + (kk + t) * kGemmPackNR + half,
+                             out[t]);
+    }
+}
+
+void
+packBAvx2(const float *src, int64_t ld, bool k_major, float *bp,
+          int64_t j0, int64_t j1, int64_t n, int64_t k,
+          const PackQuant *pq)
+{
+    for (int64_t s0 = j0; s0 < j1; s0 += kGemmPackNR) {
+        float *dst = bp + (s0 / kGemmPackNR) * kGemmPackNR * k;
+        const int64_t cols = std::min(kGemmPackNR, n - s0);
+        if (k_major) {
+            // Source rows run along j: 16 contiguous floats per kk.
+            const bool full = cols == kGemmPackNR;
+            const bool one_region =
+                pq == nullptr ||
+                s0 / pq->col_block ==
+                    (s0 + cols - 1) / pq->col_block;
+            for (int64_t kk = 0; kk < k; ++kk) {
+                const float *in = src + kk * ld + s0;
+                float *out = dst + kk * kGemmPackNR;
+                if (full && one_region && pq != nullptr) {
+                    const int64_t reg =
+                        (kk / pq->row_block) * pq->regions_per_row +
+                        s0 / pq->col_block;
+                    const __m256 vs = _mm256_set1_ps(pq->scale[reg]);
+                    const __m256 vi =
+                        _mm256_set1_ps(pq->inv_scale[reg]);
+                    const QuantGrid &g = *pq->grid;
+                    _mm256_storeu_ps(
+                        out, _mm256_mul_ps(
+                                 quantize8Avx2(
+                                     _mm256_mul_ps(
+                                         _mm256_loadu_ps(in), vs),
+                                     g),
+                                 vi));
+                    _mm256_storeu_ps(
+                        out + 8,
+                        _mm256_mul_ps(
+                            quantize8Avx2(
+                                _mm256_mul_ps(
+                                    _mm256_loadu_ps(in + 8), vs),
+                                g),
+                            vi));
+                } else if (full && pq == nullptr) {
+                    _mm256_storeu_ps(out, _mm256_loadu_ps(in));
+                    _mm256_storeu_ps(out + 8, _mm256_loadu_ps(in + 8));
+                } else {
+                    int64_t r = 0;
+                    for (; r < cols; ++r)
+                        out[r] = packQuantOneAvx2(in[r], pq, kk,
+                                                  s0 + r);
+                    for (; r < kGemmPackNR; ++r)
+                        out[r] = 0.0f;
+                }
+            }
+        } else if (cols == kGemmPackNR) {
+            // NT orientation, full strip: 8x8 transpose blocks keep
+            // both the loads and the stores vectorized.
+            for (int64_t half = 0; half < 2; ++half) {
+                const float *hsrc = src + (s0 + half * 8) * ld;
+                if (pq == nullptr) {
+                    const int64_t k8 = k & ~int64_t{7};
+                    packHalfStripTransposed(hsrc, ld, dst, half * 8, 0,
+                                            k8, nullptr, nullptr, 0);
+                    for (int64_t kk = k8; kk < k; ++kk)
+                        for (int64_t r = 0; r < 8; ++r)
+                            dst[kk * kGemmPackNR + half * 8 + r] =
+                                hsrc[r * ld + kk];
+                    continue;
+                }
+                int64_t reg_of_row[8];
+                for (int64_t r = 0; r < 8; ++r)
+                    reg_of_row[r] = ((s0 + half * 8 + r) /
+                                     pq->row_block) *
+                                    pq->regions_per_row;
+                int64_t kk = 0;
+                while (kk < k) {
+                    const int64_t seg_end = std::min(
+                        k, (kk / pq->col_block + 1) * pq->col_block);
+                    const int64_t vec_end =
+                        kk + ((seg_end - kk) & ~int64_t{7});
+                    packHalfStripTransposed(hsrc, ld, dst, half * 8,
+                                            kk, vec_end, pq,
+                                            reg_of_row,
+                                            kk / pq->col_block);
+                    for (int64_t t = vec_end; t < seg_end; ++t)
+                        for (int64_t r = 0; r < 8; ++r)
+                            dst[t * kGemmPackNR + half * 8 + r] =
+                                packQuantOneAvx2(hsrc[r * ld + t], pq,
+                                                 s0 + half * 8 + r, t);
+                    kk = seg_end;
+                }
+            }
+        } else {
+            // NT orientation, ragged strip: per-row pack.
+            for (int64_t r = 0; r < kGemmPackNR; ++r) {
+                if (r >= cols) {
+                    for (int64_t kk = 0; kk < k; ++kk)
+                        dst[kk * kGemmPackNR + r] = 0.0f;
+                    continue;
+                }
+                const int64_t j = s0 + r;
+                packRowAvx2(src + j * ld, dst, kGemmPackNR, r, k, pq,
+                            j);
+            }
+        }
+    }
+}
+
+/**
+ * 6 x 16 register-tiled packed microkernel: twelve 8-lane accumulators
+ * hold the C tile; each k step issues two B loads, six A broadcasts
+ * and twelve FMAs. Lanes map one-to-one onto C columns, so every C
+ * element accumulates its k-products in ascending-k order — the
+ * packed path's fixed accumulation order (no cross-lane reduction at
+ * all, unlike the unpacked NT kernel's hsum).
+ */
+inline void
+microKernel6x16(const float *as, const float *bs, float *c, int64_t ldc,
+                int64_t mr, int64_t jn, int64_t k)
+{
+    __m256 c00 = _mm256_setzero_ps(), c01 = _mm256_setzero_ps();
+    __m256 c10 = _mm256_setzero_ps(), c11 = _mm256_setzero_ps();
+    __m256 c20 = _mm256_setzero_ps(), c21 = _mm256_setzero_ps();
+    __m256 c30 = _mm256_setzero_ps(), c31 = _mm256_setzero_ps();
+    __m256 c40 = _mm256_setzero_ps(), c41 = _mm256_setzero_ps();
+    __m256 c50 = _mm256_setzero_ps(), c51 = _mm256_setzero_ps();
+    for (int64_t kk = 0; kk < k; ++kk) {
+        // Pull the B strip (and A strip) a few iterations ahead: the
+        // panels stream from L2/L3 at large k and the FMA chain hides
+        // no miss latency on its own.
+        _mm_prefetch(reinterpret_cast<const char *>(bs + (kk + 24) * 16),
+                     _MM_HINT_T0);
+        _mm_prefetch(reinterpret_cast<const char *>(as + (kk + 16) * 6),
+                     _MM_HINT_T0);
+        const __m256 b0 = _mm256_loadu_ps(bs + kk * 16);
+        const __m256 b1 = _mm256_loadu_ps(bs + kk * 16 + 8);
+        const float *a = as + kk * 6;
+        __m256 va = _mm256_broadcast_ss(a + 0);
+        c00 = _mm256_fmadd_ps(va, b0, c00);
+        c01 = _mm256_fmadd_ps(va, b1, c01);
+        va = _mm256_broadcast_ss(a + 1);
+        c10 = _mm256_fmadd_ps(va, b0, c10);
+        c11 = _mm256_fmadd_ps(va, b1, c11);
+        va = _mm256_broadcast_ss(a + 2);
+        c20 = _mm256_fmadd_ps(va, b0, c20);
+        c21 = _mm256_fmadd_ps(va, b1, c21);
+        va = _mm256_broadcast_ss(a + 3);
+        c30 = _mm256_fmadd_ps(va, b0, c30);
+        c31 = _mm256_fmadd_ps(va, b1, c31);
+        va = _mm256_broadcast_ss(a + 4);
+        c40 = _mm256_fmadd_ps(va, b0, c40);
+        c41 = _mm256_fmadd_ps(va, b1, c41);
+        va = _mm256_broadcast_ss(a + 5);
+        c50 = _mm256_fmadd_ps(va, b0, c50);
+        c51 = _mm256_fmadd_ps(va, b1, c51);
+    }
+    const __m256 *acc[6][2] = {{&c00, &c01}, {&c10, &c11},
+                               {&c20, &c21}, {&c30, &c31},
+                               {&c40, &c41}, {&c50, &c51}};
+    if (jn == 16) {
+        for (int64_t r = 0; r < mr; ++r) {
+            float *crow = c + r * ldc;
+            _mm256_storeu_ps(
+                crow, _mm256_add_ps(_mm256_loadu_ps(crow), *acc[r][0]));
+            _mm256_storeu_ps(crow + 8,
+                             _mm256_add_ps(_mm256_loadu_ps(crow + 8),
+                                           *acc[r][1]));
+        }
+        return;
+    }
+    alignas(32) float t[16];
+    for (int64_t r = 0; r < mr; ++r) {
+        _mm256_store_ps(t, *acc[r][0]);
+        _mm256_store_ps(t + 8, *acc[r][1]);
+        float *crow = c + r * ldc;
+        for (int64_t j = 0; j < jn; ++j)
+            crow[j] += t[j];
+    }
+}
+
+void
+gemmPackedBlockAvx2(const float *ap, const float *bp, float *c,
+                    int64_t ldc, int64_t mb, int64_t n, int64_t k)
+{
+    const int64_t m_strips = packStrips(mb, kGemmPackMR);
+    const int64_t n_strips = packStrips(n, kGemmPackNR);
+    for (int64_t js = 0; js < n_strips; ++js) {
+        const float *bs = bp + js * kGemmPackNR * k;
+        const int64_t j0 = js * kGemmPackNR;
+        const int64_t jn = std::min(kGemmPackNR, n - j0);
+        for (int64_t ms = 0; ms < m_strips; ++ms) {
+            const int64_t i0 = ms * kGemmPackMR;
+            microKernel6x16(ap + ms * kGemmPackMR * k, bs,
+                            c + i0 * ldc + j0, ldc,
+                            std::min(kGemmPackMR, mb - i0), jn, k);
+        }
+    }
+}
+
 // --------------------------------------------------- quantize / misc
 
 /**
@@ -429,7 +887,9 @@ avx2Kernels()
 {
     static const KernelTable table = {
         "avx2",          gemmNtBlockAvx2, gemmNnBlockAvx2,
-        gemmTnBlockAvx2, quantizeNearestAvx2,
+        gemmTnBlockAvx2, packAAvx2,       packBAvx2,
+        gemmPackedBlockAvx2,
+        quantizeNearestAvx2,
         bf16RoundAvx2,   maxAbsAvx2,      errorStatsAvx2,
         sumSquaresAvx2,
     };

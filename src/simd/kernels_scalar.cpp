@@ -84,6 +84,115 @@ gemmTnBlockScalar(const float *a, const float *b, float *c, int64_t i0,
     }
 }
 
+// ------------------------------------------------------------ packing
+
+/** Quantize one value during a pack; identity when @p pq is null.
+ *  (sr, sc) are SOURCE-matrix coordinates for the region lookup. */
+inline float
+packQuantOne(float x, const PackQuant *pq, int64_t sr, int64_t sc)
+{
+    if (pq == nullptr)
+        return x;
+    const int64_t reg = (sr / pq->row_block) * pq->regions_per_row +
+                        sc / pq->col_block;
+    return quantizeNearest(x * pq->scale[reg], *pq->fmt) *
+           pq->inv_scale[reg];
+}
+
+void
+packAScalar(const float *src, int64_t ld, bool k_major, float *ap,
+            int64_t i0, int64_t i1, int64_t k, const PackQuant *pq)
+{
+    const int64_t mb = i1 - i0;
+    const int64_t strips = packStrips(mb, kGemmPackMR);
+    for (int64_t s = 0; s < strips; ++s) {
+        float *dst = ap + s * kGemmPackMR * k;
+        const int64_t rows = std::min(kGemmPackMR, mb - s * kGemmPackMR);
+        for (int64_t r = 0; r < kGemmPackMR; ++r) {
+            if (r >= rows) {
+                for (int64_t kk = 0; kk < k; ++kk)
+                    dst[kk * kGemmPackMR + r] = 0.0f;
+                continue;
+            }
+            const int64_t i = i0 + s * kGemmPackMR + r;
+            if (k_major) {
+                for (int64_t kk = 0; kk < k; ++kk)
+                    dst[kk * kGemmPackMR + r] =
+                        packQuantOne(src[kk * ld + i], pq, kk, i);
+            } else {
+                const float *row = src + i * ld;
+                for (int64_t kk = 0; kk < k; ++kk)
+                    dst[kk * kGemmPackMR + r] =
+                        packQuantOne(row[kk], pq, i, kk);
+            }
+        }
+    }
+}
+
+void
+packBScalar(const float *src, int64_t ld, bool k_major, float *bp,
+            int64_t j0, int64_t j1, int64_t n, int64_t k,
+            const PackQuant *pq)
+{
+    for (int64_t s0 = j0; s0 < j1; s0 += kGemmPackNR) {
+        float *dst = bp + (s0 / kGemmPackNR) * kGemmPackNR * k;
+        const int64_t cols = std::min(kGemmPackNR, n - s0);
+        for (int64_t r = 0; r < kGemmPackNR; ++r) {
+            if (r >= cols) {
+                for (int64_t kk = 0; kk < k; ++kk)
+                    dst[kk * kGemmPackNR + r] = 0.0f;
+                continue;
+            }
+            const int64_t j = s0 + r;
+            if (k_major) {
+                for (int64_t kk = 0; kk < k; ++kk)
+                    dst[kk * kGemmPackNR + r] =
+                        packQuantOne(src[kk * ld + j], pq, kk, j);
+            } else {
+                const float *row = src + j * ld;
+                for (int64_t kk = 0; kk < k; ++kk)
+                    dst[kk * kGemmPackNR + r] =
+                        packQuantOne(row[kk], pq, j, kk);
+            }
+        }
+    }
+}
+
+void
+gemmPackedBlockScalar(const float *ap, const float *bp, float *c,
+                      int64_t ldc, int64_t mb, int64_t n, int64_t k)
+{
+    const int64_t m_strips = packStrips(mb, kGemmPackMR);
+    const int64_t n_strips = packStrips(n, kGemmPackNR);
+    for (int64_t js = 0; js < n_strips; ++js) {
+        const float *bs = bp + js * kGemmPackNR * k;
+        const int64_t j0 = js * kGemmPackNR;
+        const int64_t jn = std::min(kGemmPackNR, n - j0);
+        for (int64_t ms = 0; ms < m_strips; ++ms) {
+            const float *as = ap + ms * kGemmPackMR * k;
+            const int64_t i0 = ms * kGemmPackMR;
+            const int64_t mr = std::min(kGemmPackMR, mb - i0);
+            // Per C element the sum runs over k ascending — the fixed
+            // accumulation order of the packed-path contract.
+            float acc[kGemmPackMR][kGemmPackNR] = {};
+            for (int64_t kk = 0; kk < k; ++kk) {
+                const float *av = as + kk * kGemmPackMR;
+                const float *bv = bs + kk * kGemmPackNR;
+                for (int64_t r = 0; r < kGemmPackMR; ++r) {
+                    const float a = av[r];
+                    for (int64_t j = 0; j < kGemmPackNR; ++j)
+                        acc[r][j] += a * bv[j];
+                }
+            }
+            for (int64_t r = 0; r < mr; ++r) {
+                float *crow = c + (i0 + r) * ldc + j0;
+                for (int64_t j = 0; j < jn; ++j)
+                    crow[j] += acc[r][j];
+            }
+        }
+    }
+}
+
 void
 quantizeNearestScalar(float *p, int64_t count, const FloatFormat &fmt,
                       const QuantGrid & /*grid*/, float scale,
@@ -145,7 +254,9 @@ scalarKernels()
 {
     static const KernelTable table = {
         "scalar",          gemmNtBlockScalar, gemmNnBlockScalar,
-        gemmTnBlockScalar, quantizeNearestScalar,
+        gemmTnBlockScalar, packAScalar,       packBScalar,
+        gemmPackedBlockScalar,
+        quantizeNearestScalar,
         bf16RoundScalar,   maxAbsScalar,      errorStatsScalar,
         sumSquaresScalar,
     };

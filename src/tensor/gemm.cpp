@@ -1,72 +1,665 @@
 #include "tensor/gemm.h"
 
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
 #include <cstring>
+#include <mutex>
+#include <vector>
 
+#include "quant/codec.h"
+#include "quant/scaling.h"
 #include "runtime/thread_pool.h"
+#include "runtime/workspace_arena.h"
 #include "simd/dispatch.h"
 #include "simd/kernels.h"
+#include "util/logging.h"
 
 namespace snip {
 
 namespace {
 
+using simd::kGemmPackMR;
+using simd::kGemmPackNR;
+using simd::packStrips;
+
 /// Number of kGemmBlockM-row blocks (the parallelFor unit for all
-/// three variants: every worker owns whole rows of C, so outputs are
-/// disjoint and the per-element accumulation order never depends on
-/// thread count).
+/// paths: every worker owns whole rows of C, so outputs are disjoint
+/// and the per-element accumulation order never depends on thread
+/// count).
 int64_t
 mBlocks(int64_t m)
 {
     return (m + simd::kGemmBlockM - 1) / simd::kGemmBlockM;
 }
 
+// ------------------------------------------------------- legacy path
+
+/** One legacy gemmBlocked invocation; the parallelFor lambda captures
+ *  only a pointer to this (fits every std::function SBO, so the call
+ *  allocates nothing). */
+struct LegacyCtx
+{
+    simd::GemmBlockFn block_fn;
+    const float *a;
+    const float *b;
+    float *c;
+    int64_t m, n, k;
+    bool accumulate;
+};
+
 /**
- * Shared driver: fan M-blocks of C out over the thread pool and hand
- * each block to the dispatched backend microkernel. Zeroing happens
- * here (backend-independent) so the kernels always accumulate.
+ * Pre-packing driver, kept verbatim behind SNIP_GEMM_PACK=off (and for
+ * shapes below the Auto threshold): fan M-blocks of C out over the
+ * thread pool and hand each block to the dispatched backend
+ * microkernel. Zeroing happens here (backend-independent) so the
+ * kernels always accumulate.
  */
 void
-gemmBlocked(simd::GemmBlockFn block_fn, const float *a, const float *b,
-            float *c, int64_t m, int64_t n, int64_t k, bool accumulate)
+gemmBlockedLegacy(simd::GemmBlockFn block_fn, const float *a,
+                  const float *b, float *c, int64_t m, int64_t n,
+                  int64_t k, bool accumulate)
 {
-    runtime::parallelFor(0, mBlocks(m), 1, [=](int64_t b0, int64_t b1) {
+    LegacyCtx ctx{block_fn, a, b, c, m, n, k, accumulate};
+    const LegacyCtx *pc = &ctx;
+    runtime::parallelFor(0, mBlocks(m), 1, [pc](int64_t b0, int64_t b1) {
         for (int64_t bi = b0; bi < b1; ++bi) {
             const int64_t i0 = bi * simd::kGemmBlockM;
-            const int64_t i1 = std::min(i0 + simd::kGemmBlockM, m);
-            if (!accumulate)
-                std::memset(c + i0 * n, 0,
+            const int64_t i1 =
+                std::min(i0 + simd::kGemmBlockM, pc->m);
+            if (!pc->accumulate)
+                std::memset(pc->c + i0 * pc->n, 0,
                             sizeof(float) *
-                                static_cast<size_t>((i1 - i0) * n));
-            block_fn(a, b, c, i0, i1, m, n, k);
+                                static_cast<size_t>((i1 - i0) * pc->n));
+            pc->block_fn(pc->a, pc->b, pc->c, i0, i1, pc->m, pc->n,
+                         pc->k);
         }
     });
 }
 
+// -------------------------------------------------------------- mode
+
+std::atomic<int> g_pack_mode{-1}; // -1 = unresolved
+
+bool
+parsePackMode(const char *spec, GemmPackMode *out)
+{
+    if (spec == nullptr || *spec == '\0' ||
+        std::strcmp(spec, "auto") == 0) {
+        *out = GemmPackMode::Auto;
+        return true;
+    }
+    if (std::strcmp(spec, "on") == 0) {
+        *out = GemmPackMode::On;
+        return true;
+    }
+    if (std::strcmp(spec, "off") == 0) {
+        *out = GemmPackMode::Off;
+        return true;
+    }
+    return false;
+}
+
+// ---------------------------------------------- fused-quant plumbing
+
+/** Region grid of a scaling spec on a rows x cols source matrix;
+ *  mirrors forEachRegion() (quant/scaling.cpp) exactly. */
+struct RegionGeom
+{
+    int64_t rb, cb;  ///< region edge in rows / cols
+    int64_t nrr, ncr; ///< region-grid extents
+};
+
+RegionGeom
+regionGeom(int64_t rows, int64_t cols, const ScalingSpec &spec)
+{
+    const int64_t nb = std::max<int64_t>(1, spec.block);
+    RegionGeom g{rows, cols, 1, 1};
+    switch (spec.granularity) {
+        case Granularity::Tensorwise:
+            break;
+        case Granularity::Rowwise:
+            g.rb = 1;
+            break;
+        case Granularity::Columnwise:
+            g.cb = 1;
+            break;
+        case Granularity::Blockwise:
+            g.rb = nb;
+            g.cb = nb;
+            break;
+        case Granularity::Tilewise:
+            g.rb = 1;
+            g.cb = nb;
+            break;
+    }
+    g.rb = std::max<int64_t>(1, std::min(g.rb, rows));
+    g.cb = std::max<int64_t>(1, std::min(g.cb, cols));
+    g.nrr = (rows + g.rb - 1) / g.rb;
+    g.ncr = (cols + g.cb - 1) / g.cb;
+    return g;
+}
+
+struct ScaleCtx
+{
+    const simd::KernelTable *kt;
+    const float *p;
+    int64_t rows, cols;
+    RegionGeom geom;
+    double fmt_max;
+    float *scale;
+    float *inv;
+};
+
+/**
+ * Per-region scale pass: the same max-|x| reduction and float
+ * narrowing the materializing quantizer performs (quant/quantizer.cpp),
+ * so fused quantize-on-pack is bit-identical to quantize-then-pack.
+ * Regions are independent, so any parallel partition is deterministic.
+ */
+void
+computeRegionScales(const simd::KernelTable &kt, const float *p,
+                    int64_t rows, int64_t cols, const RegionGeom &geom,
+                    double fmt_max, float *scale, float *inv)
+{
+    ScaleCtx ctx{&kt, p, rows, cols, geom, fmt_max, scale, inv};
+    const ScaleCtx *pc = &ctx;
+    runtime::parallelFor(
+        0, geom.nrr * geom.ncr, 8, [pc](int64_t g0, int64_t g1) {
+            const RegionGeom &g = pc->geom;
+            for (int64_t reg = g0; reg < g1; ++reg) {
+                const int64_t r0 = (reg / g.ncr) * g.rb;
+                const int64_t r1 = std::min(pc->rows, r0 + g.rb);
+                const int64_t c0 = (reg % g.ncr) * g.cb;
+                const int64_t c1 = std::min(pc->cols, c0 + g.cb);
+                double max_abs = 0.0;
+                for (int64_t r = r0; r < r1; ++r) {
+                    max_abs = std::max(
+                        max_abs,
+                        static_cast<double>(pc->kt->maxAbs(
+                            pc->p + r * pc->cols + c0, c1 - c0)));
+                }
+                const double s = regionScale(max_abs, pc->fmt_max);
+                pc->scale[reg] = static_cast<float>(s);
+                pc->inv[reg] = static_cast<float>(1.0 / s);
+            }
+        });
+}
+
+/** A fully-resolved fused-quant operand: grid constants plus bound
+ *  scale buffers. pq points into this object — never copy it. */
+struct OperandQuant
+{
+    QuantGrid grid;
+    const QuantConfig *cfg = nullptr;
+    simd::PackQuant pq;
+
+    OperandQuant() = default;
+    OperandQuant(const OperandQuant &) = delete;
+    OperandQuant &operator=(const OperandQuant &) = delete;
+};
+
+/** Bind @p oq to (source, cfg), computing scales into the caller's
+ *  buffers (arena or cache vectors). */
+void
+setupOperandQuant(OperandQuant &oq, const simd::KernelTable &kt,
+                  const QuantConfig &cfg, const float *src, int64_t rows,
+                  int64_t cols, float *scale, float *inv)
+{
+    SNIP_ASSERT(cfg.rounding == Rounding::Nearest,
+                "stochastic rounding cannot fuse into a pack; "
+                "materialize the operand first");
+    SNIP_ASSERT(cfg.format.name != "bf16",
+                "bf16 operands take the passthrough path");
+    const RegionGeom geom = regionGeom(rows, cols, cfg.scaling);
+    computeRegionScales(kt, src, rows, cols, geom,
+                        cfg.format.maxValue(), scale, inv);
+    oq.grid = quantGrid(cfg.format);
+    oq.cfg = &cfg;
+    oq.pq.fmt = &cfg.format;
+    oq.pq.grid = &oq.grid;
+    oq.pq.scale = scale;
+    oq.pq.inv_scale = inv;
+    oq.pq.row_block = geom.rb;
+    oq.pq.col_block = geom.cb;
+    oq.pq.regions_per_row = geom.ncr;
+}
+
+int64_t
+regionCount(int64_t rows, int64_t cols, const ScalingSpec &spec)
+{
+    const RegionGeom g = regionGeom(rows, cols, spec);
+    return g.nrr * g.ncr;
+}
+
+// ----------------------------------------------------- packed driver
+
+/** One packed GEMM invocation (lambdas capture a pointer to this). */
+struct PackedCtx
+{
+    const simd::KernelTable *kt;
+    const float *a;
+    int64_t a_ld;
+    bool a_k_major;
+    const float *b;
+    int64_t b_ld;
+    bool b_k_major;
+    float *c;
+    int64_t m, n, k;
+    bool accumulate;
+    const float *bp = nullptr;
+    float *bp_mut = nullptr;
+    const simd::PackQuant *aq = nullptr;
+    const simd::PackQuant *bq = nullptr;
+};
+
+/** Pack the whole B operand into bp_mut, one strip per parallel
+ *  unit (pure copies + grid snaps: deterministic under any
+ *  partition). */
+void
+packBPhase(const PackedCtx *ctx)
+{
+    const int64_t strips = packStrips(ctx->n, kGemmPackNR);
+    runtime::parallelFor(
+        0, strips, 1, [ctx](int64_t s0, int64_t s1) {
+            const int64_t j0 = s0 * kGemmPackNR;
+            const int64_t j1 =
+                std::min(ctx->n, s1 * kGemmPackNR);
+            ctx->kt->packB(ctx->b, ctx->b_ld, ctx->b_k_major,
+                           ctx->bp_mut, j0, j1, ctx->n, ctx->k,
+                           ctx->bq);
+        });
+}
+
+/**
+ * The packed loop nest: every M-block packs its A panel into the
+ * executing thread's arena (fused-quantizing when configured), then
+ * streams the shared packed B panel through the register-tiled block
+ * microkernel. M-block ownership and the per-element k-ascending
+ * accumulation are identical for any thread count.
+ */
+void
+gemmPhase(const PackedCtx *ctx)
+{
+    runtime::parallelFor(
+        0, mBlocks(ctx->m), 1, [ctx](int64_t b0, int64_t b1) {
+            for (int64_t bi = b0; bi < b1; ++bi) {
+                const int64_t i0 = bi * simd::kGemmBlockM;
+                const int64_t i1 =
+                    std::min(i0 + simd::kGemmBlockM, ctx->m);
+                const int64_t mb = i1 - i0;
+                runtime::WorkspaceArena &arena =
+                    runtime::WorkspaceArena::forCurrentThread();
+                runtime::ArenaScope scope(arena);
+                // +8: PackAFn transpose-store headroom (kernels.h).
+                float *ap = arena.getFloats(static_cast<size_t>(
+                    packStrips(mb, kGemmPackMR) * kGemmPackMR *
+                        ctx->k +
+                    8));
+                ctx->kt->packA(ctx->a, ctx->a_ld, ctx->a_k_major, ap,
+                               i0, i1, ctx->k, ctx->aq);
+                if (!ctx->accumulate)
+                    std::memset(
+                        ctx->c + i0 * ctx->n, 0,
+                        sizeof(float) *
+                            static_cast<size_t>(mb * ctx->n));
+                ctx->kt->gemmPackedBlock(ap, ctx->bp,
+                                         ctx->c + i0 * ctx->n, ctx->n,
+                                         mb, ctx->n, ctx->k);
+            }
+        });
+}
+
+// ------------------------------------------------ packed-weight cache
+
+/**
+ * Weight-pack epoch. 0 means "no weight mutator has ever announced
+ * itself": until the first invalidateWeightPacks() call (optimizer
+ * step, checkpoint restore) the single-writer discipline the implicit
+ * per-layer caches rely on is not established — code that mutates
+ * weights through raw ParamRef pointers without telling anyone (e.g.
+ * finite-difference gradient checks) is then still correct, because
+ * Linear only hands its cache to the GEMM once the epoch is non-zero.
+ * Explicit PackedWeightCache users (benches, tests) opt in regardless.
+ */
+std::atomic<uint64_t> g_weight_epoch{0};
+
+uint64_t
+policyKey(const QuantConfig *cfg)
+{
+    if (cfg == nullptr)
+        return 0;
+    uint64_t h = 1469598103934665603ull; // FNV-1a
+    auto mix = [&h](uint64_t v) {
+        h ^= v;
+        h *= 1099511628211ull;
+    };
+    for (char ch : cfg->format.name)
+        mix(static_cast<uint64_t>(static_cast<unsigned char>(ch)));
+    mix(static_cast<uint64_t>(cfg->scaling.granularity));
+    mix(static_cast<uint64_t>(cfg->scaling.block));
+    mix(static_cast<uint64_t>(cfg->rounding));
+    return h | 1; // never collides with the "no quantization" key 0
+}
+
 } // namespace
 
-void
-gemmNN(const float *a, const float *b, float *c, int64_t m, int64_t n,
-       int64_t k, bool accumulate)
+struct PackedWeightCache::Impl
 {
-    gemmBlocked(simd::activeKernels().gemmNnBlock, a, b, c, m, n, k,
-                accumulate);
+    /** One packed panel + its scale tables for one GEMM orientation of
+     *  the weight (0 = NT B operand, 1 = NN B operand). */
+    struct Slot
+    {
+        std::vector<float> packed, scale, inv;
+        bool valid = false;
+        uint64_t epoch = 0;
+        uint64_t key = 0;
+        int64_t n = 0, k = 0;
+        int64_t src_rows = 0, src_cols = 0;
+    };
+    std::mutex mu;
+    Slot slots[2];
+    /** Epoch in which a mutable weight reference escaped (non-const
+     *  Linear::weight()): implicit caching stays off until the next
+     *  epoch re-establishes the single-writer discipline. ~0 = never. */
+    std::atomic<uint64_t> disabled_epoch{~uint64_t{0}};
+};
+
+PackedWeightCache::PackedWeightCache() : impl_(new Impl) {}
+PackedWeightCache::~PackedWeightCache() = default;
+
+void
+PackedWeightCache::invalidate()
+{
+    std::lock_guard<std::mutex> lk(impl_->mu);
+    impl_->slots[0].valid = false;
+    impl_->slots[1].valid = false;
+    impl_->disabled_epoch =
+        g_weight_epoch.load(std::memory_order_acquire);
 }
+
+bool
+PackedWeightCache::implicitCachingActive() const
+{
+    const uint64_t epoch =
+        g_weight_epoch.load(std::memory_order_acquire);
+    return epoch > 0 &&
+           impl_->disabled_epoch.load(std::memory_order_acquire) !=
+               epoch;
+}
+
+void
+invalidateWeightPacks()
+{
+    g_weight_epoch.fetch_add(1, std::memory_order_acq_rel);
+}
+
+namespace {
+
+/**
+ * Return the packed B panel for a cached weight, (re)building it when
+ * stale. The scale pass is shared with the sibling orientation when
+ * its policy and epoch agree — the weight is then quantized once per
+ * step even though both orientations pack it. Buffers are retained
+ * across epochs, so a steady-state repack allocates nothing.
+ */
+const float *
+cachedPackB(PackedWeightCache *cache, int orient, PackedCtx *ctx,
+            const QuantConfig *cfg, int64_t src_rows, int64_t src_cols)
+{
+    PackedWeightCache::Impl &impl = cache->impl();
+    std::lock_guard<std::mutex> lk(impl.mu);
+    PackedWeightCache::Impl::Slot &slot = impl.slots[orient];
+    const uint64_t epoch =
+        g_weight_epoch.load(std::memory_order_acquire);
+    const uint64_t key = policyKey(cfg);
+    if (slot.valid && slot.epoch == epoch && slot.key == key &&
+        slot.n == ctx->n && slot.k == ctx->k) {
+        return slot.packed.data();
+    }
+    slot.packed.resize(static_cast<size_t>(
+        packStrips(ctx->n, kGemmPackNR) * kGemmPackNR * ctx->k));
+    OperandQuant bq;
+    if (cfg != nullptr) {
+        const int64_t nreg =
+            regionCount(src_rows, src_cols, cfg->scaling);
+        slot.scale.resize(static_cast<size_t>(nreg));
+        slot.inv.resize(static_cast<size_t>(nreg));
+        PackedWeightCache::Impl::Slot &other = impl.slots[1 - orient];
+        if (other.valid && other.epoch == epoch && other.key == key &&
+            other.src_rows == src_rows && other.src_cols == src_cols &&
+            other.scale.size() == slot.scale.size()) {
+            // Sibling orientation already quantized this weight under
+            // the same policy this step: reuse its scale pass.
+            std::copy(other.scale.begin(), other.scale.end(),
+                      slot.scale.begin());
+            std::copy(other.inv.begin(), other.inv.end(),
+                      slot.inv.begin());
+            const RegionGeom geom =
+                regionGeom(src_rows, src_cols, cfg->scaling);
+            bq.grid = quantGrid(cfg->format);
+            bq.cfg = cfg;
+            bq.pq = {&cfg->format, &bq.grid,      slot.scale.data(),
+                     slot.inv.data(), geom.rb,    geom.cb,
+                     geom.ncr};
+        } else {
+            setupOperandQuant(bq, *ctx->kt, *cfg, ctx->b, src_rows,
+                              src_cols, slot.scale.data(),
+                              slot.inv.data());
+        }
+        ctx->bq = &bq.pq;
+    }
+    ctx->bp_mut = slot.packed.data();
+    packBPhase(ctx);
+    ctx->bq = nullptr;
+    ctx->bp_mut = nullptr;
+    slot.valid = true;
+    slot.epoch = epoch;
+    slot.key = key;
+    slot.n = ctx->n;
+    slot.k = ctx->k;
+    slot.src_rows = src_rows;
+    slot.src_cols = src_cols;
+    return slot.packed.data();
+}
+
+/**
+ * Shared packed driver. Source layouts per variant:
+ *   NT: A = src[M,K] (row-major), B = src[N,K]  -> b_k_major = false
+ *   NN: A = src[M,K],             B = src[K,N]  -> b_k_major = true
+ *   TN: A = src[K,M] (a_k_major), B = src[K,N]
+ * (a_rows, a_cols) / (b_rows, b_cols) are SOURCE dims — the geometry
+ * fake quantization is defined on.
+ */
+void
+packedGemm(const float *a, int64_t a_ld, bool a_k_major, int64_t a_rows,
+           int64_t a_cols, const QuantConfig *aq_cfg, const float *b,
+           int64_t b_ld, bool b_k_major, int64_t b_rows, int64_t b_cols,
+           const QuantConfig *bq_cfg, PackedWeightCache *bcache,
+           int orient, float *c, int64_t m, int64_t n, int64_t k,
+           bool accumulate)
+{
+    if (m <= 0 || n <= 0)
+        return;
+    if (k <= 0) {
+        if (!accumulate)
+            std::memset(c, 0,
+                        sizeof(float) * static_cast<size_t>(m * n));
+        return;
+    }
+    const simd::KernelTable &kt = simd::activeKernels();
+    runtime::WorkspaceArena &arena =
+        runtime::WorkspaceArena::forCurrentThread();
+    runtime::ArenaScope scope(arena);
+
+    PackedCtx ctx;
+    ctx.kt = &kt;
+    ctx.a = a;
+    ctx.a_ld = a_ld;
+    ctx.a_k_major = a_k_major;
+    ctx.b = b;
+    ctx.b_ld = b_ld;
+    ctx.b_k_major = b_k_major;
+    ctx.c = c;
+    ctx.m = m;
+    ctx.n = n;
+    ctx.k = k;
+    ctx.accumulate = accumulate;
+
+    OperandQuant aq;
+    if (aq_cfg != nullptr) {
+        const int64_t nreg = regionCount(a_rows, a_cols, aq_cfg->scaling);
+        float *scale = arena.getFloats(static_cast<size_t>(nreg));
+        float *inv = arena.getFloats(static_cast<size_t>(nreg));
+        setupOperandQuant(aq, kt, *aq_cfg, a, a_rows, a_cols, scale,
+                          inv);
+        ctx.aq = &aq.pq;
+    }
+
+    if (bcache != nullptr) {
+        ctx.bp = cachedPackB(bcache, orient, &ctx, bq_cfg, b_rows,
+                             b_cols);
+    } else {
+        OperandQuant bq;
+        if (bq_cfg != nullptr) {
+            const int64_t nreg =
+                regionCount(b_rows, b_cols, bq_cfg->scaling);
+            float *scale = arena.getFloats(static_cast<size_t>(nreg));
+            float *inv = arena.getFloats(static_cast<size_t>(nreg));
+            setupOperandQuant(bq, kt, *bq_cfg, b, b_rows, b_cols, scale,
+                              inv);
+            ctx.bq = &bq.pq;
+        }
+        float *bp = arena.getFloats(static_cast<size_t>(
+            packStrips(n, kGemmPackNR) * kGemmPackNR * k));
+        ctx.bp_mut = bp;
+        packBPhase(&ctx);
+        ctx.bq = nullptr;
+        ctx.bp = bp;
+    }
+    gemmPhase(&ctx);
+}
+
+} // namespace
+
+// --------------------------------------------------------- mode API
+
+GemmPackMode
+gemmPackMode()
+{
+    int mode = g_pack_mode.load(std::memory_order_acquire);
+    if (mode < 0) {
+        GemmPackMode m = GemmPackMode::Auto;
+        const char *spec = std::getenv("SNIP_GEMM_PACK");
+        if (!parsePackMode(spec, &m)) {
+            warn("unknown SNIP_GEMM_PACK value '", spec,
+                 "' (expected auto|on|off); using auto");
+            m = GemmPackMode::Auto;
+        }
+        mode = static_cast<int>(m);
+        g_pack_mode.store(mode, std::memory_order_release);
+    }
+    return static_cast<GemmPackMode>(mode);
+}
+
+bool
+setGemmPackModeByName(const char *name)
+{
+    GemmPackMode m;
+    if (!parsePackMode(name, &m))
+        return false;
+    g_pack_mode.store(static_cast<int>(m), std::memory_order_release);
+    return true;
+}
+
+bool
+gemmPackEnabled(int64_t m, int64_t n, int64_t k)
+{
+    switch (gemmPackMode()) {
+        case GemmPackMode::Off:
+            return false;
+        case GemmPackMode::On:
+            return m > 0 && n > 0 && k > 0;
+        case GemmPackMode::Auto:
+            break;
+    }
+    // Packing copies O(MK + NK) to save on the O(MNK) streaming; below
+    // this threshold the copy dominates and the legacy path wins.
+    return m >= 4 && n >= kGemmPackNR && k >= 32 &&
+           m * n * k >= (int64_t{1} << 18);
+}
+
+// ------------------------------------------------------- entry points
 
 void
 gemmNT(const float *a, const float *b, float *c, int64_t m, int64_t n,
        int64_t k, bool accumulate)
 {
-    gemmBlocked(simd::activeKernels().gemmNtBlock, a, b, c, m, n, k,
-                accumulate);
+    if (gemmPackEnabled(m, n, k)) {
+        gemmPackedNT(a, m, k, nullptr, b, n, nullptr, nullptr, c,
+                     accumulate);
+        return;
+    }
+    gemmBlockedLegacy(simd::activeKernels().gemmNtBlock, a, b, c, m, n,
+                      k, accumulate);
+}
+
+void
+gemmNN(const float *a, const float *b, float *c, int64_t m, int64_t n,
+       int64_t k, bool accumulate)
+{
+    if (gemmPackEnabled(m, n, k)) {
+        gemmPackedNN(a, m, k, nullptr, b, n, nullptr, nullptr, c,
+                     accumulate);
+        return;
+    }
+    gemmBlockedLegacy(simd::activeKernels().gemmNnBlock, a, b, c, m, n,
+                      k, accumulate);
 }
 
 void
 gemmTN(const float *a, const float *b, float *c, int64_t m, int64_t n,
        int64_t k, bool accumulate)
 {
-    gemmBlocked(simd::activeKernels().gemmTnBlock, a, b, c, m, n, k,
-                accumulate);
+    if (gemmPackEnabled(m, n, k)) {
+        gemmPackedTN(a, m, k, nullptr, b, n, nullptr, c, accumulate);
+        return;
+    }
+    gemmBlockedLegacy(simd::activeKernels().gemmTnBlock, a, b, c, m, n,
+                      k, accumulate);
 }
+
+void
+gemmPackedNT(const float *a, int64_t m, int64_t k, const QuantConfig *aq,
+             const float *b, int64_t n, const QuantConfig *bq,
+             PackedWeightCache *bcache, float *c, bool accumulate)
+{
+    packedGemm(a, k, /*a_k_major=*/false, m, k, aq, b, k,
+               /*b_k_major=*/false, n, k, bq, bcache, /*orient=*/0, c,
+               m, n, k, accumulate);
+}
+
+void
+gemmPackedNN(const float *a, int64_t m, int64_t k, const QuantConfig *aq,
+             const float *b, int64_t n, const QuantConfig *bq,
+             PackedWeightCache *bcache, float *c, bool accumulate)
+{
+    packedGemm(a, k, /*a_k_major=*/false, m, k, aq, b, n,
+               /*b_k_major=*/true, k, n, bq, bcache, /*orient=*/1, c, m,
+               n, k, accumulate);
+}
+
+void
+gemmPackedTN(const float *a, int64_t m, int64_t k, const QuantConfig *aq,
+             const float *b, int64_t n, const QuantConfig *bq, float *c,
+             bool accumulate)
+{
+    packedGemm(a, m, /*a_k_major=*/true, k, m, aq, b, n,
+               /*b_k_major=*/true, k, n, bq, /*bcache=*/nullptr,
+               /*orient=*/0, c, m, n, k, accumulate);
+}
+
+// ---------------------------------------------------- Tensor wrappers
 
 Tensor
 matmulNT(const Tensor &x, const Tensor &w)
@@ -96,6 +689,42 @@ matmulTN(const Tensor &a, const Tensor &b)
     Tensor y(a.size(1), b.size(1));
     gemmTN(a.data(), b.data(), y.data(), a.size(1), b.size(1), a.size(0));
     return y;
+}
+
+Tensor
+quantMatmulNT(const Tensor &x, const QuantConfig *xq, const Tensor &w,
+              const QuantConfig *wq, PackedWeightCache *wcache)
+{
+    SNIP_ASSERT(x.rank() == 2 && w.rank() == 2);
+    SNIP_ASSERT(x.size(1) == w.size(1), "inner dimensions disagree");
+    Tensor y(x.size(0), w.size(0));
+    gemmPackedNT(x.data(), x.size(0), x.size(1), xq, w.data(), w.size(0),
+                 wq, wcache, y.data());
+    return y;
+}
+
+Tensor
+quantMatmulNN(const Tensor &dy, const QuantConfig *dq, const Tensor &w,
+              const QuantConfig *wq, PackedWeightCache *wcache)
+{
+    SNIP_ASSERT(dy.rank() == 2 && w.rank() == 2);
+    SNIP_ASSERT(dy.size(1) == w.size(0), "inner dimensions disagree");
+    Tensor y(dy.size(0), w.size(1));
+    gemmPackedNN(dy.data(), dy.size(0), dy.size(1), dq, w.data(),
+                 w.size(1), wq, wcache, y.data());
+    return y;
+}
+
+void
+quantGemmTN(const Tensor &dy, const QuantConfig *dq, const Tensor &x,
+            const QuantConfig *xq, Tensor &dw, bool accumulate)
+{
+    SNIP_ASSERT(dy.rank() == 2 && x.rank() == 2);
+    SNIP_ASSERT(dy.size(0) == x.size(0), "inner dimensions disagree");
+    SNIP_ASSERT(dw.rank() == 2 && dw.size(0) == dy.size(1) &&
+                dw.size(1) == x.size(1));
+    gemmPackedTN(dy.data(), dy.size(1), dy.size(0), dq, x.data(),
+                 x.size(1), xq, dw.data(), accumulate);
 }
 
 } // namespace snip

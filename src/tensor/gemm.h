@@ -1,29 +1,46 @@
 /**
  * @file
- * Single-precision GEMM kernels.
+ * Single-precision GEMM: packed cache-blocked pipeline + legacy path.
  *
  * Three transpose variants cover the needs of linear-layer training:
  *   - NT: C[M,N] = A[M,K] * B[N,K]^T   (forward:  Y  = X  W^T)
  *   - NN: C[M,N] = A[M,K] * B[K,N]     (backward: dX = dY W)
  *   - TN: C[M,N] = A[K,M]^T * B[K,N]   (backward: dW = dY^T X)
- * Kernels are cache-blocked and dispatch their inner block microkernel
- * through the runtime-selected SIMD backend (simd/dispatch.h,
- * SNIP_SIMD=auto|avx2|scalar); raw-pointer entry points serve hot
- * paths and Tensor wrappers serve everything else.
  *
- * All three kernels fan M-blocks of C out over the shared thread pool
- * (runtime/thread_pool.h). Workers own whole rows of C and, within one
- * backend, the per-element accumulation order is fixed, so results are
- * bit-identical to the serial kernel for any thread count (set
- * SNIP_THREADS=1 to force serial execution). Different SIMD backends
- * may differ in low-order bits (FMA contraction, vector-lane
- * accumulation order).
+ * Large shapes run the PACKED pipeline: operand panels are copied once
+ * into contiguous, strip-major buffers (simd/kernels.h PackAFn/PackBFn,
+ * kGemmPackMR x kGemmPackNR register tiles) staged in per-thread
+ * workspace arenas (runtime/workspace_arena.h), and the block
+ * microkernel streams them with zero steady-state heap allocations.
+ * The quantizing entry points additionally FUSE the nearest-rounding
+ * grid-snap quantizer into the pack, so no quantized tensor copy is
+ * ever materialized, and an optional PackedWeightCache keeps a
+ * weight's packed+quantized panel alive across the GEMMs of one
+ * training step. Small shapes (and SNIP_GEMM_PACK=off) run the legacy
+ * unpacked kernels unchanged.
+ *
+ *   SNIP_GEMM_PACK=auto   pack when the shape outgrows the pack
+ *                         overhead (default)
+ *   SNIP_GEMM_PACK=on     always pack
+ *   SNIP_GEMM_PACK=off    never pack (bit-identical to the pre-packed
+ *                         library, for A/B comparison)
+ *
+ * Determinism contract: all paths fan kGemmBlockM-row M-blocks of C
+ * out over the thread pool; workers own whole rows of C and every
+ * per-element accumulation order is a pure function of the shape, so
+ * WITHIN one (backend, packed-or-not) configuration results are
+ * bit-identical for any thread count. The packed and unpacked paths
+ * may differ from each other in low-order bits (the packed microkernel
+ * accumulates each C element k-ascending in one lane; the unpacked NT
+ * kernel stripes across 8 lanes and reduces).
  */
 #ifndef SNIP_TENSOR_GEMM_H
 #define SNIP_TENSOR_GEMM_H
 
 #include <cstdint>
+#include <memory>
 
+#include "quant/quantizer.h"
 #include "tensor/tensor.h"
 
 namespace snip {
@@ -48,6 +65,130 @@ Tensor matmulNN(const Tensor &a, const Tensor &b);
 
 /** Y = A^T * B for rank-2 tensors A[K,M], B[K,N]. */
 Tensor matmulTN(const Tensor &a, const Tensor &b);
+
+// --------------------------------------------------- packed-path mode
+
+/** SNIP_GEMM_PACK spellings. */
+enum class GemmPackMode
+{
+    Auto,
+    On,
+    Off,
+};
+
+/** The active mode (resolves SNIP_GEMM_PACK on first call). */
+GemmPackMode gemmPackMode();
+
+/** Select a mode programmatically ("auto" | "on" | "off"); false and
+ *  unchanged for unknown names. For tests and benches; must not race
+ *  with in-flight GEMMs. */
+bool setGemmPackModeByName(const char *name);
+
+/** True when a GEMM of this shape takes the packed pipeline under the
+ *  active mode (Auto packs once the work outgrows the pack cost). */
+bool gemmPackEnabled(int64_t m, int64_t n, int64_t k);
+
+// ----------------------------------------------- packed-weight cache
+
+/**
+ * Per-layer cache of packed (+ fused-quantized) weight panels, one
+ * slot per GEMM orientation (Fwd consumes W as the NT B operand, Dgrad
+ * as the NN B operand). A hit skips the whole scale-compute + pack
+ * phase, so within one training step the weight is packed+quantized
+ * once per orientation no matter how many forwards run (stats passes,
+ * probes, pipeline microbatches), and the region-scale pass is shared
+ * between the orientations when their policies agree.
+ *
+ * Invalidation: invalidateWeightPacks() (bumped by the optimizer step
+ * and checkpoint restore) stales every cache in the process;
+ * invalidate() stales one layer (Linear calls it when the weight is
+ * mutated through its non-const accessor). Buffers are retained across
+ * invalidations, so steady-state repacks allocate nothing.
+ *
+ * Not thread-safe against concurrent GEMMs on the SAME layer (a layer
+ * runs one GEMM at a time by construction); distinct layers may pack
+ * concurrently.
+ */
+class PackedWeightCache
+{
+  public:
+    PackedWeightCache();
+    ~PackedWeightCache();
+
+    PackedWeightCache(const PackedWeightCache &) = delete;
+    PackedWeightCache &operator=(const PackedWeightCache &) = delete;
+
+    /** Drop validity (weight content changed); keeps the buffers, and
+     *  disables implicit reuse for the rest of the current epoch (a
+     *  mutable reference may still be live). */
+    void invalidate();
+
+    /**
+     * True when Linear may hand this cache to the GEMM implicitly:
+     * some weight mutator has announced itself at least once
+     * (invalidateWeightPacks(), i.e. the single-writer training
+     * discipline is established) and no mutable reference escaped this
+     * layer during the current epoch. Explicit callers of the
+     * gemmPacked* entry points may pass the cache regardless — passing
+     * it IS the opt-in.
+     */
+    bool implicitCachingActive() const;
+
+    struct Impl;
+    Impl &impl() { return *impl_; }
+
+  private:
+    std::unique_ptr<Impl> impl_;
+};
+
+/** Stale every PackedWeightCache in the process. Weight mutators
+ *  (optimizer step, checkpoint restore) must call this. */
+void invalidateWeightPacks();
+
+// ------------------------------------- quantizing packed entry points
+//
+// The packed pipeline with fused quantize-on-pack. aq/bq describe the
+// nearest-rounding fake quantization of each operand (null = use the
+// operand as-is; stochastic-rounding operands must be materialized by
+// the caller first — their RNG stream is order-sensitive). Results are
+// bit-identical to quantizing a copy with FakeQuantizer and running
+// the packed GEMM on it. These entries always pack regardless of mode
+// (callers gate on gemmPackEnabled()); after warm-up they perform zero
+// heap allocations (tests/test_workspace.cpp counts).
+
+/** C[M,N] (+)= q(A[M,K]) * q(B[N,K])^T; @p bcache may cache packed B. */
+void gemmPackedNT(const float *a, int64_t m, int64_t k,
+                  const QuantConfig *aq, const float *b, int64_t n,
+                  const QuantConfig *bq, PackedWeightCache *bcache,
+                  float *c, bool accumulate = false);
+
+/** C[M,N] (+)= q(A[M,K]) * q(B[K,N]); @p bcache may cache packed B. */
+void gemmPackedNN(const float *a, int64_t m, int64_t k,
+                  const QuantConfig *aq, const float *b, int64_t n,
+                  const QuantConfig *bq, PackedWeightCache *bcache,
+                  float *c, bool accumulate = false);
+
+/** C[M,N] (+)= q(A[K,M])^T * q(B[K,N]) (no cache: both Wgrad operands
+ *  change every step). */
+void gemmPackedTN(const float *a, int64_t m, int64_t k,
+                  const QuantConfig *aq, const float *b, int64_t n,
+                  const QuantConfig *bq, float *c,
+                  bool accumulate = false);
+
+/** Y = q(X) * q(W)^T (packed, fused quantization). */
+Tensor quantMatmulNT(const Tensor &x, const QuantConfig *xq,
+                     const Tensor &w, const QuantConfig *wq,
+                     PackedWeightCache *wcache);
+
+/** Y = q(dY) * q(W) (packed, fused quantization). */
+Tensor quantMatmulNN(const Tensor &dy, const QuantConfig *dq,
+                     const Tensor &w, const QuantConfig *wq,
+                     PackedWeightCache *wcache);
+
+/** dW (+)= q(dY)^T * q(X) (packed, fused quantization). */
+void quantGemmTN(const Tensor &dy, const QuantConfig *dq,
+                 const Tensor &x, const QuantConfig *xq, Tensor &dw,
+                 bool accumulate);
 
 } // namespace snip
 

@@ -1,6 +1,7 @@
 #include "train/trainer.h"
 
 #include "runtime/thread_pool.h"
+#include "tensor/gemm.h"
 #include "util/logging.h"
 
 namespace snip {
@@ -104,6 +105,9 @@ Trainer::restore(const TrainerSnapshot &snap)
         *params[i].value = snap.param_values[i];
         params[i].grad->zero();
     }
+    // The ParamRef writes above bypass Linear::weight(): stale every
+    // packed-weight panel in the process.
+    invalidateWeightPacks();
     opt_->restore(snap.opt_states, snap.opt_step_count);
     opt_->setLr(snap.lr);
     model_->setScheme(snap.scheme);

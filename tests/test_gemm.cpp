@@ -146,5 +146,194 @@ TEST(Gemm, ZeroSizedInnerDim)
     EXPECT_EQ(frobeniusNorm(c), 0.0);
 }
 
+// ------------------------------------------------------- packed path
+
+/** Restores SNIP_GEMM_PACK=auto semantics when a test ends. */
+struct PackModeGuard
+{
+    PackModeGuard() = default;
+    PackModeGuard(const PackModeGuard &) = delete;
+    PackModeGuard &operator=(const PackModeGuard &) = delete;
+    ~PackModeGuard() { setGemmPackModeByName("auto"); }
+};
+
+TEST(GemmPack, ModeControl)
+{
+    PackModeGuard guard;
+    EXPECT_TRUE(setGemmPackModeByName("off"));
+    EXPECT_FALSE(gemmPackEnabled(4096, 4096, 4096));
+    EXPECT_TRUE(setGemmPackModeByName("on"));
+    EXPECT_TRUE(gemmPackEnabled(1, 1, 1));
+    EXPECT_TRUE(setGemmPackModeByName("auto"));
+    EXPECT_FALSE(gemmPackEnabled(8, 8, 8)); // below the Auto threshold
+    EXPECT_TRUE(gemmPackEnabled(512, 512, 512));
+    EXPECT_FALSE(setGemmPackModeByName("banana"));
+}
+
+/** Ragged shapes straddling every block/strip edge (64-row M-blocks,
+ *  6-row A strips, 16-column B strips). */
+class GemmPackShapes
+    : public ::testing::TestWithParam<std::tuple<int, int, int>>
+{
+};
+
+TEST_P(GemmPackShapes, PackedMatchesUnpackedAllVariants)
+{
+    PackModeGuard guard;
+    auto [m, n, k] = GetParam();
+    Rng rng(7);
+    Tensor a_nt = Tensor::randn({m, k}, rng);
+    Tensor b_nt = Tensor::randn({n, k}, rng);
+    Tensor a_nn = Tensor::randn({m, k}, rng);
+    Tensor b_nn = Tensor::randn({k, n}, rng);
+    Tensor a_tn = Tensor::randn({k, m}, rng);
+    Tensor b_tn = Tensor::randn({k, n}, rng);
+
+    setGemmPackModeByName("off");
+    const Tensor nt_u = matmulNT(a_nt, b_nt);
+    const Tensor nn_u = matmulNN(a_nn, b_nn);
+    const Tensor tn_u = matmulTN(a_tn, b_tn);
+    setGemmPackModeByName("on");
+    const Tensor nt_p = matmulNT(a_nt, b_nt);
+    const Tensor nn_p = matmulNN(a_nn, b_nn);
+    const Tensor tn_p = matmulTN(a_tn, b_tn);
+
+    // Packed and unpacked may differ in low-order bits only.
+    EXPECT_LT(diffNorm(nt_p, nt_u), 1e-5 * (1.0 + frobeniusNorm(nt_u)));
+    EXPECT_LT(diffNorm(nn_p, nn_u), 1e-5 * (1.0 + frobeniusNorm(nn_u)));
+    EXPECT_LT(diffNorm(tn_p, tn_u), 1e-5 * (1.0 + frobeniusNorm(tn_u)));
+}
+
+TEST_P(GemmPackShapes, PackedBitIdenticalAcrossThreadCounts)
+{
+    PackModeGuard guard;
+    GlobalPoolGuard pool_guard;
+    setGemmPackModeByName("on");
+    auto [m, n, k] = GetParam();
+    Rng rng(8);
+    Tensor a_nt = Tensor::randn({m, k}, rng);
+    Tensor b_nt = Tensor::randn({n, k}, rng);
+    Tensor a_nn = Tensor::randn({m, k}, rng);
+    Tensor b_nn = Tensor::randn({k, n}, rng);
+    Tensor a_tn = Tensor::randn({k, m}, rng);
+    Tensor b_tn = Tensor::randn({k, n}, rng);
+
+    runtime::setGlobalThreadCount(1);
+    const Tensor nt1 = matmulNT(a_nt, b_nt);
+    const Tensor nn1 = matmulNN(a_nn, b_nn);
+    const Tensor tn1 = matmulTN(a_tn, b_tn);
+    for (int threads : {2, 8}) {
+        runtime::setGlobalThreadCount(threads);
+        EXPECT_TRUE(matmulNT(a_nt, b_nt) == nt1) << threads << " threads";
+        EXPECT_TRUE(matmulNN(a_nn, b_nn) == nn1) << threads << " threads";
+        EXPECT_TRUE(matmulTN(a_tn, b_tn) == tn1) << threads << " threads";
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, GemmPackShapes,
+    ::testing::Values(std::make_tuple(65, 63, 130),
+                      std::make_tuple(130, 96, 70),
+                      std::make_tuple(6, 16, 32),
+                      std::make_tuple(13, 17, 40),
+                      std::make_tuple(64, 64, 64),
+                      std::make_tuple(257, 191, 133)));
+
+TEST(GemmPack, PackedAccumulateAddsToExisting)
+{
+    PackModeGuard guard;
+    setGemmPackModeByName("on");
+    Rng rng(45);
+    Tensor a = Tensor::randn({19, 23}, rng);
+    Tensor b = Tensor::randn({31, 23}, rng);
+    Tensor c(19, 31);
+    c.fill(1.0f);
+    gemmNT(a.data(), b.data(), c.data(), 19, 31, 23, /*accumulate=*/true);
+    Tensor r = refNT(a, b);
+    for (int64_t i = 0; i < c.numel(); ++i)
+        EXPECT_NEAR(c.at(i), r.at(i) + 1.0f, 1e-4);
+}
+
+TEST(GemmPack, FusedQuantMatchesMaterializedBitExact)
+{
+    // Quantize-on-pack must equal quantize-a-copy-then-pack bit for
+    // bit (same scales, same grid snap), for every nearest-rounding
+    // precision and in all three variants.
+    PackModeGuard guard;
+    setGemmPackModeByName("on");
+    Rng rng(9);
+    FakeQuantizer q(11);
+    const int64_t m = 70, n = 50, k = 130;
+    for (Precision p : {Precision::FP8, Precision::FP6, Precision::FP4}) {
+        QuantConfig act = rolePolicy(p, TensorRole::Activation);
+        QuantConfig wt = rolePolicy(p, TensorRole::Weight);
+        act.rounding = Rounding::Nearest; // FP4 grads aside, all are
+        SCOPED_TRACE(act.describe());
+
+        Tensor x = Tensor::randn({m, k}, rng);
+        Tensor w = Tensor::randn({n, k}, rng);
+        Tensor xm = q.quantize(x, act);
+        Tensor wm = q.quantize(w, wt);
+        Tensor fused = quantMatmulNT(x, &act, w, &wt, nullptr);
+        Tensor mat = quantMatmulNT(xm, nullptr, wm, nullptr, nullptr);
+        EXPECT_TRUE(fused == mat);
+
+        Tensor dy = Tensor::randn({m, n}, rng);
+        Tensor w2 = Tensor::randn({n, k}, rng);
+        QuantConfig og = rolePolicy(p, TensorRole::OutputGrad);
+        og.rounding = Rounding::Nearest;
+        Tensor dym = q.quantize(dy, og);
+        Tensor w2m = q.quantize(w2, wt);
+        Tensor f_nn = quantMatmulNN(dy, &og, w2, &wt, nullptr);
+        Tensor m_nn = quantMatmulNN(dym, nullptr, w2m, nullptr, nullptr);
+        EXPECT_TRUE(f_nn == m_nn);
+
+        Tensor dw_f(n, k), dw_m(n, k);
+        quantGemmTN(dy, &og, x, &act, dw_f, /*accumulate=*/false);
+        quantGemmTN(dym, nullptr, xm, nullptr, dw_m,
+                    /*accumulate=*/false);
+        EXPECT_TRUE(dw_f == dw_m);
+    }
+}
+
+TEST(GemmPack, WeightCacheHitsAndInvalidates)
+{
+    PackModeGuard guard;
+    setGemmPackModeByName("on");
+    Rng rng(10);
+    const int64_t m = 33, n = 40, k = 65;
+    Tensor x = Tensor::randn({m, k}, rng);
+    Tensor w = Tensor::randn({n, k}, rng);
+    QuantConfig xq = rolePolicy(Precision::FP8, TensorRole::Activation);
+    QuantConfig wq = rolePolicy(Precision::FP8, TensorRole::Weight);
+
+    PackedWeightCache cache;
+    Tensor first = quantMatmulNT(x, &xq, w, &wq, &cache);
+    Tensor hit = quantMatmulNT(x, &xq, w, &wq, &cache);
+    EXPECT_TRUE(first == hit); // cache hit reproduces the pack
+
+    // Different policy on the same cache must not reuse the panel.
+    QuantConfig wq4 = rolePolicy(Precision::FP4, TensorRole::Weight);
+    Tensor fp4 = quantMatmulNT(x, &xq, w, &wq4, &cache);
+    Tensor fp4_ref = quantMatmulNT(x, &xq, w, &wq4, nullptr);
+    EXPECT_TRUE(fp4 == fp4_ref);
+
+    // Mutating the weight without invalidation is the documented bug;
+    // with invalidation the repack picks the new values up.
+    for (int64_t i = 0; i < w.numel(); ++i)
+        w.at(i) += 0.25f;
+    invalidateWeightPacks();
+    Tensor after = quantMatmulNT(x, &xq, w, &wq, &cache);
+    Tensor after_ref = quantMatmulNT(x, &xq, w, &wq, nullptr);
+    EXPECT_TRUE(after == after_ref);
+
+    // The NN orientation shares the scale pass but packs its own
+    // panel; results must match the uncached path bit for bit.
+    Tensor dy = Tensor::randn({m, n}, rng);
+    Tensor nn_c = quantMatmulNN(dy, &xq, w, &wq, &cache);
+    Tensor nn_u = quantMatmulNN(dy, &xq, w, &wq, nullptr);
+    EXPECT_TRUE(nn_c == nn_u);
+}
+
 } // namespace
 } // namespace snip

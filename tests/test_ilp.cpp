@@ -7,9 +7,12 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdio>
 #include <functional>
+#include <string>
 
 #include "ilp/lp_relaxation.h"
+#include "ilp/solve_cache.h"
 #include "ilp/solver.h"
 #include "util/rng.h"
 
@@ -285,6 +288,110 @@ TEST(Bnb, RandomPropertySweepAgainstDp)
                 << "target " << target;
         }
     }
+}
+
+// ------------------------------------------------- solve-cache LRU
+
+IlpSolution
+cacheSolution(int tag, size_t n_choice = 4)
+{
+    IlpSolution s;
+    s.feasible = true;
+    s.objective = tag * 1.0;
+    s.achieved_efficiency = 0.5;
+    s.nodes_explored = tag;
+    s.choice.assign(n_choice, tag);
+    return s;
+}
+
+TEST(SolveCacheLru, EvictsColdestOnEntryBound)
+{
+    SolveCache cache;
+    cache.setLimits(/*max_entries=*/3, /*max_bytes=*/0);
+    for (uint64_t key = 1; key <= 3; ++key)
+        cache.insert(key, cacheSolution(static_cast<int>(key)));
+    // Touch key 1 so key 2 is now the coldest.
+    EXPECT_TRUE(cache.lookup(1, nullptr));
+    cache.insert(4, cacheSolution(4));
+    EXPECT_EQ(cache.size(), 3u);
+    EXPECT_EQ(cache.evictions(), 1);
+    EXPECT_FALSE(cache.lookup(2, nullptr));
+    EXPECT_TRUE(cache.lookup(1, nullptr));
+    EXPECT_TRUE(cache.lookup(3, nullptr));
+    IlpSolution got;
+    EXPECT_TRUE(cache.lookup(4, &got));
+    EXPECT_EQ(got.nodes_explored, 4);
+}
+
+TEST(SolveCacheLru, ByteBoundHoldsAndFreshestSurvives)
+{
+    SolveCache cache;
+    const size_t per = SolveCache::entryBytes(cacheSolution(1, 64));
+    cache.setLimits(0, 2 * per + per / 2); // room for two entries
+    for (uint64_t key = 1; key <= 5; ++key)
+        cache.insert(key, cacheSolution(static_cast<int>(key), 64));
+    EXPECT_EQ(cache.size(), 2u);
+    EXPECT_LE(cache.bytesUsed(), 2 * per + per / 2);
+    EXPECT_TRUE(cache.lookup(5, nullptr));
+    EXPECT_TRUE(cache.lookup(4, nullptr));
+    // An entry bigger than the whole budget still gets stored (the
+    // freshest entry is never evicted), everything else goes.
+    cache.insert(9, cacheSolution(9, 4096));
+    EXPECT_EQ(cache.size(), 1u);
+    EXPECT_TRUE(cache.lookup(9, nullptr));
+}
+
+TEST(SolveCacheLru, ShrinkingLimitsEvictsImmediately)
+{
+    SolveCache cache;
+    for (uint64_t key = 1; key <= 6; ++key)
+        cache.insert(key, cacheSolution(static_cast<int>(key)));
+    EXPECT_EQ(cache.size(), 6u);
+    cache.setLimits(2, 0);
+    EXPECT_EQ(cache.size(), 2u);
+    EXPECT_TRUE(cache.lookup(6, nullptr));
+    EXPECT_TRUE(cache.lookup(5, nullptr));
+}
+
+TEST(SolveCacheLru, RecencySurvivesPersistence)
+{
+    const std::string path =
+        ::testing::TempDir() + "snip_solve_cache_lru.bin";
+    std::remove(path.c_str());
+    {
+        SolveCache cache(path);
+        for (uint64_t key = 1; key <= 4; ++key)
+            cache.insert(key, cacheSolution(static_cast<int>(key)));
+        EXPECT_TRUE(cache.lookup(2, nullptr)); // 2 becomes hottest
+        EXPECT_TRUE(cache.save());
+    }
+    {
+        // Reload with a bound of 2: the persisted recency (2, then 4)
+        // decides who survives the load-time trim.
+        SolveCache cache(path, /*max_entries=*/2, /*max_bytes=*/0);
+        EXPECT_EQ(cache.size(), 2u);
+        EXPECT_TRUE(cache.lookup(2, nullptr));
+        EXPECT_TRUE(cache.lookup(4, nullptr));
+        EXPECT_FALSE(cache.lookup(1, nullptr));
+        EXPECT_FALSE(cache.lookup(3, nullptr));
+        EXPECT_EQ(cache.evictions(), 0); // load trimming is not an evict
+    }
+    std::remove(path.c_str());
+}
+
+TEST(SolveCacheLru, UnboundedByDefaultAndRewriteKeepsPayload)
+{
+    SolveCache cache;
+    for (uint64_t key = 1; key <= 100; ++key)
+        cache.insert(key, cacheSolution(static_cast<int>(key)));
+    EXPECT_EQ(cache.size(), 100u);
+    EXPECT_EQ(cache.evictions(), 0);
+    // Overwriting a key refreshes it and replaces the payload.
+    cache.insert(7, cacheSolution(70));
+    IlpSolution got;
+    EXPECT_TRUE(cache.lookup(7, &got));
+    EXPECT_EQ(got.nodes_explored, 70);
+    EXPECT_EQ(cache.size(), 100u);
 }
 
 } // namespace
