@@ -11,6 +11,7 @@
 
 #include "core/snip_optimizer.h"
 #include "core/stats_collector.h"
+#include "nn/attention.h"
 #include "quant/quantizer.h"
 #include "runtime/thread_pool.h"
 #include "simd/dispatch.h"
@@ -277,6 +278,129 @@ BM_QuantizeBackend(benchmark::State &state, const char *backend)
     simd::setBackendByName("auto");
 }
 
+// ---------------------------------------------------------- attention
+
+/** Bench shapes for the attention core. Arg 0 selects: 0 = small
+ *  (micro-model-like, per-head GEMMs far below any pack threshold),
+ *  1 = fig8-scale (training-step-sized (b,h) space with GQA, where
+ *  the batched runtime amortizes packing across 64 heads). */
+AttnShape
+attnBenchShape(int64_t id)
+{
+    if (id == 0)
+        return AttnShape{2, 16, 4, 4, 16};
+    return AttnShape{8, 64, 8, 4, 32};
+}
+
+/** Forward GEMM FLOPs of the attention core (QK^T + PV); softmax is
+ *  excluded so par/serial rows share one denominator. */
+int64_t
+attnFwdFlops(const AttnShape &s)
+{
+    return 4 * s.batch * s.n_heads * s.seq * s.seq * s.head_dim;
+}
+
+/**
+ * The attention core (scores + fused softmax + context) under
+ * SNIP_ATTN=par (batched runtime) vs =serial (historical per-head
+ * loop), single-thread pinned so the rows isolate the batched-GEMM +
+ * fused-kernel win; BM_AttnThreads sweeps the thread count.
+ */
+void
+BM_AttnFwd(benchmark::State &state, const char *mode)
+{
+    if (!setAttnModeByName(mode)) {
+        state.SkipWithError("bad attention mode");
+        return;
+    }
+    runtime::setGlobalThreadCount(1);
+    const AttnShape s = attnBenchShape(state.range(0));
+    Rng rng(21);
+    Tensor q = Tensor::randn({s.batch * s.seq, s.n_heads * s.head_dim},
+                             rng);
+    Tensor k = Tensor::randn(
+        {s.batch * s.seq, s.n_kv_heads * s.head_dim}, rng);
+    Tensor v = Tensor::randn(
+        {s.batch * s.seq, s.n_kv_heads * s.head_dim}, rng);
+    Tensor probs(s.batch * s.n_heads * s.seq, s.seq);
+    Tensor ctx(s.batch * s.seq, s.n_heads * s.head_dim);
+    for (auto _ : state) {
+        attentionForwardCore(s, q.data(), k.data(), v.data(),
+                             probs.data(), ctx.data());
+        benchmark::DoNotOptimize(ctx.data());
+    }
+    setGemmThroughput(state, attnFwdFlops(s));
+    runtime::setGlobalThreadCount(0);
+    setAttnModeByName("par");
+}
+
+/** Backward half of the attention core (4 GEMMs + fused softmax
+ *  backward); dq/dk/dv zeroing is timed — it is part of a real step. */
+void
+BM_AttnBwd(benchmark::State &state, const char *mode)
+{
+    if (!setAttnModeByName(mode)) {
+        state.SkipWithError("bad attention mode");
+        return;
+    }
+    runtime::setGlobalThreadCount(1);
+    const AttnShape s = attnBenchShape(state.range(0));
+    Rng rng(22);
+    Tensor q = Tensor::randn({s.batch * s.seq, s.n_heads * s.head_dim},
+                             rng);
+    Tensor k = Tensor::randn(
+        {s.batch * s.seq, s.n_kv_heads * s.head_dim}, rng);
+    Tensor v = Tensor::randn(
+        {s.batch * s.seq, s.n_kv_heads * s.head_dim}, rng);
+    Tensor dctx = Tensor::randn(
+        {s.batch * s.seq, s.n_heads * s.head_dim}, rng);
+    Tensor probs(s.batch * s.n_heads * s.seq, s.seq);
+    Tensor ctx(s.batch * s.seq, s.n_heads * s.head_dim);
+    attentionForwardCore(s, q.data(), k.data(), v.data(), probs.data(),
+                         ctx.data());
+    Tensor dq(s.batch * s.seq, s.n_heads * s.head_dim);
+    Tensor dk(s.batch * s.seq, s.n_kv_heads * s.head_dim);
+    Tensor dv(s.batch * s.seq, s.n_kv_heads * s.head_dim);
+    for (auto _ : state) {
+        dq.zero();
+        dk.zero();
+        dv.zero();
+        attentionBackwardCore(s, q.data(), k.data(), v.data(),
+                              probs.data(), dctx.data(), dq.data(),
+                              dk.data(), dv.data());
+        benchmark::DoNotOptimize(dq.data());
+    }
+    setGemmThroughput(state, 2 * attnFwdFlops(s));
+    runtime::setGlobalThreadCount(0);
+    setAttnModeByName("par");
+}
+
+/** Thread sweep of the batched forward core at the fig8-scale shape
+ *  (serial rows would be flat by construction). */
+void
+BM_AttnThreads(benchmark::State &state)
+{
+    setAttnModeByName("par");
+    runtime::setGlobalThreadCount(static_cast<int>(state.range(0)));
+    const AttnShape s = attnBenchShape(1);
+    Rng rng(23);
+    Tensor q = Tensor::randn({s.batch * s.seq, s.n_heads * s.head_dim},
+                             rng);
+    Tensor k = Tensor::randn(
+        {s.batch * s.seq, s.n_kv_heads * s.head_dim}, rng);
+    Tensor v = Tensor::randn(
+        {s.batch * s.seq, s.n_kv_heads * s.head_dim}, rng);
+    Tensor probs(s.batch * s.n_heads * s.seq, s.seq);
+    Tensor ctx(s.batch * s.seq, s.n_heads * s.head_dim);
+    for (auto _ : state) {
+        attentionForwardCore(s, q.data(), k.data(), v.data(),
+                             probs.data(), ctx.data());
+        benchmark::DoNotOptimize(ctx.data());
+    }
+    setGemmThroughput(state, attnFwdFlops(s));
+    runtime::setGlobalThreadCount(0);
+}
+
 /** Paper-sized ILP: 80 blocks x 7 layers, 4 options. */
 IlpProblem
 paperIlp(int n_layers, double target)
@@ -369,6 +493,29 @@ BENCHMARK(BM_QuantizeThreads)
     ->Args({512, 2})
     ->Args({512, 4})
     ->Args({512, 8})
+    ->UseRealTime();
+BENCHMARK_CAPTURE(BM_AttnFwd, par, "par")
+    ->ArgName("shape")
+    ->Arg(0)
+    ->Arg(1);
+BENCHMARK_CAPTURE(BM_AttnFwd, serial, "serial")
+    ->ArgName("shape")
+    ->Arg(0)
+    ->Arg(1);
+BENCHMARK_CAPTURE(BM_AttnBwd, par, "par")
+    ->ArgName("shape")
+    ->Arg(0)
+    ->Arg(1);
+BENCHMARK_CAPTURE(BM_AttnBwd, serial, "serial")
+    ->ArgName("shape")
+    ->Arg(0)
+    ->Arg(1);
+BENCHMARK(BM_AttnThreads)
+    ->ArgName("threads")
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
     ->UseRealTime();
 BENCHMARK(BM_StatsCollection);
 BENCHMARK(BM_PlainStep);

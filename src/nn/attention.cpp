@@ -1,7 +1,14 @@
 #include "nn/attention.h"
 
+#include <atomic>
 #include <cmath>
+#include <cstdlib>
+#include <cstring>
 
+#include "runtime/thread_pool.h"
+#include "runtime/workspace_arena.h"
+#include "simd/dispatch.h"
+#include "simd/kernels.h"
 #include "tensor/gemm.h"
 #include "util/rng.h"
 #include "util/string_util.h"
@@ -41,12 +48,440 @@ scatterHeadAdd(float *dst, const float *src, int64_t b, int64_t h,
     }
 }
 
+// -------------------------------------------------------------- mode
+
+std::atomic<int> g_attn_mode{-1}; // -1 = unresolved
+
+bool
+parseAttnMode(const char *spec, AttnMode *out)
+{
+    if (spec == nullptr || *spec == '\0' ||
+        std::strcmp(spec, "par") == 0) {
+        *out = AttnMode::Par;
+        return true;
+    }
+    if (std::strcmp(spec, "serial") == 0) {
+        *out = AttnMode::Serial;
+        return true;
+    }
+    return false;
+}
+
+// ------------------------------------------------------- serial core
+
+/**
+ * The historical per-(b,h) loop, kept bit-for-bit for A/B
+ * (SNIP_ATTN=serial): per-head gathers into arena scratch, per-head
+ * GEMMs through the ordinary entry points, fused softmax kernel (bit-
+ * exact against the old open-coded loops by the kernel contract).
+ */
+void
+forwardSerial(const AttnShape &s, const float *q, const float *k,
+              const float *v, float *probs, float *ctx)
+{
+    const int64_t seq = s.seq, hd = s.head_dim;
+    const int64_t n_heads = s.n_heads, n_kv = s.n_kv_heads;
+    const int64_t group = n_heads / n_kv;
+    const float scale = 1.0f / std::sqrt(static_cast<float>(hd));
+    const simd::KernelTable &kt = simd::activeKernels();
+
+    runtime::WorkspaceArena &arena =
+        runtime::WorkspaceArena::forCurrentThread();
+    runtime::ArenaScope scope(arena);
+    const size_t buf = static_cast<size_t>(seq * hd);
+    float *qb = arena.getFloats(buf);
+    float *kb = arena.getFloats(buf);
+    float *vb = arena.getFloats(buf);
+    float *cb = arena.getFloats(buf);
+
+    for (int64_t b = 0; b < s.batch; ++b) {
+        for (int64_t h = 0; h < n_heads; ++h) {
+            const int64_t kvh = h / group;
+            gatherHead(q, qb, b, h, seq, n_heads, hd);
+            gatherHead(k, kb, b, kvh, seq, n_kv, hd);
+            gatherHead(v, vb, b, kvh, seq, n_kv, hd);
+
+            float *prob = probs + (b * n_heads + h) * seq * seq;
+            gemmNT(qb, kb, prob, seq, seq, hd);
+            kt.attnSoftmaxFwd(prob, seq, scale);
+            gemmNN(prob, vb, cb, seq, hd, seq);
+
+            // ctx slice is written exactly once per (b,h): plain copy.
+            const int64_t cols = n_heads * hd;
+            for (int64_t ss = 0; ss < seq; ++ss) {
+                float *dst = ctx + (b * seq + ss) * cols + h * hd;
+                const float *src = cb + ss * hd;
+                for (int64_t c = 0; c < hd; ++c)
+                    dst[c] = src[c];
+            }
+        }
+    }
+}
+
+void
+backwardSerial(const AttnShape &s, const float *q, const float *k,
+               const float *v, const float *probs, const float *dctx,
+               float *dq, float *dk, float *dv)
+{
+    const int64_t seq = s.seq, hd = s.head_dim;
+    const int64_t n_heads = s.n_heads, n_kv = s.n_kv_heads;
+    const int64_t group = n_heads / n_kv;
+    const float scale = 1.0f / std::sqrt(static_cast<float>(hd));
+    const simd::KernelTable &kt = simd::activeKernels();
+
+    runtime::WorkspaceArena &arena =
+        runtime::WorkspaceArena::forCurrentThread();
+    runtime::ArenaScope scope(arena);
+    const size_t buf = static_cast<size_t>(seq * hd);
+    const size_t sq = static_cast<size_t>(seq * seq);
+    float *qb = arena.getFloats(buf);
+    float *kb = arena.getFloats(buf);
+    float *vb = arena.getFloats(buf);
+    float *dcb = arena.getFloats(buf);
+    float *dqb = arena.getFloats(buf);
+    float *dkb = arena.getFloats(buf);
+    float *dvb = arena.getFloats(buf);
+    float *dp = arena.getFloats(sq);
+    float *ds = arena.getFloats(sq);
+
+    for (int64_t b = 0; b < s.batch; ++b) {
+        for (int64_t h = 0; h < n_heads; ++h) {
+            const int64_t kvh = h / group;
+            gatherHead(q, qb, b, h, seq, n_heads, hd);
+            gatherHead(k, kb, b, kvh, seq, n_kv, hd);
+            gatherHead(v, vb, b, kvh, seq, n_kv, hd);
+            gatherHead(dctx, dcb, b, h, seq, n_heads, hd);
+
+            const float *prob = probs + (b * n_heads + h) * seq * seq;
+
+            // dV = P^T dCtx ; dP = dCtx V^T.
+            gemmTN(prob, dcb, dvb, seq, hd, seq);
+            gemmNT(dcb, vb, dp, seq, seq, hd);
+
+            // Softmax backward (scale folded): dS = P .* (dP - rowdot).
+            kt.attnSoftmaxBwd(prob, dp, ds, seq, scale);
+
+            // dQ = dS_raw K ; dK = dS_raw^T Q.
+            gemmNN(ds, kb, dqb, seq, hd, seq);
+            gemmTN(ds, qb, dkb, seq, hd, seq);
+
+            scatterHeadAdd(dq, dqb, b, h, seq, n_heads, hd);
+            scatterHeadAdd(dk, dkb, b, kvh, seq, n_kv, hd);
+            scatterHeadAdd(dv, dvb, b, kvh, seq, n_kv, hd);
+        }
+    }
+}
+
+// ------------------------------------------------------ batched core
+
+/** One batched attention invocation: dims plus every buffer the
+ *  parallelFor lambdas touch (they capture a pointer to this). */
+struct ParCtx
+{
+    AttnShape s;
+    int64_t count;    ///< batch * n_heads, ordered (b, h)
+    int64_t kv_count; ///< batch * n_kv_heads, ordered (b, kvh)
+    int64_t group;    ///< n_heads / n_kv_heads
+    float scale;
+    const simd::KernelTable *kt;
+    const float *q, *k, *v;
+    const float *dctx;
+    float *probs;
+    float *ctx;
+    float *qg, *kg, *vg;      ///< gathered [*, seq, hd] head slabs
+    float *cg, *dcg;          ///< context / dContext head slabs
+    float *dqg, *dkg, *dvg;   ///< per-head / per-kv-head grad slabs
+    float *dp, *ds;           ///< [count, seq*seq] softmax scratch
+    float *dq, *dk, *dv;
+    // Bound per gather call (lambdas capture only the ctx pointer so
+    // the parallelFor std::function stays within its SBO — no alloc).
+    const float *gather_src;
+    float *gather_dst;
+};
+
+/** Gather all query heads (items ordered (b, h) — identical to the
+ *  serial loop's visit order) into a [count, seq, hd] slab. */
+void
+gatherQ(ParCtx *c, const float *src, float *dst)
+{
+    c->gather_src = src;
+    c->gather_dst = dst;
+    const ParCtx *pc = c;
+    runtime::parallelFor(0, pc->count, 1, [pc](int64_t i0, int64_t i1) {
+        const int64_t seq = pc->s.seq, hd = pc->s.head_dim;
+        for (int64_t i = i0; i < i1; ++i)
+            gatherHead(pc->gather_src, pc->gather_dst + i * seq * hd,
+                       i / pc->s.n_heads, i % pc->s.n_heads, seq,
+                       pc->s.n_heads, hd);
+    });
+}
+
+/** Gather all kv heads (items ordered (b, kvh)) into a kv slab. */
+void
+gatherKV(ParCtx *c, const float *src, float *dst)
+{
+    c->gather_src = src;
+    c->gather_dst = dst;
+    const ParCtx *pc = c;
+    runtime::parallelFor(
+        0, pc->kv_count, 1, [pc](int64_t i0, int64_t i1) {
+            const int64_t seq = pc->s.seq, hd = pc->s.head_dim;
+            for (int64_t i = i0; i < i1; ++i)
+                gatherHead(pc->gather_src,
+                           pc->gather_dst + i * seq * hd,
+                           i / pc->s.n_kv_heads, i % pc->s.n_kv_heads,
+                           seq, pc->s.n_kv_heads, hd);
+        });
+}
+
+/**
+ * Batched schedule (SNIP_ATTN=par). Item i = b*n_heads + h walks the
+ * same (b, h) order as the serial loop, and — because query heads are
+ * numbered kvh*group + g — its kv head is simply i / group, so the
+ * strided-batch GEMMs read the gathered slabs directly. All scratch
+ * comes from workspace arenas: zero steady-state heap allocations.
+ */
+void
+forwardPar(const AttnShape &s, const float *q, const float *k,
+           const float *v, float *probs, float *ctx)
+{
+    ParCtx c;
+    c.s = s;
+    c.count = s.batch * s.n_heads;
+    c.kv_count = s.batch * s.n_kv_heads;
+    c.group = s.n_heads / s.n_kv_heads;
+    c.scale = 1.0f / std::sqrt(static_cast<float>(s.head_dim));
+    c.kt = &simd::activeKernels();
+    c.q = q;
+    c.k = k;
+    c.v = v;
+    c.probs = probs;
+    c.ctx = ctx;
+
+    const int64_t seq = s.seq, hd = s.head_dim;
+    runtime::WorkspaceArena &arena =
+        runtime::WorkspaceArena::forCurrentThread();
+    runtime::ArenaScope scope(arena);
+    c.qg = arena.getFloats(static_cast<size_t>(c.count * seq * hd));
+    c.kg = arena.getFloats(static_cast<size_t>(c.kv_count * seq * hd));
+    c.vg = arena.getFloats(static_cast<size_t>(c.kv_count * seq * hd));
+    c.cg = arena.getFloats(static_cast<size_t>(c.count * seq * hd));
+
+    gatherQ(&c, q, c.qg);
+    gatherKV(&c, k, c.kg);
+    gatherKV(&c, v, c.vg);
+    const ParCtx *pc = &c;
+
+    // Scores: one strided-batch NT over every (b,h); each kv head's
+    // packed K panel is built once and streamed by its group.
+    gemmBatchedNT(c.qg, seq * hd, c.kg, seq * hd, probs, seq * seq,
+                  c.count, seq, seq, hd, c.group);
+
+    // Fused scale + causal mask + softmax, one item per work unit.
+    runtime::parallelFor(0, c.count, 1, [pc](int64_t i0, int64_t i1) {
+        const int64_t sq = pc->s.seq * pc->s.seq;
+        for (int64_t i = i0; i < i1; ++i)
+            pc->kt->attnSoftmaxFwd(pc->probs + i * sq, pc->s.seq,
+                                   pc->scale);
+    });
+
+    // Context: strided-batch NN against the shared V panels.
+    gemmBatchedNN(probs, seq * seq, c.vg, seq * hd, c.cg, seq * hd,
+                  c.count, seq, hd, seq, c.group);
+
+    // Scatter the context slabs back; each (b,h) slice is written
+    // exactly once, so items are disjoint.
+    runtime::parallelFor(0, c.count, 1, [pc](int64_t i0, int64_t i1) {
+        const int64_t seq2 = pc->s.seq, hd2 = pc->s.head_dim;
+        const int64_t cols = pc->s.n_heads * hd2;
+        for (int64_t i = i0; i < i1; ++i) {
+            const int64_t b = i / pc->s.n_heads;
+            const int64_t h = i % pc->s.n_heads;
+            const float *src = pc->cg + i * seq2 * hd2;
+            for (int64_t ss = 0; ss < seq2; ++ss) {
+                float *dst =
+                    pc->ctx + (b * seq2 + ss) * cols + h * hd2;
+                for (int64_t cc = 0; cc < hd2; ++cc)
+                    dst[cc] = src[ss * hd2 + cc];
+            }
+        }
+    });
+}
+
+void
+backwardPar(const AttnShape &s, const float *q, const float *k,
+            const float *v, const float *probs, const float *dctx,
+            float *dq, float *dk, float *dv)
+{
+    ParCtx c;
+    c.s = s;
+    c.count = s.batch * s.n_heads;
+    c.kv_count = s.batch * s.n_kv_heads;
+    c.group = s.n_heads / s.n_kv_heads;
+    c.scale = 1.0f / std::sqrt(static_cast<float>(s.head_dim));
+    c.kt = &simd::activeKernels();
+    c.q = q;
+    c.k = k;
+    c.v = v;
+    c.dctx = dctx;
+    c.probs = const_cast<float *>(probs);
+    c.dq = dq;
+    c.dk = dk;
+    c.dv = dv;
+
+    const int64_t seq = s.seq, hd = s.head_dim;
+    runtime::WorkspaceArena &arena =
+        runtime::WorkspaceArena::forCurrentThread();
+    runtime::ArenaScope scope(arena);
+    c.qg = arena.getFloats(static_cast<size_t>(c.count * seq * hd));
+    c.kg = arena.getFloats(static_cast<size_t>(c.kv_count * seq * hd));
+    c.vg = arena.getFloats(static_cast<size_t>(c.kv_count * seq * hd));
+    c.dcg = arena.getFloats(static_cast<size_t>(c.count * seq * hd));
+    c.dqg = arena.getFloats(static_cast<size_t>(c.count * seq * hd));
+    c.dkg = arena.getFloats(static_cast<size_t>(c.kv_count * seq * hd));
+    c.dvg = arena.getFloats(static_cast<size_t>(c.kv_count * seq * hd));
+    c.dp = arena.getFloats(static_cast<size_t>(c.count * seq * seq));
+    // attnSoftmaxBwd supports ds aliasing dp (kernels.h), so dS
+    // overwrites dP in place — one O(count*seq^2) slab, not two.
+    c.ds = c.dp;
+
+    gatherQ(&c, q, c.qg);
+    gatherKV(&c, k, c.kg);
+    gatherKV(&c, v, c.vg);
+    gatherQ(&c, dctx, c.dcg);
+    const ParCtx *pc = &c;
+
+    // dV = P^T dCtx, reduced per kv head (group items add in fixed
+    // ascending order — the GQA scatter stays bit-identical at any
+    // thread count); dP = dCtx V^T against the shared V panels.
+    gemmBatchedTN(c.probs, seq * seq, c.dcg, seq * hd, c.dvg, seq * hd,
+                  c.count, seq, hd, seq, c.group);
+    gemmBatchedNT(c.dcg, seq * hd, c.vg, seq * hd, c.dp, seq * seq,
+                  c.count, seq, seq, hd, c.group);
+
+    // Fused softmax backward per item.
+    runtime::parallelFor(0, c.count, 1, [pc](int64_t i0, int64_t i1) {
+        const int64_t sq = pc->s.seq * pc->s.seq;
+        for (int64_t i = i0; i < i1; ++i)
+            pc->kt->attnSoftmaxBwd(pc->probs + i * sq, pc->dp + i * sq,
+                                   pc->ds + i * sq, pc->s.seq,
+                                   pc->scale);
+    });
+
+    // dQ = dS K (shared K panels); dK = dS^T Q (per-kv-head reduce).
+    gemmBatchedNN(c.ds, seq * seq, c.kg, seq * hd, c.dqg, seq * hd,
+                  c.count, seq, hd, seq, c.group);
+    gemmBatchedTN(c.ds, seq * seq, c.qg, seq * hd, c.dkg, seq * hd,
+                  c.count, seq, hd, seq, c.group);
+
+    // Scatter-add the slabs back: dq items and dk/dv kv items each own
+    // disjoint slices of their outputs.
+    runtime::parallelFor(0, c.count, 1, [pc](int64_t i0, int64_t i1) {
+        const int64_t seq2 = pc->s.seq, hd2 = pc->s.head_dim;
+        for (int64_t i = i0; i < i1; ++i)
+            scatterHeadAdd(pc->dq, pc->dqg + i * seq2 * hd2,
+                           i / pc->s.n_heads, i % pc->s.n_heads, seq2,
+                           pc->s.n_heads, hd2);
+    });
+    runtime::parallelFor(0, c.kv_count, 1, [pc](int64_t i0, int64_t i1) {
+        const int64_t seq2 = pc->s.seq, hd2 = pc->s.head_dim;
+        for (int64_t i = i0; i < i1; ++i) {
+            const int64_t b = i / pc->s.n_kv_heads;
+            const int64_t kvh = i % pc->s.n_kv_heads;
+            scatterHeadAdd(pc->dk, pc->dkg + i * seq2 * hd2, b, kvh,
+                           seq2, pc->s.n_kv_heads, hd2);
+            scatterHeadAdd(pc->dv, pc->dvg + i * seq2 * hd2, b, kvh,
+                           seq2, pc->s.n_kv_heads, hd2);
+        }
+    });
+}
+
+void
+validateShape(const AttnShape &s)
+{
+    SNIP_ASSERT(s.n_heads > 0 && s.n_kv_heads > 0,
+                "attention needs positive head counts");
+    SNIP_ASSERT(s.n_heads % s.n_kv_heads == 0, "n_heads (", s.n_heads,
+                ") not divisible by n_kv_heads (", s.n_kv_heads, ")");
+    SNIP_ASSERT(s.batch > 0 && s.seq > 0 && s.head_dim > 0,
+                "attention dims must be positive");
+}
+
 } // namespace
+
+// ---------------------------------------------------------- mode API
+
+AttnMode
+attnMode()
+{
+    int mode = g_attn_mode.load(std::memory_order_acquire);
+    if (mode < 0) {
+        AttnMode m = AttnMode::Par;
+        const char *spec = std::getenv("SNIP_ATTN");
+        if (!parseAttnMode(spec, &m)) {
+            warn("unknown SNIP_ATTN value '", spec,
+                 "' (expected par|serial); using par");
+            m = AttnMode::Par;
+        }
+        mode = static_cast<int>(m);
+        g_attn_mode.store(mode, std::memory_order_release);
+    }
+    return static_cast<AttnMode>(mode);
+}
+
+bool
+setAttnModeByName(const char *name)
+{
+    AttnMode m;
+    if (!parseAttnMode(name, &m))
+        return false;
+    g_attn_mode.store(static_cast<int>(m), std::memory_order_release);
+    return true;
+}
+
+// --------------------------------------------------------- core API
+
+void
+attentionForwardCore(const AttnShape &s, const float *q, const float *k,
+                     const float *v, float *probs, float *ctx)
+{
+    validateShape(s);
+    if (attnMode() == AttnMode::Par)
+        forwardPar(s, q, k, v, probs, ctx);
+    else
+        forwardSerial(s, q, k, v, probs, ctx);
+}
+
+void
+attentionBackwardCore(const AttnShape &s, const float *q, const float *k,
+                      const float *v, const float *probs,
+                      const float *dctx, float *dq, float *dk, float *dv)
+{
+    validateShape(s);
+    if (attnMode() == AttnMode::Par)
+        backwardPar(s, q, k, v, probs, dctx, dq, dk, dv);
+    else
+        backwardSerial(s, q, k, v, probs, dctx, dq, dk, dv);
+}
+
+// ------------------------------------------------------------ module
 
 Attention::Attention(const ModelConfig &config, int block, Rng &rng,
                      FakeQuantizer *quantizer, const Rope *rope)
     : config_(config), rope_(rope)
 {
+    // GQA shape validation: a truncating group = n_heads / n_kv_heads
+    // silently maps query heads onto the wrong kv head, and a
+    // non-divisible d_model truncates headDim() — both produce garbage
+    // output instead of failing. Catch them at construction.
+    SNIP_ASSERT(config.n_heads > 0 && config.n_kv_heads > 0,
+                "attention needs positive head counts");
+    SNIP_ASSERT(config.d_model % config.n_heads == 0, "d_model (",
+                config.d_model, ") not divisible by n_heads (",
+                config.n_heads, ")");
+    SNIP_ASSERT(config.n_heads % config.n_kv_heads == 0, "n_heads (",
+                config.n_heads, ") not divisible by n_kv_heads (",
+                config.n_kv_heads, ")");
     const int64_t d = config.d_model;
     const int64_t q_dim = config.n_heads * config.headDim();
     const int64_t kv_dim = config.kvDim();
@@ -86,6 +521,14 @@ Attention::params()
     return {wq_->param(), wk_->param(), wv_->param(), wo_->param()};
 }
 
+int64_t
+Attention::savedStateBytes() const
+{
+    return static_cast<int64_t>(sizeof(float)) *
+           (q_.numel() + k_.numel() + v_.numel() + probs_.numel() +
+            ctx_.numel());
+}
+
 Tensor
 Attention::forward(const Tensor &x, int64_t batch, int64_t seq)
 {
@@ -103,56 +546,9 @@ Attention::forward(const Tensor &x, int64_t batch, int64_t seq)
 
     probs_ = Tensor(batch * n_heads * seq, seq);
     ctx_ = Tensor(batch * seq, n_heads * hd);
-    const float scale = 1.0f / std::sqrt(static_cast<float>(hd));
-    const int64_t group = n_heads / n_kv;
-
-    std::vector<float> qb(static_cast<size_t>(seq * hd));
-    std::vector<float> kb(static_cast<size_t>(seq * hd));
-    std::vector<float> vb(static_cast<size_t>(seq * hd));
-    std::vector<float> cb(static_cast<size_t>(seq * hd));
-
-    for (int64_t b = 0; b < batch; ++b) {
-        for (int64_t h = 0; h < n_heads; ++h) {
-            const int64_t kvh = h / group;
-            gatherHead(q_.data(), qb.data(), b, h, seq, n_heads, hd);
-            gatherHead(k_.data(), kb.data(), b, kvh, seq, n_kv, hd);
-            gatherHead(v_.data(), vb.data(), b, kvh, seq, n_kv, hd);
-
-            float *prob = probs_.data() + (b * n_heads + h) * seq * seq;
-            gemmNT(qb.data(), kb.data(), prob, seq, seq, hd);
-
-            // Scale, causal mask, rowwise softmax (fp32).
-            for (int64_t i = 0; i < seq; ++i) {
-                float *row = prob + i * seq;
-                float maxv = -1e30f;
-                for (int64_t j = 0; j <= i; ++j) {
-                    row[j] *= scale;
-                    maxv = std::max(maxv, row[j]);
-                }
-                double denom = 0.0;
-                for (int64_t j = 0; j <= i; ++j) {
-                    row[j] = std::exp(row[j] - maxv);
-                    denom += row[j];
-                }
-                const float inv =
-                    static_cast<float>(1.0 / std::max(denom, 1e-30));
-                for (int64_t j = 0; j <= i; ++j)
-                    row[j] *= inv;
-                for (int64_t j = i + 1; j < seq; ++j)
-                    row[j] = 0.0f;
-            }
-
-            gemmNN(prob, vb.data(), cb.data(), seq, hd, seq);
-            // ctx slice is written exactly once per (b,h): plain copy.
-            const int64_t cols = n_heads * hd;
-            for (int64_t s = 0; s < seq; ++s) {
-                float *dst = ctx_.data() + (b * seq + s) * cols + h * hd;
-                const float *src = cb.data() + s * hd;
-                for (int64_t c = 0; c < hd; ++c)
-                    dst[c] = src[c];
-            }
-        }
-    }
+    const AttnShape s{batch, seq, n_heads, n_kv, hd};
+    attentionForwardCore(s, q_.data(), k_.data(), v_.data(),
+                         probs_.data(), ctx_.data());
     return wo_->forward(ctx_);
 }
 
@@ -164,8 +560,6 @@ Attention::backward(const Tensor &dy)
     const int64_t hd = config_.headDim();
     const int64_t n_heads = config_.n_heads;
     const int64_t n_kv = config_.n_kv_heads;
-    const int64_t group = n_heads / n_kv;
-    const float scale = 1.0f / std::sqrt(static_cast<float>(hd));
 
     Tensor dctx = wo_->backward(dy);
 
@@ -173,61 +567,25 @@ Attention::backward(const Tensor &dy)
     Tensor dk(batch * seq, n_kv * hd);
     Tensor dv(batch * seq, n_kv * hd);
 
-    std::vector<float> qb(static_cast<size_t>(seq * hd));
-    std::vector<float> kb(static_cast<size_t>(seq * hd));
-    std::vector<float> vb(static_cast<size_t>(seq * hd));
-    std::vector<float> dcb(static_cast<size_t>(seq * hd));
-    std::vector<float> dqb(static_cast<size_t>(seq * hd));
-    std::vector<float> dkb(static_cast<size_t>(seq * hd));
-    std::vector<float> dvb(static_cast<size_t>(seq * hd));
-    std::vector<float> dp(static_cast<size_t>(seq * seq));
-    std::vector<float> ds(static_cast<size_t>(seq * seq));
-
-    for (int64_t b = 0; b < batch; ++b) {
-        for (int64_t h = 0; h < n_heads; ++h) {
-            const int64_t kvh = h / group;
-            gatherHead(q_.data(), qb.data(), b, h, seq, n_heads, hd);
-            gatherHead(k_.data(), kb.data(), b, kvh, seq, n_kv, hd);
-            gatherHead(v_.data(), vb.data(), b, kvh, seq, n_kv, hd);
-            gatherHead(dctx.data(), dcb.data(), b, h, seq, n_heads, hd);
-
-            const float *prob =
-                probs_.data() + (b * n_heads + h) * seq * seq;
-
-            // dV = P^T dCtx ; dP = dCtx V^T.
-            gemmTN(prob, dcb.data(), dvb.data(), seq, hd, seq);
-            gemmNT(dcb.data(), vb.data(), dp.data(), seq, seq, hd);
-
-            // Softmax backward: dS = P .* (dP - rowdot(dP, P)).
-            for (int64_t i = 0; i < seq; ++i) {
-                const float *prow = prob + i * seq;
-                const float *dprow = dp.data() + i * seq;
-                float *dsrow = ds.data() + i * seq;
-                double dot = 0.0;
-                for (int64_t j = 0; j <= i; ++j)
-                    dot += static_cast<double>(dprow[j]) * prow[j];
-                for (int64_t j = 0; j < seq; ++j) {
-                    dsrow[j] =
-                        j <= i
-                            ? prow[j] * (dprow[j] -
-                                         static_cast<float>(dot)) * scale
-                            : 0.0f;
-                }
-            }
-
-            // dQ = dS_raw K ; dK = dS_raw^T Q (scale folded into ds).
-            gemmNN(ds.data(), kb.data(), dqb.data(), seq, hd, seq);
-            gemmTN(ds.data(), qb.data(), dkb.data(), seq, hd, seq);
-
-            scatterHeadAdd(dq.data(), dqb.data(), b, h, seq, n_heads, hd);
-            scatterHeadAdd(dk.data(), dkb.data(), b, kvh, seq, n_kv, hd);
-            scatterHeadAdd(dv.data(), dvb.data(), b, kvh, seq, n_kv, hd);
-        }
-    }
+    const AttnShape s{batch, seq, n_heads, n_kv, hd};
+    attentionBackwardCore(s, q_.data(), k_.data(), v_.data(),
+                          probs_.data(), dctx.data(), dq.data(),
+                          dk.data(), dv.data());
 
     // Undo RoPE on the gradients (rotations are orthogonal).
     rope_->apply(dq, batch, seq, n_heads, /*inverse=*/true);
     rope_->apply(dk, batch, seq, n_kv, /*inverse=*/true);
+
+    // The saved forward state is no longer needed: release it here so
+    // O(B*H*S^2) probabilities (and q/k/v/ctx) are not pinned between
+    // steps. The next backward() needs a fresh forward() first.
+    q_ = Tensor();
+    k_ = Tensor();
+    v_ = Tensor();
+    probs_ = Tensor();
+    ctx_ = Tensor();
+    batch_ = 0;
+    seq_ = 0;
 
     Tensor dx = wq_->backward(dq);
     Tensor dxk = wk_->backward(dk);

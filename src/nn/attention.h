@@ -6,6 +6,30 @@
  * The four projections (Q, K, V, O) are quantizable Linear layers; the
  * attention math itself (scores, softmax, context) stays in high
  * precision, as in the paper's framework (Sec. 2.2).
+ *
+ * The attention math runs one of two schedules (SNIP_ATTN):
+ *
+ *   SNIP_ATTN=par     batched runtime (default): the (batch, head)
+ *                     iteration space fans over runtime::parallelFor
+ *                     with deterministic ownership (workers own whole
+ *                     (b,h) slices; GQA dK/dV reduce per kv head in a
+ *                     fixed sequential order), the per-head GEMMs run
+ *                     as single strided-batch calls
+ *                     (tensor/gemm.h gemmBatched*), and all scratch
+ *                     lives in per-thread workspace arenas — zero
+ *                     steady-state heap allocations in the core.
+ *   SNIP_ATTN=serial  the historical per-(b,h) loop, kept for A/B:
+ *                     per-head GEMMs through the ordinary entry
+ *                     points, same arena scratch.
+ *
+ * Both schedules share the fused scale+mask+softmax kernels
+ * (simd/kernels.h, bit-exact across backends and against the old
+ * open-coded loops), and both are bit-identical for any thread count.
+ * par == serial bit for bit whenever the per-item GEMMs take the same
+ * packed-or-not path (always under SNIP_GEMM_PACK=on or =off); under
+ * =auto the batched heuristic may pack small per-head GEMMs the
+ * per-item heuristic would not, which changes low-order GEMM bits
+ * exactly as the documented packed-vs-unpacked contract allows.
  */
 #ifndef SNIP_NN_ATTENTION_H
 #define SNIP_NN_ATTENTION_H
@@ -18,12 +42,66 @@
 
 namespace snip {
 
+/** SNIP_ATTN spellings. */
+enum class AttnMode
+{
+    Par,
+    Serial,
+};
+
+/** The active attention schedule (resolves SNIP_ATTN on first call). */
+AttnMode attnMode();
+
+/** Select a schedule programmatically ("par" | "serial"); false and
+ *  unchanged for unknown names. For tests and benches; must not race
+ *  with in-flight attention calls. */
+bool setAttnModeByName(const char *name);
+
+/** Dimensions of one attention invocation (head_dim applies to both
+ *  query and kv heads; n_heads must be a multiple of n_kv_heads). */
+struct AttnShape
+{
+    int64_t batch;
+    int64_t seq;
+    int64_t n_heads;
+    int64_t n_kv_heads;
+    int64_t head_dim;
+};
+
+/**
+ * The attention core: scores, scale+causal-mask+softmax, context —
+ * everything between the QKV projections and the output projection.
+ * Exposed so the zero-allocation harness (tests/test_workspace.cpp)
+ * and the benches can drive it on preallocated buffers.
+ *
+ * @param q     post-RoPE queries   [batch*seq, n_heads*head_dim]
+ * @param k     post-RoPE keys      [batch*seq, n_kv_heads*head_dim]
+ * @param v     values              [batch*seq, n_kv_heads*head_dim]
+ * @param probs softmax probabilities out, [batch*n_heads*seq, seq]
+ * @param ctx   attention output pre-O, [batch*seq, n_heads*head_dim]
+ */
+void attentionForwardCore(const AttnShape &s, const float *q,
+                          const float *k, const float *v, float *probs,
+                          float *ctx);
+
+/**
+ * Backward through the attention core. dq/dk/dv must be zeroed by the
+ * caller (gradients are accumulated, pre-inverse-RoPE); shapes match
+ * q/k/v, @p dctx matches ctx.
+ */
+void attentionBackwardCore(const AttnShape &s, const float *q,
+                           const float *k, const float *v,
+                           const float *probs, const float *dctx,
+                           float *dq, float *dk, float *dv);
+
 /** Self-attention sub-block of one transformer block. */
 class Attention
 {
   public:
     /**
-     * @param config    model hyperparameters
+     * @param config    model hyperparameters (GQA shape validated here:
+     *                  positive head counts, d_model % n_heads == 0,
+     *                  n_heads % n_kv_heads == 0)
      * @param block     owning block index (for layer names)
      * @param rng       weight init stream
      * @param quantizer shared fake quantizer for the projections
@@ -35,7 +113,12 @@ class Attention
     /** x is [batch*seq, d_model]; returns the same shape. */
     Tensor forward(const Tensor &x, int64_t batch, int64_t seq);
 
-    /** Backprop through projections and attention math. */
+    /**
+     * Backprop through projections and attention math. Releases the
+     * saved forward state (q/k/v, probabilities, context) on return,
+     * so peak memory drops between steps; a new forward() must precede
+     * the next backward().
+     */
     Tensor backward(const Tensor &dy);
 
     /** Access a projection by role (Q/K/V/O only). */
@@ -44,12 +127,16 @@ class Attention
     /** Parameters of the four projections. */
     ParamList params();
 
+    /** Bytes pinned by the saved forward state (q/k/v, probs, ctx):
+     *  positive after forward(), 0 after backward() releases it. */
+    int64_t savedStateBytes() const;
+
   private:
     ModelConfig config_;
     const Rope *rope_;
     std::unique_ptr<Linear> wq_, wk_, wv_, wo_;
 
-    // Saved forward state.
+    // Saved forward state (released at the end of backward()).
     int64_t batch_ = 0, seq_ = 0;
     Tensor q_, k_, v_;   ///< post-RoPE projections, [T, dims]
     Tensor probs_;       ///< softmax probabilities, [B*H*S, S]

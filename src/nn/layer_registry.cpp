@@ -26,15 +26,20 @@ ModelConfig::parameterCount() const
 void
 ModelConfig::validate() const
 {
+    // Positivity first: the divisibility checks below divide by the
+    // head counts.
+    if (vocab_size <= 0 || d_model <= 0 || n_blocks <= 0 ||
+        n_heads <= 0 || n_kv_heads <= 0 || ffn_hidden <= 0 ||
+        max_seq <= 0)
+        fatal("model dimensions must be positive");
     if (d_model % n_heads != 0)
         fatal("d_model (", d_model, ") not divisible by n_heads (",
               n_heads, ")");
     if (n_heads % n_kv_heads != 0)
         fatal("n_heads (", n_heads, ") not divisible by n_kv_heads (",
               n_kv_heads, ")");
-    if (vocab_size <= 0 || d_model <= 0 || n_blocks <= 0 ||
-        ffn_hidden <= 0 || max_seq <= 0)
-        fatal("model dimensions must be positive");
+    if (headDim() % 2 != 0)
+        fatal("head dim (", headDim(), ") must be even for RoPE");
 }
 
 LayerRegistry::LayerRegistry(const ModelConfig &config) : config_(config)

@@ -13,12 +13,19 @@ Rope::Rope(int64_t max_seq, int64_t head_dim, double theta)
     const int64_t pairs = head_dim / 2;
     cos_.resize(static_cast<size_t>(max_seq * pairs));
     sin_.resize(static_cast<size_t>(max_seq * pairs));
+    // Each pair's frequency is independent of the position, so hoist
+    // the pow() out of the position loop: O(pairs) transcendental
+    // setup instead of O(max_seq * pairs). The table is bit-identical
+    // (same pow() value feeds the same angle product per entry).
+    std::vector<double> freqs(static_cast<size_t>(pairs));
+    for (int64_t p = 0; p < pairs; ++p)
+        freqs[static_cast<size_t>(p)] =
+            std::pow(theta, -2.0 * static_cast<double>(p) /
+                                static_cast<double>(head_dim));
     for (int64_t pos = 0; pos < max_seq; ++pos) {
         for (int64_t p = 0; p < pairs; ++p) {
-            double freq = std::pow(
-                theta, -2.0 * static_cast<double>(p) /
-                           static_cast<double>(head_dim));
-            double angle = static_cast<double>(pos) * freq;
+            double angle = static_cast<double>(pos) *
+                           freqs[static_cast<size_t>(p)];
             cos_[static_cast<size_t>(pos * pairs + p)] =
                 static_cast<float>(std::cos(angle));
             sin_[static_cast<size_t>(pos * pairs + p)] =

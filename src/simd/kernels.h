@@ -173,6 +173,31 @@ using GemmPackedBlockFn = void (*)(const float *ap, const float *bp,
  */
 using SumSquaresFn = double (*)(const float *p, int64_t count);
 
+/**
+ * Fused scale + causal mask + rowwise softmax over one [seq, seq]
+ * attention-score matrix, in place: for row i, entries j <= i are
+ * scaled by @p scale, max-shifted, exponentiated and normalized by a
+ * double-accumulated row sum; entries j > i become exactly 0.
+ *
+ * Contract: bit-exact across backends AND bit-exact against the
+ * historical open-coded loop in nn/attention.cpp (the multiplies are
+ * per-element IEEE ops, exp() and the row-sum accumulation stay
+ * scalar), so SNIP_ATTN=serial keeps pre-batching bits while sharing
+ * this kernel. tests/test_simd.cpp enforces the agreement.
+ */
+using AttnSoftmaxFwdFn = void (*)(float *prob, int64_t seq, float scale);
+
+/**
+ * Softmax backward with the score scale folded in, one [seq, seq]
+ * item: ds[i][j] = prob[i][j] * (dp[i][j] - rowdot(dp[i], prob[i]))
+ * * scale for j <= i (rowdot over j <= i, accumulated in double),
+ * 0 above the diagonal. @p ds may alias @p dp (each row's dot is
+ * fully reduced before the row is overwritten). Same cross-backend
+ * bit-exactness contract as AttnSoftmaxFwdFn.
+ */
+using AttnSoftmaxBwdFn = void (*)(const float *prob, const float *dp,
+                                  float *ds, int64_t seq, float scale);
+
 /** The dispatchable kernel set of one backend. */
 struct KernelTable
 {
@@ -188,6 +213,8 @@ struct KernelTable
     MaxAbsFn maxAbs;
     ErrorStatsFn errorStats;
     SumSquaresFn sumSquares;
+    AttnSoftmaxFwdFn attnSoftmaxFwd; ///< scale+mask+softmax, one item
+    AttnSoftmaxBwdFn attnSoftmaxBwd; ///< softmax backward, one item
 };
 
 /** The portable plain-C++ backend (always available). */

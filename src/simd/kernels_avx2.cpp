@@ -854,6 +854,92 @@ errorStatsAvx2(const float *ref, const float *q, int64_t count,
     *max_err = max_e;
 }
 
+void
+attnSoftmaxFwdAvx2(float *prob, int64_t seq, float scale)
+{
+    // Bit-exact with the scalar kernel: the scale multiply and the
+    // normalize multiply are per-element IEEE ops (vectorizable as
+    // is), the max is a selection over the same value set (maxps with
+    // the accumulator second ignores NaN like std::max, and a ±0
+    // pick cannot change exp(x - maxv)), while exp() and the double
+    // row-sum keep the scalar accumulation order.
+    const __m256 vscale = _mm256_set1_ps(scale);
+    for (int64_t i = 0; i < seq; ++i) {
+        float *row = prob + i * seq;
+        const int64_t len = i + 1;
+        const int64_t len8 = len & ~int64_t{7};
+        float maxv = -1e30f;
+        if (len8 > 0) {
+            __m256 vmax = _mm256_set1_ps(-1e30f);
+            for (int64_t j = 0; j < len8; j += 8) {
+                __m256 v = _mm256_mul_ps(_mm256_loadu_ps(row + j),
+                                         vscale);
+                _mm256_storeu_ps(row + j, v);
+                vmax = _mm256_max_ps(v, vmax);
+            }
+            __m128 lo = _mm_max_ps(_mm256_castps256_ps128(vmax),
+                                   _mm256_extractf128_ps(vmax, 1));
+            lo = _mm_max_ps(lo, _mm_movehl_ps(lo, lo));
+            lo = _mm_max_ss(lo, _mm_shuffle_ps(lo, lo, 0x1));
+            maxv = _mm_cvtss_f32(lo);
+        }
+        for (int64_t j = len8; j < len; ++j) {
+            row[j] *= scale;
+            maxv = std::max(maxv, row[j]);
+        }
+        double denom = 0.0;
+        for (int64_t j = 0; j < len; ++j) {
+            row[j] = std::exp(row[j] - maxv);
+            denom += row[j];
+        }
+        const float inv = static_cast<float>(1.0 / std::max(denom, 1e-30));
+        const __m256 vinv = _mm256_set1_ps(inv);
+        for (int64_t j = 0; j < len8; j += 8)
+            _mm256_storeu_ps(
+                row + j,
+                _mm256_mul_ps(_mm256_loadu_ps(row + j), vinv));
+        for (int64_t j = len8; j < len; ++j)
+            row[j] *= inv;
+        if (len < seq)
+            std::memset(row + len, 0,
+                        sizeof(float) * static_cast<size_t>(seq - len));
+    }
+}
+
+void
+attnSoftmaxBwdAvx2(const float *prob, const float *dp, float *ds,
+                   int64_t seq, float scale)
+{
+    // dot stays a scalar double reduction; the elementwise
+    // prob * (dp - dot) * scale keeps the scalar association per lane,
+    // so results are bit-exact with the scalar kernel. Loads of a row
+    // complete before its stores, so ds may alias dp.
+    const __m256 vscale = _mm256_set1_ps(scale);
+    for (int64_t i = 0; i < seq; ++i) {
+        const float *prow = prob + i * seq;
+        const float *dprow = dp + i * seq;
+        float *dsrow = ds + i * seq;
+        const int64_t len = i + 1;
+        const int64_t len8 = len & ~int64_t{7};
+        double dot = 0.0;
+        for (int64_t j = 0; j < len; ++j)
+            dot += static_cast<double>(dprow[j]) * prow[j];
+        const float dotf = static_cast<float>(dot);
+        const __m256 vdot = _mm256_set1_ps(dotf);
+        for (int64_t j = 0; j < len8; j += 8) {
+            __m256 d = _mm256_sub_ps(_mm256_loadu_ps(dprow + j), vdot);
+            __m256 r = _mm256_mul_ps(
+                _mm256_mul_ps(_mm256_loadu_ps(prow + j), d), vscale);
+            _mm256_storeu_ps(dsrow + j, r);
+        }
+        for (int64_t j = len8; j < len; ++j)
+            dsrow[j] = prow[j] * (dprow[j] - dotf) * scale;
+        if (len < seq)
+            std::memset(dsrow + len, 0,
+                        sizeof(float) * static_cast<size_t>(seq - len));
+    }
+}
+
 double
 sumSquaresAvx2(const float *p, int64_t count)
 {
@@ -892,6 +978,8 @@ avx2Kernels()
         quantizeNearestAvx2,
         bf16RoundAvx2,   maxAbsAvx2,      errorStatsAvx2,
         sumSquaresAvx2,
+        attnSoftmaxFwdAvx2,
+        attnSoftmaxBwdAvx2,
     };
     return table;
 }

@@ -247,6 +247,53 @@ sumSquaresScalar(const float *p, int64_t count)
     return acc;
 }
 
+void
+attnSoftmaxFwdScalar(float *prob, int64_t seq, float scale)
+{
+    // The reference semantics every backend must reproduce bit for
+    // bit: scale + running max over the causal prefix, scalar exp,
+    // double row-sum, float normalize, exact zeros above the diagonal.
+    for (int64_t i = 0; i < seq; ++i) {
+        float *row = prob + i * seq;
+        float maxv = -1e30f;
+        for (int64_t j = 0; j <= i; ++j) {
+            row[j] *= scale;
+            maxv = std::max(maxv, row[j]);
+        }
+        double denom = 0.0;
+        for (int64_t j = 0; j <= i; ++j) {
+            row[j] = std::exp(row[j] - maxv);
+            denom += row[j];
+        }
+        const float inv = static_cast<float>(1.0 / std::max(denom, 1e-30));
+        for (int64_t j = 0; j <= i; ++j)
+            row[j] *= inv;
+        for (int64_t j = i + 1; j < seq; ++j)
+            row[j] = 0.0f;
+    }
+}
+
+void
+attnSoftmaxBwdScalar(const float *prob, const float *dp, float *ds,
+                     int64_t seq, float scale)
+{
+    for (int64_t i = 0; i < seq; ++i) {
+        const float *prow = prob + i * seq;
+        const float *dprow = dp + i * seq;
+        float *dsrow = ds + i * seq;
+        double dot = 0.0;
+        for (int64_t j = 0; j <= i; ++j)
+            dot += static_cast<double>(dprow[j]) * prow[j];
+        for (int64_t j = 0; j < seq; ++j) {
+            dsrow[j] =
+                j <= i
+                    ? prow[j] * (dprow[j] - static_cast<float>(dot)) *
+                          scale
+                    : 0.0f;
+        }
+    }
+}
+
 } // namespace
 
 const KernelTable &
@@ -259,6 +306,8 @@ scalarKernels()
         quantizeNearestScalar,
         bf16RoundScalar,   maxAbsScalar,      errorStatsScalar,
         sumSquaresScalar,
+        attnSoftmaxFwdScalar,
+        attnSoftmaxBwdScalar,
     };
     return table;
 }

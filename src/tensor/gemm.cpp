@@ -540,6 +540,165 @@ packedGemm(const float *a, int64_t a_ld, bool a_k_major, int64_t a_rows,
     gemmPhase(&ctx);
 }
 
+// ------------------------------------------------- strided-batch path
+
+/** One strided-batch GEMM invocation (lambdas capture a pointer). */
+struct BatchedCtx
+{
+    const simd::KernelTable *kt;
+    simd::GemmBlockFn block_fn; ///< per-item legacy kernel
+    const float *a;
+    int64_t a_stride, a_ld;
+    bool a_k_major;
+    const float *b;
+    int64_t b_stride, b_ld;
+    bool b_k_major;
+    float *c;
+    int64_t c_stride;
+    int64_t count, m, n, k, group;
+    bool accumulate;
+    bool packed;
+    float *bp = nullptr;    ///< per-group packed B panels (NT/NN)
+    int64_t bp_stride = 0;
+};
+
+/** One batch item on the legacy kernels: the same zero + block-kernel
+ *  sequence gemmBlockedLegacy runs, serial over the item's M-blocks
+ *  (the worker owns the whole item). */
+void
+runItemLegacy(const BatchedCtx *ctx, const float *a, const float *b,
+              float *c, bool accumulate)
+{
+    for (int64_t bi = 0; bi < mBlocks(ctx->m); ++bi) {
+        const int64_t i0 = bi * simd::kGemmBlockM;
+        const int64_t i1 = std::min(i0 + simd::kGemmBlockM, ctx->m);
+        if (!accumulate)
+            std::memset(c + i0 * ctx->n, 0,
+                        sizeof(float) *
+                            static_cast<size_t>((i1 - i0) * ctx->n));
+        ctx->block_fn(a, b, c, i0, i1, ctx->m, ctx->n, ctx->k);
+    }
+}
+
+/** One batch item through the packed microkernel against an already-
+ *  packed B panel: per M-block the same packA + zero + block stream
+ *  gemmPhase issues, so per-element accumulation order matches the
+ *  per-item gemmPacked* entry points exactly. */
+void
+runItemPacked(const BatchedCtx *ctx, const float *a, const float *bp,
+              float *c, bool accumulate)
+{
+    runtime::WorkspaceArena &arena =
+        runtime::WorkspaceArena::forCurrentThread();
+    for (int64_t bi = 0; bi < mBlocks(ctx->m); ++bi) {
+        const int64_t i0 = bi * simd::kGemmBlockM;
+        const int64_t i1 = std::min(i0 + simd::kGemmBlockM, ctx->m);
+        const int64_t mb = i1 - i0;
+        runtime::ArenaScope scope(arena);
+        // +8: PackAFn transpose-store headroom (kernels.h).
+        float *ap = arena.getFloats(static_cast<size_t>(
+            packStrips(mb, kGemmPackMR) * kGemmPackMR * ctx->k + 8));
+        ctx->kt->packA(a, ctx->a_ld, ctx->a_k_major, ap, i0, i1, ctx->k,
+                       nullptr);
+        if (!accumulate)
+            std::memset(c + i0 * ctx->n, 0,
+                        sizeof(float) *
+                            static_cast<size_t>(mb * ctx->n));
+        ctx->kt->gemmPackedBlock(ap, bp, c + i0 * ctx->n, ctx->n, mb,
+                                 ctx->n, ctx->k);
+    }
+}
+
+/** Shared NT/NN batched driver: pack each group's shared B once
+ *  (phase 1), then fan whole items over the pool (phase 2). */
+void
+gemmBatchedStreamB(simd::GemmBlockFn block_fn, const float *a,
+                   int64_t a_stride, const float *b, int64_t b_stride,
+                   int64_t b_ld, bool b_k_major, float *c,
+                   int64_t c_stride, int64_t count, int64_t m, int64_t n,
+                   int64_t k, int64_t group, bool accumulate)
+{
+    if (count <= 0 || m <= 0 || n <= 0)
+        return;
+    SNIP_ASSERT(group >= 1 && count % group == 0,
+                "batched GEMM: count must be a multiple of group");
+    BatchedCtx ctx;
+    ctx.kt = &simd::activeKernels();
+    ctx.block_fn = block_fn;
+    ctx.a = a;
+    ctx.a_stride = a_stride;
+    ctx.a_ld = k;
+    ctx.a_k_major = false;
+    ctx.b = b;
+    ctx.b_stride = b_stride;
+    ctx.b_ld = b_ld;
+    ctx.b_k_major = b_k_major;
+    ctx.c = c;
+    ctx.c_stride = c_stride;
+    ctx.count = count;
+    ctx.m = m;
+    ctx.n = n;
+    ctx.k = k;
+    ctx.group = group;
+    ctx.accumulate = accumulate;
+    if (k <= 0) {
+        if (!accumulate)
+            for (int64_t i = 0; i < count; ++i)
+                std::memset(c + i * c_stride, 0,
+                            sizeof(float) * static_cast<size_t>(m * n));
+        return;
+    }
+    ctx.packed = gemmBatchedPackEnabled(count, m, n, k);
+
+    runtime::WorkspaceArena &arena =
+        runtime::WorkspaceArena::forCurrentThread();
+    runtime::ArenaScope scope(arena);
+    const BatchedCtx *pc = &ctx;
+    if (ctx.packed) {
+        const int64_t groups = count / group;
+        ctx.bp_stride = packStrips(n, kGemmPackNR) * kGemmPackNR * k;
+        ctx.bp =
+            arena.getFloats(static_cast<size_t>(groups * ctx.bp_stride));
+        runtime::parallelFor(0, groups, 1, [pc](int64_t g0, int64_t g1) {
+            for (int64_t g = g0; g < g1; ++g)
+                pc->kt->packB(pc->b + g * pc->b_stride, pc->b_ld,
+                              pc->b_k_major,
+                              pc->bp + g * pc->bp_stride, 0, pc->n,
+                              pc->n, pc->k, nullptr);
+        });
+    }
+    runtime::parallelFor(0, count, 1, [pc](int64_t i0, int64_t i1) {
+        for (int64_t i = i0; i < i1; ++i) {
+            const float *ai = pc->a + i * pc->a_stride;
+            float *ci = pc->c + i * pc->c_stride;
+            if (pc->packed)
+                runItemPacked(pc, ai,
+                              pc->bp + (i / pc->group) * pc->bp_stride,
+                              ci, pc->accumulate);
+            else
+                runItemLegacy(pc, ai,
+                              pc->b + (i / pc->group) * pc->b_stride,
+                              ci, pc->accumulate);
+        }
+    });
+}
+
+/** One TN batch item through the packed pipeline into @p c (packs its
+ *  own B — both TN operands change per item). */
+void
+runItemPackedTN(const BatchedCtx *ctx, const float *a, const float *b,
+                float *c, bool accumulate)
+{
+    runtime::WorkspaceArena &arena =
+        runtime::WorkspaceArena::forCurrentThread();
+    runtime::ArenaScope scope(arena);
+    float *bp = arena.getFloats(static_cast<size_t>(
+        packStrips(ctx->n, kGemmPackNR) * kGemmPackNR * ctx->k));
+    ctx->kt->packB(b, ctx->b_ld, ctx->b_k_major, bp, 0, ctx->n, ctx->n,
+                   ctx->k, nullptr);
+    runItemPacked(ctx, a, bp, c, accumulate);
+}
+
 } // namespace
 
 // --------------------------------------------------------- mode API
@@ -589,6 +748,27 @@ gemmPackEnabled(int64_t m, int64_t n, int64_t k)
            m * n * k >= (int64_t{1} << 18);
 }
 
+bool
+gemmBatchedPackEnabled(int64_t count, int64_t m, int64_t n, int64_t k)
+{
+    switch (gemmPackMode()) {
+        case GemmPackMode::Off:
+            return false;
+        case GemmPackMode::On:
+            return count > 0 && m > 0 && n > 0 && k > 0;
+        case GemmPackMode::Auto:
+            break;
+    }
+    // The amortization unit is the WHOLE batch: the pack copies
+    // O(count*(mk + nk)) to save on O(count*mnk) streaming, so a batch
+    // of per-head attention GEMMs — each too small to pack alone —
+    // clears the same work threshold the single-GEMM heuristic uses.
+    // The per-item floors only keep degenerate panels (k or n of 1-4)
+    // off the packed kernels, where strip padding would dominate.
+    return m >= 4 && n >= 8 && k >= 8 &&
+           count * m * n * k >= (int64_t{1} << 18);
+}
+
 // ------------------------------------------------------- entry points
 
 void
@@ -627,6 +807,102 @@ gemmTN(const float *a, const float *b, float *c, int64_t m, int64_t n,
     }
     gemmBlockedLegacy(simd::activeKernels().gemmTnBlock, a, b, c, m, n,
                       k, accumulate);
+}
+
+void
+gemmBatchedNT(const float *a, int64_t a_stride, const float *b,
+              int64_t b_stride, float *c, int64_t c_stride, int64_t count,
+              int64_t m, int64_t n, int64_t k, int64_t group,
+              bool accumulate)
+{
+    gemmBatchedStreamB(simd::activeKernels().gemmNtBlock, a, a_stride, b,
+                       b_stride, /*b_ld=*/k, /*b_k_major=*/false, c,
+                       c_stride, count, m, n, k, group, accumulate);
+}
+
+void
+gemmBatchedNN(const float *a, int64_t a_stride, const float *b,
+              int64_t b_stride, float *c, int64_t c_stride, int64_t count,
+              int64_t m, int64_t n, int64_t k, int64_t group,
+              bool accumulate)
+{
+    gemmBatchedStreamB(simd::activeKernels().gemmNnBlock, a, a_stride, b,
+                       b_stride, /*b_ld=*/n, /*b_k_major=*/true, c,
+                       c_stride, count, m, n, k, group, accumulate);
+}
+
+void
+gemmBatchedTN(const float *a, int64_t a_stride, const float *b,
+              int64_t b_stride, float *c, int64_t c_stride, int64_t count,
+              int64_t m, int64_t n, int64_t k, int64_t group,
+              bool accumulate)
+{
+    if (count <= 0 || m <= 0 || n <= 0)
+        return;
+    SNIP_ASSERT(group >= 1 && count % group == 0,
+                "batched GEMM: count must be a multiple of group");
+    BatchedCtx ctx;
+    ctx.kt = &simd::activeKernels();
+    ctx.block_fn = ctx.kt->gemmTnBlock;
+    ctx.a = a;
+    ctx.a_stride = a_stride;
+    ctx.a_ld = m;
+    ctx.a_k_major = true;
+    ctx.b = b;
+    ctx.b_stride = b_stride;
+    ctx.b_ld = n;
+    ctx.b_k_major = true;
+    ctx.c = c;
+    ctx.c_stride = c_stride;
+    ctx.count = count;
+    ctx.m = m;
+    ctx.n = n;
+    ctx.k = k;
+    ctx.group = group;
+    ctx.accumulate = accumulate;
+    const int64_t groups = count / group;
+    if (k <= 0) {
+        if (!accumulate)
+            for (int64_t g = 0; g < groups; ++g)
+                std::memset(c + g * c_stride, 0,
+                            sizeof(float) * static_cast<size_t>(m * n));
+        return;
+    }
+    ctx.packed = gemmBatchedPackEnabled(count, m, n, k);
+    const BatchedCtx *pc = &ctx;
+    // Workers own whole GROUPS: the items of a group reduce into the
+    // group's shared C sequentially (each item's product is fully
+    // formed in scratch, then added — the fixed per-kv-head order a
+    // serial compute-then-scatter-add loop uses), so the reduction is
+    // bit-identical for any thread count.
+    runtime::parallelFor(0, groups, 1, [pc](int64_t g0, int64_t g1) {
+        runtime::WorkspaceArena &arena =
+            runtime::WorkspaceArena::forCurrentThread();
+        for (int64_t g = g0; g < g1; ++g) {
+            float *cg = pc->c + g * pc->c_stride;
+            if (!pc->accumulate)
+                std::memset(cg, 0,
+                            sizeof(float) *
+                                static_cast<size_t>(pc->m * pc->n));
+            runtime::ArenaScope scope(arena);
+            float *tmp = arena.getFloats(
+                static_cast<size_t>(pc->m * pc->n));
+            for (int64_t t = 0; t < pc->group; ++t) {
+                const int64_t i = g * pc->group + t;
+                const float *ai = pc->a + i * pc->a_stride;
+                const float *bi = pc->b + i * pc->b_stride;
+                if (pc->packed)
+                    runItemPackedTN(pc, ai, bi, tmp,
+                                    /*accumulate=*/false);
+                else
+                    runItemLegacy(pc, ai, bi, tmp,
+                                  /*accumulate=*/false);
+                const int64_t numel = pc->m * pc->n;
+                for (int64_t e = 0; e < numel; ++e)
+                    cg[e] += tmp[e];
+            }
+        }
+    });
 }
 
 void

@@ -57,6 +57,59 @@ void gemmNN(const float *a, const float *b, float *c, int64_t m, int64_t n,
 void gemmTN(const float *a, const float *b, float *c, int64_t m, int64_t n,
             int64_t k, bool accumulate = false);
 
+// ------------------------------------------------ strided-batch GEMM
+//
+// count independent GEMMs of one shape in a single call: item i reads
+// A_i = a + i*a_stride and writes C through the variant-specific
+// grouping below. The batched driver fans ITEMS (not M-blocks) over
+// the thread pool — each worker owns whole items, so per-item
+// accumulation order is identical to running the per-item entry
+// points one by one, for any thread count. Whether the batch takes
+// the packed pipeline is decided from the aggregate work
+// count*m*n*k (gemmBatchedPackEnabled below), NOT the per-item
+// shape: attention-style batches of small GEMMs amortize the pack
+// cost across the batch. Under SNIP_GEMM_PACK=off every item runs
+// the per-item legacy kernels, bit-identical to a loop of
+// gemmNT/NN/TN calls.
+
+/**
+ * C_i[M,N] (+)= A_i[M,K] * B_{i/group}[N,K]^T for i in [0, count).
+ * B_j = b + j*b_stride: @p group consecutive items share one B
+ * operand (GQA query heads reading one kv head), whose packed panel
+ * is built once and streamed by all of them. count must be a
+ * multiple of group.
+ */
+void gemmBatchedNT(const float *a, int64_t a_stride, const float *b,
+                   int64_t b_stride, float *c, int64_t c_stride,
+                   int64_t count, int64_t m, int64_t n, int64_t k,
+                   int64_t group = 1, bool accumulate = false);
+
+/** C_i[M,N] (+)= A_i[M,K] * B_{i/group}[K,N]; grouping as in NT. */
+void gemmBatchedNN(const float *a, int64_t a_stride, const float *b,
+                   int64_t b_stride, float *c, int64_t c_stride,
+                   int64_t count, int64_t m, int64_t n, int64_t k,
+                   int64_t group = 1, bool accumulate = false);
+
+/**
+ * C_{i/group}[M,N] (+)= sum over each group of A_i[K,M]^T * B_i[K,N]:
+ * here @p group consecutive items REDUCE into one shared C (GQA
+ * dK/dV accumulation). Each worker owns whole groups and adds the
+ * items of a group in ascending order (each item's product is fully
+ * formed in a scratch panel, then added — the same fixed order as a
+ * serial compute-then-scatter-add loop), so the reduction is
+ * bit-identical for any thread count.
+ */
+void gemmBatchedTN(const float *a, int64_t a_stride, const float *b,
+                   int64_t b_stride, float *c, int64_t c_stride,
+                   int64_t count, int64_t m, int64_t n, int64_t k,
+                   int64_t group = 1, bool accumulate = false);
+
+/** True when a batch of this aggregate shape takes the packed
+ *  pipeline under the active SNIP_GEMM_PACK mode (Auto packs once
+ *  count*m*n*k — the amortization unit — outgrows the pack cost). */
+bool gemmBatchedPackEnabled(int64_t count, int64_t m, int64_t n,
+                            int64_t k);
+
 /** Y = X * W^T for rank-2 tensors X[M,K], W[N,K]. */
 Tensor matmulNT(const Tensor &x, const Tensor &w);
 

@@ -7,9 +7,12 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <vector>
 
 #include "nn/model.h"
+#include "tensor/gemm.h"
 #include "tensor/ops.h"
+#include "testing_util.h"
 #include "train/presets.h"
 
 namespace snip {
@@ -235,6 +238,191 @@ TEST(Model, ParameterCountMatchesConfigFormula)
     for (auto &p : model.params())
         total += p.value->numel();
     EXPECT_EQ(total, cfg.parameterCount());
+}
+
+/** Restores SNIP_ATTN=par (the default schedule) when a test ends. */
+struct AttnModeGuard
+{
+    AttnModeGuard() = default;
+    AttnModeGuard(const AttnModeGuard &) = delete;
+    AttnModeGuard &operator=(const AttnModeGuard &) = delete;
+    ~AttnModeGuard() { setAttnModeByName("par"); }
+};
+
+TEST(AttnMode, KnobControl)
+{
+    AttnModeGuard guard;
+    EXPECT_TRUE(setAttnModeByName("serial"));
+    EXPECT_EQ(attnMode(), AttnMode::Serial);
+    EXPECT_TRUE(setAttnModeByName("par"));
+    EXPECT_EQ(attnMode(), AttnMode::Par);
+    EXPECT_FALSE(setAttnModeByName("banana"));
+    EXPECT_EQ(attnMode(), AttnMode::Par);
+}
+
+TEST(AttnMode, ParBitIdenticalToSerialAcrossThreadsAndPackModes)
+{
+    // The batched schedule must reproduce the serial loop bit for bit
+    // whenever the per-item GEMMs take the same packed-or-not path —
+    // i.e. under both pinned pack modes — at every thread count. The
+    // GQA config exercises the shared-K/V groups and the per-kv-head
+    // dK/dV reduction.
+    AttnModeGuard mode_guard;
+    PackModeGuard pack_guard;
+    GlobalPoolGuard pool_guard;
+    ModelConfig cfg = microModel();
+    cfg.d_model = 16;
+    cfg.n_heads = 4;
+    cfg.n_kv_heads = 2;
+    auto tokens = someTokens(2 * 8, 16, 31);
+    auto targets = someTokens(2 * 8, 16, 32);
+
+    for (const char *pack : {"off", "on"}) {
+        SCOPED_TRACE(pack);
+        setGemmPackModeByName(pack);
+
+        setAttnModeByName("serial");
+        runtime::setGlobalThreadCount(1);
+        LlamaModel ref_model(cfg, 33);
+        ref_model.zeroGrad();
+        LossResult ref = ref_model.forwardLoss(tokens, targets, 2, 8);
+        ref_model.backward(ref.dlogits);
+        const Tensor ref_logits = ref_model.forward(tokens, 2, 8);
+        const Tensor ref_grad = ref_model.linear(1).grad(); // K, GQA
+
+        setAttnModeByName("par");
+        for (int threads : {1, 2, 8}) {
+            SCOPED_TRACE(threads);
+            runtime::setGlobalThreadCount(threads);
+            LlamaModel model(cfg, 33);
+            model.zeroGrad();
+            LossResult res = model.forwardLoss(tokens, targets, 2, 8);
+            model.backward(res.dlogits);
+            EXPECT_EQ(res.loss, ref.loss);
+            EXPECT_TRUE(model.linear(1).grad() == ref_grad);
+            EXPECT_TRUE(model.forward(tokens, 2, 8) == ref_logits);
+        }
+    }
+}
+
+TEST(AttnMode, ParDeterministicAcrossThreadsUnderAuto)
+{
+    // Under the default pack heuristic the batched path may pack where
+    // serial would not (low-order bits may differ between the modes),
+    // but within the par schedule the thread count must never change
+    // numerics.
+    AttnModeGuard mode_guard;
+    GlobalPoolGuard pool_guard;
+    ModelConfig cfg = microModel();
+    cfg.n_heads = 4;
+    cfg.n_kv_heads = 2;
+    cfg.d_model = 16;
+    auto tokens = someTokens(2 * 8, 16, 41);
+
+    setAttnModeByName("par");
+    runtime::setGlobalThreadCount(1);
+    LlamaModel m1(cfg, 42);
+    const Tensor l1 = m1.forward(tokens, 2, 8);
+    for (int threads : {2, 8}) {
+        runtime::setGlobalThreadCount(threads);
+        LlamaModel m(cfg, 42);
+        EXPECT_TRUE(m.forward(tokens, 2, 8) == l1)
+            << threads << " threads";
+    }
+}
+
+TEST(Attention, SavedStateReleasedAfterBackward)
+{
+    ModelConfig cfg = microModel();
+    Rng rng(28);
+    Rope rope(cfg.max_seq, cfg.headDim(), cfg.rope_theta);
+    Attention attn(cfg, 0, rng, nullptr, &rope);
+    Tensor x = Tensor::randn({8, cfg.d_model}, rng);
+
+    EXPECT_EQ(attn.savedStateBytes(), 0);
+    Tensor y1 = attn.forward(x, 1, 8);
+    EXPECT_GT(attn.savedStateBytes(), 0);
+    Tensor dy = Tensor::randn({8, cfg.d_model}, rng);
+    attn.backward(dy);
+    // backward() released q/k/v, probabilities and context.
+    EXPECT_EQ(attn.savedStateBytes(), 0);
+
+    // Forward-after-backward starts a fresh episode with identical
+    // results, and a second backward works against the new state.
+    Tensor y2 = attn.forward(x, 1, 8);
+    EXPECT_TRUE(y1 == y2);
+    EXPECT_GT(attn.savedStateBytes(), 0);
+    attn.backward(dy);
+    EXPECT_EQ(attn.savedStateBytes(), 0);
+}
+
+TEST(AttentionDeath, GqaShapeValidation)
+{
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    ModelConfig cfg = microModel();
+    Rng rng(29);
+    Rope rope(cfg.max_seq, 4);
+
+    // n_heads not a multiple of n_kv_heads: the truncating group
+    // mapping would scatter query heads onto the wrong kv head.
+    ModelConfig bad_kv = cfg;
+    bad_kv.n_heads = 4;
+    bad_kv.n_kv_heads = 3;
+    bad_kv.d_model = 16;
+    EXPECT_DEATH(Attention(bad_kv, 0, rng, nullptr, &rope),
+                 "not divisible by n_kv_heads");
+
+    // d_model not a multiple of n_heads: headDim() truncates.
+    ModelConfig bad_dm = cfg;
+    bad_dm.d_model = 10;
+    bad_dm.n_heads = 4;
+    bad_dm.n_kv_heads = 4;
+    EXPECT_DEATH(Attention(bad_dm, 0, rng, nullptr, &rope),
+                 "not divisible by n_heads");
+
+    // Zero head counts die in validate() before any division.
+    ModelConfig zero_heads = cfg;
+    zero_heads.n_heads = 0;
+    zero_heads.n_kv_heads = 0;
+    EXPECT_EXIT(zero_heads.validate(),
+                ::testing::ExitedWithCode(1), "must be positive");
+    EXPECT_DEATH(Attention(zero_heads, 0, rng, nullptr, &rope),
+                 "positive head counts");
+}
+
+TEST(Rope, HoistedFrequencyTableMatchesPerEntryConstruction)
+{
+    // The constructor hoists the per-pair pow() out of the position
+    // loop; the table must stay bit-identical to the original
+    // per-(pos, pair) construction. Compare through apply() on a
+    // basis-like input so every cos/sin entry is exercised.
+    const int64_t max_seq = 24, hd = 8;
+    const double theta = 10000.0;
+    Rope rope(max_seq, hd, theta);
+
+    const int64_t pairs = hd / 2;
+    Rng rng(30);
+    Tensor x = Tensor::randn({max_seq, hd}, rng);
+    Tensor rotated = x;
+    rope.apply(rotated, 1, max_seq, 1);
+
+    for (int64_t pos = 0; pos < max_seq; ++pos) {
+        for (int64_t p = 0; p < pairs; ++p) {
+            // The pre-hoist construction, verbatim.
+            const double freq = std::pow(
+                theta,
+                -2.0 * static_cast<double>(p) / static_cast<double>(hd));
+            const double angle = static_cast<double>(pos) * freq;
+            const float c = static_cast<float>(std::cos(angle));
+            const float s = static_cast<float>(std::sin(angle));
+            const float a = x.at(pos, p);
+            const float b = x.at(pos, p + pairs);
+            EXPECT_EQ(rotated.at(pos, p), a * c - b * s)
+                << "pos=" << pos << " p=" << p;
+            EXPECT_EQ(rotated.at(pos, p + pairs), a * s + b * c)
+                << "pos=" << pos << " p=" << p;
+        }
+    }
 }
 
 TEST(Registry, IndexingAndNames)

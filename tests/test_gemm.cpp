@@ -5,6 +5,10 @@
  */
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <tuple>
+#include <vector>
+
 #include "tensor/gemm.h"
 #include "tensor/ops.h"
 #include "testing_util.h"
@@ -148,15 +152,6 @@ TEST(Gemm, ZeroSizedInnerDim)
 
 // ------------------------------------------------------- packed path
 
-/** Restores SNIP_GEMM_PACK=auto semantics when a test ends. */
-struct PackModeGuard
-{
-    PackModeGuard() = default;
-    PackModeGuard(const PackModeGuard &) = delete;
-    PackModeGuard &operator=(const PackModeGuard &) = delete;
-    ~PackModeGuard() { setGemmPackModeByName("auto"); }
-};
-
 TEST(GemmPack, ModeControl)
 {
     PackModeGuard guard;
@@ -252,6 +247,184 @@ TEST(GemmPack, PackedAccumulateAddsToExisting)
     Tensor r = refNT(a, b);
     for (int64_t i = 0; i < c.numel(); ++i)
         EXPECT_NEAR(c.at(i), r.at(i) + 1.0f, 1e-4);
+}
+
+// ----------------------------------------------------- batched path
+
+/** Per-item reference for the batched entry points: the same GEMMs
+ *  through the ordinary per-item entries (whose packed-or-not path is
+ *  pinned by the active mode), with the TN group reduction done as
+ *  compute-into-scratch-then-add — the fixed order the batched driver
+ *  guarantees. */
+void
+refBatched(int variant, const float *a, int64_t a_stride, const float *b,
+           int64_t b_stride, float *c, int64_t c_stride, int64_t count,
+           int64_t m, int64_t n, int64_t k, int64_t group,
+           bool accumulate)
+{
+    std::vector<float> tmp(static_cast<size_t>(m * n));
+    for (int64_t i = 0; i < count; ++i) {
+        const float *ai = a + i * a_stride;
+        const float *bi = b + (variant == 2 ? i : i / group) * b_stride;
+        if (variant == 0)
+            gemmNT(ai, bi, c + i * c_stride, m, n, k, accumulate);
+        else if (variant == 1)
+            gemmNN(ai, bi, c + i * c_stride, m, n, k, accumulate);
+        else {
+            float *cg = c + (i / group) * c_stride;
+            if (i % group == 0 && !accumulate)
+                std::fill_n(cg, m * n, 0.0f);
+            gemmTN(ai, bi, tmp.data(), m, n, k, /*accumulate=*/false);
+            for (int64_t e = 0; e < m * n; ++e)
+                cg[e] += tmp[e];
+        }
+    }
+}
+
+/** (count, m, n, k, group) cases: strip-ragged shapes, shared-B
+ *  groups, and a GQA-like group reduction. */
+class GemmBatchedShapes
+    : public ::testing::TestWithParam<std::tuple<int, int, int, int, int>>
+{
+};
+
+TEST_P(GemmBatchedShapes, MatchesPerItemLoopBitExact)
+{
+    // Under a pinned pack mode the batched driver runs the same
+    // per-item kernels as a loop of ordinary calls, so results are
+    // bit-identical — packed and legacy alike.
+    PackModeGuard guard;
+    auto [count, m, n, k, group] = GetParam();
+    Rng rng(77);
+    const int64_t groups = count / group;
+    Tensor a_nt = Tensor::randn({count * m, k}, rng);
+    Tensor b_nt = Tensor::randn({groups * n, k}, rng);
+    Tensor a_nn = Tensor::randn({count * m, k}, rng);
+    Tensor b_nn = Tensor::randn({groups * k, n}, rng);
+    Tensor a_tn = Tensor::randn({count * k, m}, rng);
+    Tensor b_tn = Tensor::randn({count * k, n}, rng);
+
+    for (const char *mode : {"off", "on"}) {
+        SCOPED_TRACE(mode);
+        setGemmPackModeByName(mode);
+
+        Tensor c_ref(count * m, n), c_bat(count * m, n);
+        refBatched(0, a_nt.data(), m * k, b_nt.data(), n * k,
+                   c_ref.data(), m * n, count, m, n, k, group, false);
+        gemmBatchedNT(a_nt.data(), m * k, b_nt.data(), n * k,
+                      c_bat.data(), m * n, count, m, n, k, group);
+        EXPECT_TRUE(c_ref == c_bat) << "NT";
+
+        refBatched(1, a_nn.data(), m * k, b_nn.data(), k * n,
+                   c_ref.data(), m * n, count, m, n, k, group, false);
+        gemmBatchedNN(a_nn.data(), m * k, b_nn.data(), k * n,
+                      c_bat.data(), m * n, count, m, n, k, group);
+        EXPECT_TRUE(c_ref == c_bat) << "NN";
+
+        Tensor g_ref(groups * m, n), g_bat(groups * m, n);
+        refBatched(2, a_tn.data(), k * m, b_tn.data(), k * n,
+                   g_ref.data(), m * n, count, m, n, k, group, false);
+        gemmBatchedTN(a_tn.data(), k * m, b_tn.data(), k * n,
+                      g_bat.data(), m * n, count, m, n, k, group);
+        EXPECT_TRUE(g_ref == g_bat) << "TN";
+    }
+}
+
+TEST_P(GemmBatchedShapes, BitIdenticalAcrossThreadCounts)
+{
+    PackModeGuard guard;
+    GlobalPoolGuard pool_guard;
+    setGemmPackModeByName("on");
+    auto [count, m, n, k, group] = GetParam();
+    Rng rng(78);
+    const int64_t groups = count / group;
+    Tensor a = Tensor::randn({count * m, k}, rng);
+    Tensor b = Tensor::randn({groups * n, k}, rng);
+    Tensor a_tn = Tensor::randn({count * k, m}, rng);
+    Tensor b_tn = Tensor::randn({count * k, n}, rng);
+
+    runtime::setGlobalThreadCount(1);
+    Tensor nt1(count * m, n), tn1(groups * m, n);
+    gemmBatchedNT(a.data(), m * k, b.data(), n * k, nt1.data(), m * n,
+                  count, m, n, k, group);
+    gemmBatchedTN(a_tn.data(), k * m, b_tn.data(), k * n, tn1.data(),
+                  m * n, count, m, n, k, group);
+    for (int threads : {2, 8}) {
+        runtime::setGlobalThreadCount(threads);
+        Tensor nt(count * m, n), tn(groups * m, n);
+        gemmBatchedNT(a.data(), m * k, b.data(), n * k, nt.data(),
+                      m * n, count, m, n, k, group);
+        gemmBatchedTN(a_tn.data(), k * m, b_tn.data(), k * n, tn.data(),
+                      m * n, count, m, n, k, group);
+        EXPECT_TRUE(nt == nt1) << threads << " threads";
+        EXPECT_TRUE(tn == tn1) << threads << " threads";
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, GemmBatchedShapes,
+    ::testing::Values(std::make_tuple(1, 5, 7, 3, 1),
+                      std::make_tuple(6, 16, 16, 8, 1),
+                      std::make_tuple(8, 33, 17, 12, 2),
+                      std::make_tuple(12, 64, 64, 16, 4),
+                      std::make_tuple(16, 23, 40, 65, 8)));
+
+TEST(GemmBatched, AutoHeuristicUsesAggregateWork)
+{
+    PackModeGuard guard;
+    setGemmPackModeByName("auto");
+    // One 32x32x16 GEMM is far below the per-item pack threshold, but
+    // a 64-item batch of them clears the aggregate amortization unit.
+    EXPECT_FALSE(gemmPackEnabled(32, 32, 16));
+    EXPECT_TRUE(gemmBatchedPackEnabled(64, 32, 32, 16));
+    EXPECT_FALSE(gemmBatchedPackEnabled(4, 32, 32, 16));
+    setGemmPackModeByName("off");
+    EXPECT_FALSE(gemmBatchedPackEnabled(64, 32, 32, 16));
+    setGemmPackModeByName("on");
+    EXPECT_TRUE(gemmBatchedPackEnabled(1, 1, 1, 1));
+}
+
+TEST(GemmBatched, AutoAgreesWithLegacyWithinTolerance)
+{
+    // When the aggregate heuristic flips a batch of small GEMMs onto
+    // the packed path, results may differ from the legacy loop only in
+    // low-order bits (the documented packed-vs-unpacked contract).
+    PackModeGuard guard;
+    const int64_t count = 64, m = 32, n = 32, k = 16;
+    Rng rng(79);
+    Tensor a = Tensor::randn({count * m, k}, rng);
+    Tensor b = Tensor::randn({count * n, k}, rng);
+    setGemmPackModeByName("off");
+    Tensor ref(count * m, n);
+    refBatched(0, a.data(), m * k, b.data(), n * k, ref.data(), m * n,
+               count, m, n, k, 1, false);
+    setGemmPackModeByName("auto");
+    Tensor bat(count * m, n);
+    gemmBatchedNT(a.data(), m * k, b.data(), n * k, bat.data(), m * n,
+                  count, m, n, k);
+    EXPECT_LT(diffNorm(bat, ref), 1e-5 * (1.0 + frobeniusNorm(ref)));
+}
+
+TEST(GemmBatched, AccumulateAddsToExisting)
+{
+    PackModeGuard guard;
+    setGemmPackModeByName("on");
+    const int64_t count = 3, m = 7, n = 9, k = 11;
+    Rng rng(80);
+    Tensor a = Tensor::randn({count * m, k}, rng);
+    Tensor b = Tensor::randn({count * n, k}, rng);
+    Tensor c(count * m, n);
+    c.fill(1.0f);
+    gemmBatchedNT(a.data(), m * k, b.data(), n * k, c.data(), m * n,
+                  count, m, n, k, /*group=*/1, /*accumulate=*/true);
+    for (int64_t i = 0; i < count; ++i) {
+        Tensor ai(m, k), bi(n, k);
+        std::copy_n(a.data() + i * m * k, m * k, ai.data());
+        std::copy_n(b.data() + i * n * k, n * k, bi.data());
+        Tensor r = refNT(ai, bi);
+        for (int64_t e = 0; e < m * n; ++e)
+            EXPECT_NEAR(c.at(i * m * n + e), r.at(e) + 1.0f, 1e-4);
+    }
 }
 
 TEST(GemmPack, FusedQuantMatchesMaterializedBitExact)

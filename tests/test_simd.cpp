@@ -402,6 +402,125 @@ TEST(SimdPack, PackedBlockGemmBackendsAgreeWithinTolerance)
     EXPECT_LT(diffNorm(cs, cv), 1e-6 * (1.0 + frobeniusNorm(cs)));
 }
 
+/** Reference transcription of the historical open-coded attention
+ *  softmax loops (nn/attention.cpp pre-batching): the semantics both
+ *  backends' fused kernels must reproduce bit for bit. */
+void
+refAttnSoftmaxFwd(float *prob, int64_t seq, float scale)
+{
+    for (int64_t i = 0; i < seq; ++i) {
+        float *row = prob + i * seq;
+        float maxv = -1e30f;
+        for (int64_t j = 0; j <= i; ++j) {
+            row[j] *= scale;
+            maxv = std::max(maxv, row[j]);
+        }
+        double denom = 0.0;
+        for (int64_t j = 0; j <= i; ++j) {
+            row[j] = std::exp(row[j] - maxv);
+            denom += row[j];
+        }
+        const float inv = static_cast<float>(1.0 / std::max(denom, 1e-30));
+        for (int64_t j = 0; j <= i; ++j)
+            row[j] *= inv;
+        for (int64_t j = i + 1; j < seq; ++j)
+            row[j] = 0.0f;
+    }
+}
+
+void
+refAttnSoftmaxBwd(const float *prob, const float *dp, float *ds,
+                  int64_t seq, float scale)
+{
+    for (int64_t i = 0; i < seq; ++i) {
+        const float *prow = prob + i * seq;
+        const float *dprow = dp + i * seq;
+        float *dsrow = ds + i * seq;
+        double dot = 0.0;
+        for (int64_t j = 0; j <= i; ++j)
+            dot += static_cast<double>(dprow[j]) * prow[j];
+        for (int64_t j = 0; j < seq; ++j)
+            dsrow[j] = j <= i ? prow[j] *
+                                    (dprow[j] - static_cast<float>(dot)) *
+                                    scale
+                              : 0.0f;
+    }
+}
+
+TEST(SimdAttnSoftmax, FwdBitExactAcrossBackendsAndVsReference)
+{
+    Rng rng(51);
+    for (int64_t seq : {1, 2, 7, 8, 9, 16, 33, 64}) {
+        const float scale =
+            1.0f / std::sqrt(static_cast<float>(seq));
+        std::vector<float> scores(static_cast<size_t>(seq * seq));
+        for (auto &x : scores)
+            x = static_cast<float>(rng.nextGaussian() * 3.0);
+        std::vector<float> ref = scores, sc = scores;
+        refAttnSoftmaxFwd(ref.data(), seq, scale);
+        simd::scalarKernels().attnSoftmaxFwd(sc.data(), seq, scale);
+        ASSERT_EQ(0, std::memcmp(ref.data(), sc.data(),
+                                 ref.size() * sizeof(float)))
+            << "scalar vs reference, seq=" << seq;
+        if (simd::cpuSupportsAvx2()) {
+            std::vector<float> av = scores;
+            simd::avx2Kernels().attnSoftmaxFwd(av.data(), seq, scale);
+            ASSERT_EQ(0, std::memcmp(ref.data(), av.data(),
+                                     ref.size() * sizeof(float)))
+                << "avx2 vs reference, seq=" << seq;
+        }
+    }
+}
+
+TEST(SimdAttnSoftmax, BwdBitExactAcrossBackendsAndVsReference)
+{
+    Rng rng(52);
+    for (int64_t seq : {1, 2, 7, 8, 9, 16, 33, 64}) {
+        const float scale = 0.25f;
+        std::vector<float> prob(static_cast<size_t>(seq * seq));
+        refAttnSoftmaxFwd(prob.data(), seq, 1.0f); // valid row dists
+        std::vector<float> dp(static_cast<size_t>(seq * seq));
+        for (auto &x : dp)
+            x = static_cast<float>(rng.nextGaussian());
+        std::vector<float> ref(dp.size()), sc(dp.size());
+        refAttnSoftmaxBwd(prob.data(), dp.data(), ref.data(), seq,
+                          scale);
+        simd::scalarKernels().attnSoftmaxBwd(prob.data(), dp.data(),
+                                             sc.data(), seq, scale);
+        ASSERT_EQ(0, std::memcmp(ref.data(), sc.data(),
+                                 ref.size() * sizeof(float)))
+            << "scalar vs reference, seq=" << seq;
+        // In-place (ds aliasing dp) — the batched attention runtime
+        // overwrites dP with dS through this contract.
+        std::vector<float> sc_inplace = dp;
+        simd::scalarKernels().attnSoftmaxBwd(prob.data(),
+                                             sc_inplace.data(),
+                                             sc_inplace.data(), seq,
+                                             scale);
+        ASSERT_EQ(0, std::memcmp(ref.data(), sc_inplace.data(),
+                                 ref.size() * sizeof(float)))
+            << "scalar in-place, seq=" << seq;
+        if (simd::cpuSupportsAvx2()) {
+            std::vector<float> av(dp.size());
+            simd::avx2Kernels().attnSoftmaxBwd(prob.data(), dp.data(),
+                                               av.data(), seq, scale);
+            ASSERT_EQ(0, std::memcmp(ref.data(), av.data(),
+                                     ref.size() * sizeof(float)))
+                << "avx2 vs reference, seq=" << seq;
+            // In-place (ds aliasing dp) must match the out-of-place
+            // result — the attention runtime relies on row locality.
+            std::vector<float> inplace = dp;
+            simd::avx2Kernels().attnSoftmaxBwd(prob.data(),
+                                               inplace.data(),
+                                               inplace.data(), seq,
+                                               scale);
+            ASSERT_EQ(0, std::memcmp(ref.data(), inplace.data(),
+                                     ref.size() * sizeof(float)))
+                << "avx2 in-place, seq=" << seq;
+        }
+    }
+}
+
 TEST(SimdErrorStats, BackendsAgree)
 {
     SKIP_WITHOUT_AVX2();

@@ -16,6 +16,7 @@
 #include <new>
 #include <vector>
 
+#include "nn/attention.h"
 #include "runtime/thread_pool.h"
 #include "runtime/workspace_arena.h"
 #include "tensor/gemm.h"
@@ -110,14 +111,6 @@ allocDelta(const std::function<void()> &fn)
     fn();
     return g_allocs.load() - before;
 }
-
-struct PackModeGuard
-{
-    PackModeGuard() = default;
-    PackModeGuard(const PackModeGuard &) = delete;
-    PackModeGuard &operator=(const PackModeGuard &) = delete;
-    ~PackModeGuard() { setGemmPackModeByName("auto"); }
-};
 
 TEST(WorkspaceArena, AlignedBumpAndReuse)
 {
@@ -230,6 +223,60 @@ TEST(WorkspaceArena, SteadyStateFusedQuantGemmAllocatesNothing)
     stepped();
     EXPECT_EQ(allocDelta(stepped), 0)
         << "steady-state weight repack must not touch the heap";
+}
+
+TEST(WorkspaceArena, SteadyStateAttentionStepAllocatesNothing)
+{
+    // The attention runtime's zero-alloc contract: a warmed-up
+    // forward + backward of the attention core — gathers, strided-
+    // batch GEMMs (packed and legacy), fused softmax, scatters —
+    // touches the heap exactly zero times, in BOTH schedules. All
+    // scratch (the former qb/kb/vb/cb/dp/ds vectors and the batched
+    // slabs) lives in workspace arenas.
+    PackModeGuard mode_guard;
+    GlobalPoolGuard pool_guard;
+    runtime::setGlobalThreadCount(1);
+
+    const AttnShape s{/*batch=*/2, /*seq=*/32, /*n_heads=*/4,
+                      /*n_kv_heads=*/2, /*head_dim=*/16};
+    Rng rng(6);
+    Tensor q = Tensor::randn({s.batch * s.seq, s.n_heads * s.head_dim},
+                             rng);
+    Tensor k = Tensor::randn(
+        {s.batch * s.seq, s.n_kv_heads * s.head_dim}, rng);
+    Tensor v = Tensor::randn(
+        {s.batch * s.seq, s.n_kv_heads * s.head_dim}, rng);
+    Tensor dctx = Tensor::randn(
+        {s.batch * s.seq, s.n_heads * s.head_dim}, rng);
+    Tensor probs(s.batch * s.n_heads * s.seq, s.seq);
+    Tensor ctx(s.batch * s.seq, s.n_heads * s.head_dim);
+    Tensor dq(s.batch * s.seq, s.n_heads * s.head_dim);
+    Tensor dk(s.batch * s.seq, s.n_kv_heads * s.head_dim);
+    Tensor dv(s.batch * s.seq, s.n_kv_heads * s.head_dim);
+
+    auto step = [&] {
+        attentionForwardCore(s, q.data(), k.data(), v.data(),
+                             probs.data(), ctx.data());
+        dq.zero();
+        dk.zero();
+        dv.zero();
+        attentionBackwardCore(s, q.data(), k.data(), v.data(),
+                              probs.data(), dctx.data(), dq.data(),
+                              dk.data(), dv.data());
+    };
+    for (const char *attn : {"par", "serial"}) {
+        SCOPED_TRACE(attn);
+        ASSERT_TRUE(setAttnModeByName(attn));
+        for (const char *pack : {"on", "off"}) {
+            SCOPED_TRACE(pack);
+            setGemmPackModeByName(pack);
+            step();
+            step(); // warm: arenas sized for this (mode, pack) episode
+            EXPECT_EQ(allocDelta(step), 0)
+                << "steady-state attention step must not touch the heap";
+        }
+    }
+    setAttnModeByName("par");
 }
 
 TEST(WorkspaceArena, ThreadedSteadyStateStaysRecycled)
