@@ -23,6 +23,7 @@
 #include "bench_common.h"
 #include "ilp/solve_cache.h"
 #include "parallel/pipeline.h"
+#include "telemetry/telemetry.h"
 
 using namespace snip;
 using namespace snip::bench;
@@ -168,5 +169,12 @@ main(int argc, char **argv)
                 warm.totals.updates,
                 static_cast<long long>(warm_cache.hits()), lookups,
                 cache_path.c_str());
+
+    if (telemetry::enabled()) {
+        telemetry::flush();
+        std::printf("\ntelemetry (%lld step records): %s\n",
+                    static_cast<long long>(telemetry::stepsRecorded()),
+                    telemetry::summary().c_str());
+    }
     return 0;
 }

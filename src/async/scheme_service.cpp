@@ -3,6 +3,7 @@
 #include <chrono>
 #include <utility>
 
+#include "telemetry/telemetry.h"
 #include "util/logging.h"
 
 namespace snip {
@@ -77,6 +78,9 @@ SchemeUpdateService::publishedEpoch() const
 void
 SchemeUpdateService::publish(SchemeUpdateResult result)
 {
+    telemetry::count(telemetry::Counter::SchemePublishes);
+    telemetry::addSeconds(telemetry::Seconds::SchemeWorker,
+                          result.work_seconds);
     {
         std::unique_lock<std::mutex> lock(mu_);
         const int back = front_ == 0 ? 1 : 0;

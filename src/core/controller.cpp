@@ -4,6 +4,7 @@
 #include <chrono>
 
 #include "async/scheme_service.h"
+#include "telemetry/telemetry.h"
 #include "util/logging.h"
 
 namespace snip {
@@ -111,6 +112,17 @@ SnipController::applyResult(LlamaModel &model,
     totals_.hidden_seconds += overhead_.hidden_seconds;
     totals_.exposed_seconds += overhead_.exposed_seconds;
     totals_.cache_hits += overhead_.solve_cached ? 1 : 0;
+
+    telemetry::count(telemetry::Counter::SchemeUpdates);
+    if (overhead_.solve_cached)
+        telemetry::count(telemetry::Counter::SchemeSolveCached);
+    telemetry::addSeconds(telemetry::Seconds::SchemeWork,
+                          overhead_.work_seconds);
+    telemetry::addSeconds(telemetry::Seconds::SchemeHidden,
+                          overhead_.hidden_seconds);
+    telemetry::addSeconds(telemetry::Seconds::SchemeExposed,
+                          overhead_.exposed_seconds);
+    telemetry::recordTimer(telemetry::Timer::SchemeWait, waited_seconds);
 
     debugLog("SNIP scheme updated: epoch=", result.epoch,
              " fp4_fraction=", selection_.fp4_fraction,

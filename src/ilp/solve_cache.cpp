@@ -4,6 +4,7 @@
 #include <fstream>
 #include <vector>
 
+#include "telemetry/telemetry.h"
 #include "util/logging.h"
 
 namespace snip {
@@ -65,7 +66,10 @@ SolveCache::setLimits(size_t max_entries, size_t max_bytes)
     max_entries_ = max_entries;
     max_bytes_ = max_bytes;
     const size_t before = entries_.size();
+    const int64_t evictions_before = evictions_;
     enforceLimitsLocked();
+    telemetry::count(telemetry::Counter::SolveCacheEvicts,
+                     evictions_ - evictions_before);
     if (entries_.size() != before && !path_.empty() && !saveLocked())
         warn("could not persist solve cache to ", path_);
 }
@@ -84,9 +88,11 @@ SolveCache::lookup(uint64_t key, IlpSolution *out)
     auto it = entries_.find(key);
     if (it == entries_.end()) {
         ++misses_;
+        telemetry::count(telemetry::Counter::SolveCacheMisses);
         return false;
     }
     ++hits_;
+    telemetry::count(telemetry::Counter::SolveCacheHits);
     touchLocked(it->second, key);
     if (out)
         *out = it->second.solution;
@@ -133,7 +139,13 @@ void
 SolveCache::insert(uint64_t key, const IlpSolution &solution)
 {
     std::lock_guard<std::mutex> lock(mu_);
+    // Diffed around the locked call (rather than counted inside
+    // enforceLimitsLocked) so load() trimming stays a non-eviction in
+    // telemetry too.
+    const int64_t evictions_before = evictions_;
     insertLocked(key, solution);
+    telemetry::count(telemetry::Counter::SolveCacheEvicts,
+                     evictions_ - evictions_before);
     if (!path_.empty() && !saveLocked())
         warn("could not persist solve cache to ", path_);
 }

@@ -9,6 +9,7 @@
 #include "runtime/workspace_arena.h"
 #include "simd/dispatch.h"
 #include "simd/kernels.h"
+#include "telemetry/telemetry.h"
 #include "tensor/gemm.h"
 #include "util/rng.h"
 #include "util/string_util.h"
@@ -446,6 +447,8 @@ attentionForwardCore(const AttnShape &s, const float *q, const float *k,
                      const float *v, float *probs, float *ctx)
 {
     validateShape(s);
+    telemetry::ScopedTimer timer(telemetry::Timer::AttnFwd);
+    telemetry::count(telemetry::Counter::AttnFwdCalls);
     if (attnMode() == AttnMode::Par)
         forwardPar(s, q, k, v, probs, ctx);
     else
@@ -458,6 +461,8 @@ attentionBackwardCore(const AttnShape &s, const float *q, const float *k,
                       const float *dctx, float *dq, float *dk, float *dv)
 {
     validateShape(s);
+    telemetry::ScopedTimer timer(telemetry::Timer::AttnBwd);
+    telemetry::count(telemetry::Counter::AttnBwdCalls);
     if (attnMode() == AttnMode::Par)
         backwardPar(s, q, k, v, probs, dctx, dq, dk, dv);
     else

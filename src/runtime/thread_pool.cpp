@@ -1,9 +1,11 @@
 #include "runtime/thread_pool.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdlib>
 #include <exception>
 
+#include "telemetry/telemetry.h"
 #include "util/logging.h"
 
 namespace snip {
@@ -82,6 +84,9 @@ ThreadPool::inParallelRegion()
 void
 ThreadPool::runChunks(Job &job)
 {
+    const bool telem = telemetry::enabled();
+    const auto busy0 = telem ? std::chrono::steady_clock::now()
+                             : std::chrono::steady_clock::time_point();
     const bool was_in_region = t_in_parallel_region;
     t_in_parallel_region = true;
     for (;;) {
@@ -100,6 +105,12 @@ ThreadPool::runChunks(Job &job)
         job.done_chunks.fetch_add(1);
     }
     t_in_parallel_region = was_in_region;
+    if (telem)
+        telemetry::addSeconds(
+            telemetry::Seconds::PoolBusy,
+            std::chrono::duration<double>(
+                std::chrono::steady_clock::now() - busy0)
+                .count());
 }
 
 void
@@ -147,6 +158,16 @@ ThreadPool::parallelFor(int64_t begin, int64_t end, int64_t grain,
     const int64_t n = end - begin;
     const int64_t n_chunks = (n + grain - 1) / grain;
 
+    // Counted on every path (inline included) so job/chunk totals are
+    // thread-count invariant: the chunking never depends on n_threads_.
+    const bool telem = telemetry::enabled();
+    const auto wall0 = telem ? std::chrono::steady_clock::now()
+                             : std::chrono::steady_clock::time_point();
+    if (telem) {
+        telemetry::count(telemetry::Counter::PoolJobs);
+        telemetry::count(telemetry::Counter::PoolChunks, n_chunks);
+    }
+
     // Inline serial path: 1-thread pool, a single chunk, or a nested
     // call from inside a parallel region. Chunk boundaries are identical
     // to the parallel path, so numerics cannot differ.
@@ -154,6 +175,15 @@ ThreadPool::parallelFor(int64_t begin, int64_t end, int64_t grain,
         for (int64_t c = 0; c < n_chunks; ++c) {
             const int64_t i0 = begin + c * grain;
             fn(i0, std::min(i0 + grain, end));
+        }
+        if (telem) {
+            const double s = std::chrono::duration<double>(
+                                 std::chrono::steady_clock::now() -
+                                 wall0)
+                                 .count();
+            telemetry::addSeconds(telemetry::Seconds::PoolWall, s);
+            telemetry::addSeconds(telemetry::Seconds::PoolBusy, s);
+            telemetry::recordTimer(telemetry::Timer::PoolJob, s);
         }
         return;
     }
@@ -198,6 +228,15 @@ ThreadPool::parallelFor(int64_t begin, int64_t end, int64_t grain,
             return job->done_chunks.load() >= job->n_chunks;
         });
         job_.reset();
+    }
+
+    if (telem) {
+        const double s =
+            std::chrono::duration<double>(
+                std::chrono::steady_clock::now() - wall0)
+                .count();
+        telemetry::addSeconds(telemetry::Seconds::PoolWall, s);
+        telemetry::recordTimer(telemetry::Timer::PoolJob, s);
     }
 
     if (job->error)

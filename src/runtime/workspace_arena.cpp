@@ -4,6 +4,8 @@
 #include <cstdlib>
 #include <new>
 
+#include "telemetry/telemetry.h"
+
 namespace snip {
 namespace runtime {
 
@@ -57,6 +59,8 @@ WorkspaceArena::getFloats(size_t count)
     if (used_ + bytes <= slab_bytes_) {
         float *p = reinterpret_cast<float *>(slab_ + used_);
         used_ += bytes;
+        telemetry::gaugeMax(telemetry::MaxGauge::ArenaHighWaterBytes,
+                            static_cast<int64_t>(used_ + spill_bytes_));
         return p;
     }
     if (used_ == 0) {
@@ -66,6 +70,10 @@ WorkspaceArena::getFloats(size_t count)
         slab_ = alignedAlloc(slab_bytes_);
         ++alloc_count_;
         used_ = bytes;
+        telemetry::gaugeMax(telemetry::MaxGauge::ArenaHighWaterBytes,
+                            static_cast<int64_t>(used_));
+        telemetry::gaugeSet(telemetry::LastGauge::ArenaReservedBytes,
+                            static_cast<int64_t>(reservedBytes()));
         return reinterpret_cast<float *>(slab_);
     }
     // Mid-episode overflow: live buffers pin the slab, so satisfy the
@@ -78,6 +86,10 @@ WorkspaceArena::getFloats(size_t count)
     s->next = spills_;
     spills_ = s;
     spill_bytes_ += bytes;
+    telemetry::gaugeMax(telemetry::MaxGauge::ArenaHighWaterBytes,
+                        static_cast<int64_t>(used_ + spill_bytes_));
+    telemetry::gaugeSet(telemetry::LastGauge::ArenaReservedBytes,
+                        static_cast<int64_t>(reservedBytes()));
     return reinterpret_cast<float *>(s->data);
 }
 
@@ -99,6 +111,8 @@ WorkspaceArena::reset()
     slab_bytes_ = roundUp(total, kAlign);
     slab_ = alignedAlloc(slab_bytes_);
     ++alloc_count_;
+    telemetry::gaugeSet(telemetry::LastGauge::ArenaReservedBytes,
+                        static_cast<int64_t>(reservedBytes()));
 }
 
 WorkspaceArena &

@@ -13,6 +13,7 @@
 #include "runtime/workspace_arena.h"
 #include "simd/dispatch.h"
 #include "simd/kernels.h"
+#include "telemetry/telemetry.h"
 #include "util/logging.h"
 
 namespace snip {
@@ -60,6 +61,10 @@ gemmBlockedLegacy(simd::GemmBlockFn block_fn, const float *a,
                   const float *b, float *c, int64_t m, int64_t n,
                   int64_t k, bool accumulate)
 {
+    telemetry::ScopedTimer timer(telemetry::Timer::Gemm);
+    telemetry::count(telemetry::Counter::GemmCalls);
+    telemetry::count(telemetry::Counter::GemmLegacyCalls);
+    telemetry::count(telemetry::Counter::GemmFlops, 2 * m * n * k);
     LegacyCtx ctx{block_fn, a, b, c, m, n, k, accumulate};
     const LegacyCtx *pc = &ctx;
     runtime::parallelFor(0, mBlocks(m), 1, [pc](int64_t b0, int64_t b1) {
@@ -415,8 +420,10 @@ cachedPackB(PackedWeightCache *cache, int orient, PackedCtx *ctx,
     const uint64_t key = policyKey(cfg);
     if (slot.valid && slot.epoch == epoch && slot.key == key &&
         slot.n == ctx->n && slot.k == ctx->k) {
+        telemetry::count(telemetry::Counter::PackCacheHits);
         return slot.packed.data();
     }
+    telemetry::count(telemetry::Counter::PackCacheRebuilds);
     slot.packed.resize(static_cast<size_t>(
         packStrips(ctx->n, kGemmPackNR) * kGemmPackNR * ctx->k));
     OperandQuant bq;
@@ -487,6 +494,10 @@ packedGemm(const float *a, int64_t a_ld, bool a_k_major, int64_t a_rows,
                         sizeof(float) * static_cast<size_t>(m * n));
         return;
     }
+    telemetry::ScopedTimer timer(telemetry::Timer::Gemm);
+    telemetry::count(telemetry::Counter::GemmCalls);
+    telemetry::count(telemetry::Counter::GemmPackedCalls);
+    telemetry::count(telemetry::Counter::GemmFlops, 2 * m * n * k);
     const simd::KernelTable &kt = simd::activeKernels();
     runtime::WorkspaceArena &arena =
         runtime::WorkspaceArena::forCurrentThread();
@@ -650,6 +661,13 @@ gemmBatchedStreamB(simd::GemmBlockFn block_fn, const float *a,
     }
     ctx.packed = gemmBatchedPackEnabled(count, m, n, k);
 
+    telemetry::ScopedTimer timer(telemetry::Timer::Gemm);
+    telemetry::count(telemetry::Counter::GemmCalls);
+    telemetry::count(ctx.packed ? telemetry::Counter::GemmPackedCalls
+                                : telemetry::Counter::GemmLegacyCalls);
+    telemetry::count(telemetry::Counter::GemmBatchedItems, count);
+    telemetry::count(telemetry::Counter::GemmFlops,
+                     2 * count * m * n * k);
     runtime::WorkspaceArena &arena =
         runtime::WorkspaceArena::forCurrentThread();
     runtime::ArenaScope scope(arena);
@@ -869,6 +887,13 @@ gemmBatchedTN(const float *a, int64_t a_stride, const float *b,
         return;
     }
     ctx.packed = gemmBatchedPackEnabled(count, m, n, k);
+    telemetry::ScopedTimer timer(telemetry::Timer::Gemm);
+    telemetry::count(telemetry::Counter::GemmCalls);
+    telemetry::count(ctx.packed ? telemetry::Counter::GemmPackedCalls
+                                : telemetry::Counter::GemmLegacyCalls);
+    telemetry::count(telemetry::Counter::GemmBatchedItems, count);
+    telemetry::count(telemetry::Counter::GemmFlops,
+                     2 * count * m * n * k);
     const BatchedCtx *pc = &ctx;
     // Workers own whole GROUPS: the items of a group reduce into the
     // group's shared C sequentially (each item's product is fully

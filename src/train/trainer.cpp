@@ -1,6 +1,7 @@
 #include "train/trainer.h"
 
 #include "runtime/thread_pool.h"
+#include "telemetry/telemetry.h"
 #include "tensor/gemm.h"
 #include "util/logging.h"
 
@@ -42,6 +43,7 @@ Trainer::trainStep(SnipController *controller)
     opt_->step();
     ++step_;
     losses_.push_back(loss.loss);
+    telemetry::stepBoundary(step_);
     return loss.loss;
 }
 

@@ -1,5 +1,5 @@
 #!/usr/bin/env python3
-"""Tolerant google-benchmark regression gate.
+"""Tolerant google-benchmark regression gate + perf-trend emitter.
 
 Compares a fresh ``--benchmark_out`` JSON file against a checked-in
 baseline (bench/baseline_kernels.json) and fails when any benchmark
@@ -16,14 +16,30 @@ Cost is 1/items_per_second when the benchmark reports it, else
 real_time (normalized to nanoseconds). Aggregate rows (mean/median/
 stddev) and error rows are skipped; rows matching --exclude (e.g. the
 thread-sweep rows, whose scaling depends on the runner's core count)
-are ignored. Benchmarks present on only one side are reported but
-never fail the gate, so adding or retiring benchmarks does not require
-a lockstep baseline update.
+are ignored. Benchmarks present only in the fresh run are reported but
+never fail the gate (a new benchmark does not require a lockstep
+baseline update). A baseline benchmark MISSING from the fresh run is
+an error (exit 2) naming the row — a renamed or dropped bench must
+either ship a baseline refresh or be waved through explicitly with
+--allow-missing.
+
+Perf-trend support (CI archives one record per run):
+
+  --emit-trend TREND.json    write a snip-perf-trend-v1 record holding
+                             the bench medians of this run, optional
+                             embedded telemetry (--telemetry T.json)
+                             and free-form --meta key=value pairs.
+  --compare-trends OLD NEW   print the per-benchmark cost deltas of
+                             two previously emitted trend records
+                             (exit 0 always; it reports, not gates).
 
 Usage:
   check_bench.py NEW.json [--baseline bench/baseline_kernels.json]
                  [--tolerance 0.25] [--exclude REGEX] [--absolute]
-                 [--update]
+                 [--update] [--allow-missing]
+                 [--emit-trend TREND.json] [--telemetry T.json]
+                 [--meta key=value ...]
+  check_bench.py --compare-trends OLD.json NEW.json
 """
 
 import argparse
@@ -34,6 +50,8 @@ import statistics
 import sys
 
 TIME_UNIT_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
+
+TREND_SCHEMA = "snip-perf-trend-v1"
 
 
 def load_costs(path, exclude):
@@ -57,11 +75,78 @@ def load_costs(path, exclude):
     return costs
 
 
+def emit_trend(path, costs, telemetry_path, meta_pairs):
+    """Write one snip-perf-trend-v1 record for this run."""
+    meta = {}
+    for pair in meta_pairs or []:
+        key, sep, value = pair.partition("=")
+        if not sep:
+            print(f"error: --meta expects key=value, got '{pair}'")
+            return False
+        meta[key] = value
+    telemetry = None
+    if telemetry_path:
+        try:
+            with open(telemetry_path) as f:
+                telemetry = json.load(f)
+        except (OSError, ValueError) as exc:
+            print(f"error: could not embed telemetry "
+                  f"{telemetry_path}: {exc}")
+            return False
+    record = {
+        "schema": TREND_SCHEMA,
+        "meta": meta,
+        "bench": costs,
+        "telemetry": telemetry,
+    }
+    with open(path, "w") as f:
+        json.dump(record, f, indent=1, sort_keys=True)
+        f.write("\n")
+    print(f"trend record written: {path} ({len(costs)} benchmark(s), "
+          f"telemetry {'embedded' if telemetry else 'absent'})")
+    return True
+
+
+def load_trend(path):
+    with open(path) as f:
+        record = json.load(f)
+    if record.get("schema") != TREND_SCHEMA:
+        raise ValueError(f"{path}: not a {TREND_SCHEMA} record")
+    return record
+
+
+def compare_trends(old_path, new_path):
+    """Report per-benchmark cost movement between two trend records."""
+    old = load_trend(old_path)
+    new = load_trend(new_path)
+    old_bench = old.get("bench", {})
+    new_bench = new.get("bench", {})
+    common = sorted(set(old_bench) & set(new_bench))
+    print(f"comparing {old_path} ({old.get('meta', {})})")
+    print(f"  against {new_path} ({new.get('meta', {})})")
+    if not common:
+        print("no common benchmarks")
+        return 0
+    print(f"{'benchmark':<44} {'old':>12} {'new':>12} {'ratio':>8}")
+    for name in common:
+        ratio = (new_bench[name] / old_bench[name]
+                 if old_bench[name] > 0 else float("inf"))
+        print(f"{name:<44} {old_bench[name]:>12.4g} "
+              f"{new_bench[name]:>12.4g} {ratio:>8.3f}")
+    for name in sorted(set(new_bench) - set(old_bench)):
+        print(f"{name:<44} {'-':>12} {new_bench[name]:>12.4g}  (new)")
+    for name in sorted(set(old_bench) - set(new_bench)):
+        print(f"{name:<44} {old_bench[name]:>12.4g} {'-':>12}  (gone)")
+    return 0
+
+
 def main():
     parser = argparse.ArgumentParser(
         description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter
     )
-    parser.add_argument("new", help="fresh --benchmark_out JSON file")
+    parser.add_argument(
+        "new", nargs="?", help="fresh --benchmark_out JSON file"
+    )
     parser.add_argument(
         "--baseline",
         default="bench/baseline_kernels.json",
@@ -88,7 +173,43 @@ def main():
         action="store_true",
         help="copy NEW over the baseline instead of comparing",
     )
+    parser.add_argument(
+        "--allow-missing",
+        action="store_true",
+        help="tolerate baseline benchmarks absent from this run",
+    )
+    parser.add_argument(
+        "--emit-trend",
+        metavar="TREND.json",
+        default=None,
+        help="also write a perf-trend record for this run",
+    )
+    parser.add_argument(
+        "--telemetry",
+        metavar="T.json",
+        default=None,
+        help="telemetry JSON to embed in the trend record",
+    )
+    parser.add_argument(
+        "--meta",
+        action="append",
+        metavar="KEY=VALUE",
+        default=None,
+        help="meta entry for the trend record (repeatable)",
+    )
+    parser.add_argument(
+        "--compare-trends",
+        nargs=2,
+        metavar=("OLD.json", "NEW.json"),
+        default=None,
+        help="diff two previously emitted trend records and exit",
+    )
     args = parser.parse_args()
+
+    if args.compare_trends:
+        return compare_trends(*args.compare_trends)
+    if args.new is None:
+        parser.error("NEW.json is required unless --compare-trends")
 
     if args.update:
         shutil.copyfile(args.new, args.baseline)
@@ -99,6 +220,10 @@ def main():
     new = load_costs(args.new, exclude)
     base = load_costs(args.baseline, exclude)
 
+    if args.emit_trend and not emit_trend(args.emit_trend, new,
+                                          args.telemetry, args.meta):
+        return 2
+
     common = sorted(set(new) & set(base))
     only_new = sorted(set(new) - set(base))
     only_base = sorted(set(base) - set(new))
@@ -106,8 +231,14 @@ def main():
         print(f"note: {len(only_new)} benchmark(s) not in baseline "
               f"(not gated): {', '.join(only_new)}")
     if only_base:
-        print(f"note: {len(only_base)} baseline benchmark(s) not in "
-              f"this run: {', '.join(only_base)}")
+        level = "note" if args.allow_missing else "error"
+        print(f"{level}: {len(only_base)} baseline benchmark(s) missing "
+              f"from this run: {', '.join(only_base)}")
+        if not args.allow_missing:
+            print("A renamed or removed benchmark must refresh the "
+                  "baseline (--update) or be acknowledged with "
+                  "--allow-missing.")
+            return 2
     if not common:
         print("error: no common benchmarks between run and baseline")
         return 1
