@@ -1,0 +1,196 @@
+/**
+ * @file
+ * Serving throughput/latency bench: drives the continuous-batching
+ * engine over a synthetic open-loop request stream in both KV-cache
+ * storage modes and reports tokens/s plus p50/p99 TTFT and
+ * inter-token latency.
+ *
+ * With --json=PATH the results are additionally written as
+ * google-benchmark-shaped rows (items_per_second for the throughput
+ * rows, real_time ns for the latency rows) so CI merges them into the
+ * kernel sweep and gates them with tools/check_bench.py like any
+ * other benchmark.
+ *
+ * Usage:
+ *   serve_throughput [--requests=64] [--concurrency=8] [--seed=7]
+ *                    [--threads=N] [--json=PATH]
+ */
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "nn/model.h"
+#include "runtime/env_config.h"
+#include "runtime/thread_pool.h"
+#include "serve/engine.h"
+#include "train/presets.h"
+#include "util/string_util.h"
+
+namespace snip {
+namespace {
+
+struct ModeResult
+{
+    const char *mode;
+    serve::ServeStats stats;
+};
+
+ModelConfig
+benchModel()
+{
+    ModelConfig m = tinyTestModel();
+    m.max_seq = 256;
+    return m;
+}
+
+ModeResult
+runMode(LlamaModel &model, serve::KvCacheMode mode, int64_t requests,
+        int64_t concurrency, uint64_t seed)
+{
+    serve::SyntheticStreamConfig sc;
+    sc.n_requests = requests;
+    sc.seed = seed;
+    sc.vocab = model.config().vocab_size;
+    sc.min_prompt = 16;
+    sc.max_prompt = 96;
+    sc.min_new = 16;
+    sc.max_new = 64;
+    sc.arrival_rate = 0.0; // closed burst: engine stays saturated
+
+    serve::EngineConfig ec;
+    ec.max_concurrency = concurrency;
+    ec.kv_mode = mode;
+    serve::Engine engine(model, ec);
+
+    auto queue = serve::RequestQueue::synthetic(sc);
+    engine.run(queue);
+    return {serve::kvCacheModeName(mode), engine.stats()};
+}
+
+double
+prefillTokensPerSecond(const serve::ServeStats &s)
+{
+    if (s.prefill_s <= 0.0)
+        return 0.0;
+    return static_cast<double>(s.prefill_tokens) / s.prefill_s;
+}
+
+void
+printMode(const ModeResult &r)
+{
+    const serve::ServeStats &s = r.stats;
+    std::printf("%-5s %9.0f tok/s  prefill %7.0f tok/s  "
+                "ttft p50 %7.3f ms p99 %7.3f ms  "
+                "itl p50 %7.3f ms p99 %7.3f ms  steps %lld\n",
+                r.mode, s.tokensPerSecond(),
+                prefillTokensPerSecond(s), s.p50_ttft_s * 1e3,
+                s.p99_ttft_s * 1e3, s.p50_itl_s * 1e3,
+                s.p99_itl_s * 1e3,
+                static_cast<long long>(s.decode_steps));
+}
+
+/** One google-benchmark-shaped row. */
+std::string
+jsonRow(const std::string &name, double items_per_second,
+        double real_time_ns)
+{
+    std::string row = "    {\n";
+    row += strformat("      \"name\": \"%s\",\n", name.c_str());
+    row += strformat("      \"run_name\": \"%s\",\n", name.c_str());
+    row += "      \"run_type\": \"iteration\",\n";
+    row += "      \"repetitions\": 1,\n";
+    row += "      \"repetition_index\": 0,\n";
+    row += "      \"threads\": 1,\n";
+    row += "      \"iterations\": 1,\n";
+    row += strformat("      \"real_time\": %.6f,\n", real_time_ns);
+    row += strformat("      \"cpu_time\": %.6f,\n", real_time_ns);
+    row += "      \"time_unit\": \"ns\"";
+    if (items_per_second > 0.0)
+        row += strformat(",\n      \"items_per_second\": %.6f",
+                         items_per_second);
+    row += "\n    }";
+    return row;
+}
+
+bool
+writeJson(const std::string &path, const std::vector<ModeResult> &runs)
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (f == nullptr)
+        return false;
+    std::vector<std::string> rows;
+    for (const ModeResult &r : runs) {
+        const serve::ServeStats &s = r.stats;
+        rows.push_back(jsonRow(strformat("BM_ServeDecode/%s", r.mode),
+                               s.tokensPerSecond(),
+                               s.elapsed_s * 1e9));
+        rows.push_back(
+            jsonRow(strformat("BM_ServePrefillTokens/%s", r.mode),
+                    prefillTokensPerSecond(s), s.prefill_s * 1e9));
+        rows.push_back(
+            jsonRow(strformat("BM_ServeItlP50/%s", r.mode), 0.0,
+                    s.p50_itl_s * 1e9));
+    }
+    std::fprintf(f, "{\n  \"context\": {\"executable\": "
+                    "\"serve_throughput\"},\n  \"benchmarks\": [\n");
+    for (size_t i = 0; i < rows.size(); ++i)
+        std::fprintf(f, "%s%s\n", rows[i].c_str(),
+                     i + 1 < rows.size() ? "," : "");
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    return true;
+}
+
+int
+serveMain(int argc, char **argv)
+{
+    ArgParser args(argc, argv);
+    const int64_t requests = args.getInt("requests", 64);
+    const int64_t concurrency = args.getInt("concurrency", 8);
+    const uint64_t seed =
+        static_cast<uint64_t>(args.getInt("seed", 7));
+    const int64_t threads = args.getInt("threads", 0);
+    if (threads > 0)
+        runtime::setGlobalThreadCount(static_cast<int>(threads));
+
+    std::printf("%s", runtime::envConfig().dump().c_str());
+    std::printf("requests=%lld concurrency=%lld seed=%llu\n",
+                static_cast<long long>(requests),
+                static_cast<long long>(concurrency),
+                static_cast<unsigned long long>(seed));
+
+    LlamaModel model(benchModel(), seed);
+    model.setScheme(PrecisionScheme::uniform(
+        model.registry().numLinear(), Precision::FP8));
+
+    std::vector<ModeResult> runs;
+    // Warm-up pass (arena growth, quantized-weight caches) then the
+    // measured pass, per mode.
+    for (serve::KvCacheMode mode :
+         {serve::KvCacheMode::Fp8, serve::KvCacheMode::Fp32}) {
+        runMode(model, mode, std::min<int64_t>(requests, 8),
+                concurrency, seed);
+        runs.push_back(
+            runMode(model, mode, requests, concurrency, seed));
+        printMode(runs.back());
+    }
+
+    const std::string json = args.get("json", "");
+    if (!json.empty()) {
+        if (!writeJson(json, runs)) {
+            std::fprintf(stderr, "cannot write %s\n", json.c_str());
+            return 1;
+        }
+        std::printf("wrote %s\n", json.c_str());
+    }
+    return 0;
+}
+
+} // namespace
+} // namespace snip
+
+int
+main(int argc, char **argv)
+{
+    return snip::serveMain(argc, argv);
+}

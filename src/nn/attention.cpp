@@ -5,8 +5,10 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "runtime/env_config.h"
 #include "runtime/thread_pool.h"
 #include "runtime/workspace_arena.h"
+#include "serve/kv_cache.h"
 #include "simd/dispatch.h"
 #include "simd/kernels.h"
 #include "telemetry/telemetry.h"
@@ -397,6 +399,78 @@ backwardPar(const AttnShape &s, const float *q, const float *k,
     });
 }
 
+// ------------------------------------------------------- decode core
+
+/**
+ * One decode invocation: everything the parallelFor lambda touches
+ * (it captures a pointer to this, keeping the std::function inside
+ * its SBO — no allocation).
+ */
+struct DecodeCtx
+{
+    const KvCacheHandle *kv;
+    int64_t block;
+    int64_t n_heads, n_kv, group, hd;
+    float scale;
+    const float *q; ///< post-RoPE queries [count, n_heads*hd]
+    float *ctx;     ///< output pre-O     [count, n_heads*hd]
+};
+
+/**
+ * Decode attention for items (row, kvh): gather the cached K/V head
+ * into worker arena scratch and run each query head of the group as a
+ * 1-row score/softmax/context chain. The softmax replicates the last
+ * row of the scalar reference kernel (kernels_scalar.cpp) exactly —
+ * scale + running max, scalar exp, double row-sum, float normalize —
+ * so a decode row is bit-identical to row L-1 of the full-sequence
+ * core.
+ */
+void
+decodeAttendItems(const DecodeCtx *dc, int64_t i0, int64_t i1)
+{
+    const int64_t hd = dc->hd;
+    runtime::WorkspaceArena &arena =
+        runtime::WorkspaceArena::forCurrentThread();
+    for (int64_t i = i0; i < i1; ++i) {
+        const int64_t row = i / dc->n_kv;
+        const int64_t kvh = i % dc->n_kv;
+        const int64_t sid = dc->kv->seq_ids[row];
+        const serve::KvCache &cache = *dc->kv->cache;
+        const int64_t len = cache.length(sid, dc->block);
+
+        runtime::ArenaScope scope(arena);
+        float *kb = arena.getFloats(static_cast<size_t>(len * hd));
+        float *vb = arena.getFloats(static_cast<size_t>(len * hd));
+        float *sc = arena.getFloats(static_cast<size_t>(len));
+        cache.gatherHeadK(sid, dc->block, kvh, kb);
+        cache.gatherHeadV(sid, dc->block, kvh, vb);
+
+        for (int64_t g = 0; g < dc->group; ++g) {
+            const int64_t h = kvh * dc->group + g;
+            const float *qh = dc->q + row * dc->n_heads * hd + h * hd;
+            gemmNT(qh, kb, sc, 1, len, hd);
+
+            float maxv = -1e30f;
+            for (int64_t j = 0; j < len; ++j) {
+                sc[j] *= dc->scale;
+                maxv = std::max(maxv, sc[j]);
+            }
+            double denom = 0.0;
+            for (int64_t j = 0; j < len; ++j) {
+                sc[j] = std::exp(sc[j] - maxv);
+                denom += sc[j];
+            }
+            const float inv =
+                static_cast<float>(1.0 / std::max(denom, 1e-30));
+            for (int64_t j = 0; j < len; ++j)
+                sc[j] *= inv;
+
+            float *ch = dc->ctx + row * dc->n_heads * hd + h * hd;
+            gemmNN(sc, vb, ch, 1, hd, len);
+        }
+    }
+}
+
 void
 validateShape(const AttnShape &s)
 {
@@ -418,7 +492,7 @@ attnMode()
     int mode = g_attn_mode.load(std::memory_order_acquire);
     if (mode < 0) {
         AttnMode m = AttnMode::Par;
-        const char *spec = std::getenv("SNIP_ATTN");
+        const char *spec = runtime::envConfig().attn().cstrOrNull();
         if (!parseAttnMode(spec, &m)) {
             warn("unknown SNIP_ATTN value '", spec,
                  "' (expected par|serial); using par");
@@ -473,7 +547,7 @@ attentionBackwardCore(const AttnShape &s, const float *q, const float *k,
 
 Attention::Attention(const ModelConfig &config, int block, Rng &rng,
                      FakeQuantizer *quantizer, const Rope *rope)
-    : config_(config), rope_(rope)
+    : config_(config), block_(block), rope_(rope)
 {
     // GQA shape validation: a truncating group = n_heads / n_kv_heads
     // silently maps query heads onto the wrong kv head, and a
@@ -535,8 +609,12 @@ Attention::savedStateBytes() const
 }
 
 Tensor
-Attention::forward(const Tensor &x, int64_t batch, int64_t seq)
+Attention::forward(const Tensor &x, int64_t batch, int64_t seq,
+                   ForwardMode mode, const KvCacheHandle &kv)
 {
+    SNIP_ASSERT(mode != ForwardMode::Decode,
+                "Decode is served by decodeForward(), not forward()");
+    last_mode_ = mode;
     batch_ = batch;
     seq_ = seq;
     const int64_t hd = config_.headDim();
@@ -549,17 +627,110 @@ Attention::forward(const Tensor &x, int64_t batch, int64_t seq)
     rope_->apply(q_, batch, seq, n_heads);
     rope_->apply(k_, batch, seq, n_kv);
 
+    if (mode == ForwardMode::Prefill) {
+        SNIP_ASSERT(kv.valid() && kv.count == batch,
+                    "prefill needs a cache handle covering every batch "
+                    "row");
+        const int64_t kv_dim = config_.kvDim();
+        const float *pk = k_.data();
+        const float *pv = v_.data();
+        for (int64_t b = 0; b < batch; ++b) {
+            const int64_t sid = kv.seq_ids[b];
+            SNIP_ASSERT(kv.cache->length(sid, block_) == 0,
+                        "prefill into a non-empty sequence ", sid);
+            for (int64_t ss = 0; ss < seq; ++ss) {
+                const int64_t row = b * seq + ss;
+                kv.cache->append(sid, block_, pk + row * kv_dim,
+                                 pv + row * kv_dim);
+            }
+        }
+    }
+
     probs_ = Tensor(batch * n_heads * seq, seq);
     ctx_ = Tensor(batch * seq, n_heads * hd);
     const AttnShape s{batch, seq, n_heads, n_kv, hd};
     attentionForwardCore(s, q_.data(), k_.data(), v_.data(),
                          probs_.data(), ctx_.data());
-    return wo_->forward(ctx_);
+    Tensor y = wo_->forward(ctx_);
+
+    if (mode == ForwardMode::Prefill) {
+        // A prefill is never backpropagated: drop the saved state now
+        // instead of pinning O(B*H*S^2) probabilities per block.
+        q_ = Tensor();
+        k_ = Tensor();
+        v_ = Tensor();
+        probs_ = Tensor();
+        ctx_ = Tensor();
+        batch_ = 0;
+        seq_ = 0;
+    }
+    return y;
+}
+
+void
+Attention::decodeForward(const float *x, int64_t count,
+                         const KvCacheHandle &kv, float *y)
+{
+    SNIP_ASSERT(kv.valid() && kv.count == count,
+                "decode needs a cache handle covering every row");
+    last_mode_ = ForwardMode::Decode;
+    const int64_t hd = config_.headDim();
+    const int64_t n_heads = config_.n_heads;
+    const int64_t n_kv = config_.n_kv_heads;
+    const int64_t q_dim = n_heads * hd;
+    const int64_t kv_dim = config_.kvDim();
+
+    runtime::WorkspaceArena &arena =
+        runtime::WorkspaceArena::forCurrentThread();
+    runtime::ArenaScope scope(arena);
+    float *q = arena.getFloats(static_cast<size_t>(count * q_dim));
+    float *kb = arena.getFloats(static_cast<size_t>(count * kv_dim));
+    float *vb = arena.getFloats(static_cast<size_t>(count * kv_dim));
+    float *ctx = arena.getFloats(static_cast<size_t>(count * q_dim));
+
+    wq_->forwardInference(x, count, q);
+    wk_->forwardInference(x, count, kb);
+    wv_->forwardInference(x, count, vb);
+
+    // Rotate at each sequence's current position, then append the new
+    // K/V rows serially (the cache is not thread-safe; gathers below
+    // run against an immutable cache).
+    for (int64_t i = 0; i < count; ++i) {
+        const int64_t sid = kv.seq_ids[i];
+        const int64_t pos = kv.cache->length(sid, block_);
+        rope_->applyRow(q + i * q_dim, n_heads, pos);
+        rope_->applyRow(kb + i * kv_dim, n_kv, pos);
+        kv.cache->append(sid, block_, kb + i * kv_dim,
+                         vb + i * kv_dim);
+    }
+
+    DecodeCtx dc;
+    dc.kv = &kv;
+    dc.block = block_;
+    dc.n_heads = n_heads;
+    dc.n_kv = n_kv;
+    dc.group = n_heads / n_kv;
+    dc.hd = hd;
+    dc.scale = 1.0f / std::sqrt(static_cast<float>(hd));
+    dc.q = q;
+    dc.ctx = ctx;
+    const DecodeCtx *pdc = &dc;
+    runtime::parallelFor(0, count * n_kv, 1,
+                         [pdc](int64_t i0, int64_t i1) {
+                             decodeAttendItems(pdc, i0, i1);
+                         });
+
+    wo_->forwardInference(ctx, count, y);
 }
 
 Tensor
 Attention::backward(const Tensor &dy)
 {
+    SNIP_ASSERT(last_mode_ == ForwardMode::Train,
+                "Attention::backward after a ",
+                forwardModeName(last_mode_),
+                "-mode forward: inference modes save no state and "
+                "cannot be backpropagated");
     SNIP_ASSERT(batch_ > 0, "backward before forward");
     const int64_t batch = batch_, seq = seq_;
     const int64_t hd = config_.headDim();

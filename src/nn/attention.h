@@ -36,6 +36,7 @@
 
 #include <memory>
 
+#include "nn/forward_mode.h"
 #include "nn/layer_registry.h"
 #include "nn/linear.h"
 #include "nn/rope.h"
@@ -110,14 +111,45 @@ class Attention
     Attention(const ModelConfig &config, int block, Rng &rng,
               FakeQuantizer *quantizer, const Rope *rope);
 
-    /** x is [batch*seq, d_model]; returns the same shape. */
-    Tensor forward(const Tensor &x, int64_t batch, int64_t seq);
+    /**
+     * x is [batch*seq, d_model]; returns the same shape.
+     *
+     * Train runs the historical path unchanged (bit-identical to the
+     * pre-ForwardMode signature). Prefill additionally appends every
+     * post-RoPE K/V row to @p kv (cache per kv.seq_ids[b], which must
+     * be freshly begun) and releases the saved backward state — a
+     * prefill cannot be backpropagated. Decode is not served here; use
+     * decodeForward().
+     */
+    Tensor forward(const Tensor &x, int64_t batch, int64_t seq,
+                   ForwardMode mode, const KvCacheHandle &kv = {});
+
+    /** Deprecated training-only signature; forwards to Train mode. */
+    Tensor
+    forward(const Tensor &x, int64_t batch, int64_t seq)
+    {
+        return forward(x, batch, seq, ForwardMode::Train);
+    }
+
+    /**
+     * Single-token decode step for @p count independent sequences.
+     * x/y are [count, d_model] raw buffers (arena-friendly: no Tensor
+     * allocation, no saved state, zero heap allocations after
+     * warm-up). For each row i the query attends over the full cached
+     * history of kv.seq_ids[i] plus the new token, whose K/V rows are
+     * appended to the cache. Output rows are bit-identical to the last
+     * row of a Train/Prefill forward over the same prefix under
+     * SNIP_GEMM_PACK=off with an FP32-mode cache.
+     */
+    void decodeForward(const float *x, int64_t count,
+                       const KvCacheHandle &kv, float *y);
 
     /**
      * Backprop through projections and attention math. Releases the
      * saved forward state (q/k/v, probabilities, context) on return,
      * so peak memory drops between steps; a new forward() must precede
-     * the next backward().
+     * the next backward(). Hard error unless the preceding forward ran
+     * in Train mode.
      */
     Tensor backward(const Tensor &dy);
 
@@ -133,10 +165,12 @@ class Attention
 
   private:
     ModelConfig config_;
+    int block_;
     const Rope *rope_;
     std::unique_ptr<Linear> wq_, wk_, wv_, wo_;
 
     // Saved forward state (released at the end of backward()).
+    ForwardMode last_mode_ = ForwardMode::Train;
     int64_t batch_ = 0, seq_ = 0;
     Tensor q_, k_, v_;   ///< post-RoPE projections, [T, dims]
     Tensor probs_;       ///< softmax probabilities, [B*H*S, S]

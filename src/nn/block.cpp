@@ -1,5 +1,6 @@
 #include "nn/block.h"
 
+#include "runtime/workspace_arena.h"
 #include "tensor/ops.h"
 #include "util/string_util.h"
 
@@ -48,13 +49,39 @@ TransformerBlock::params()
 }
 
 Tensor
-TransformerBlock::forward(const Tensor &x, int64_t batch, int64_t seq)
+TransformerBlock::forward(const Tensor &x, int64_t batch, int64_t seq,
+                          ForwardMode mode, const KvCacheHandle &kv)
 {
-    Tensor h = attn_->forward(norm1_->forward(x), batch, seq);
+    Tensor h = attn_->forward(norm1_->forward(x), batch, seq, mode, kv);
     addInPlace(h, x);
     Tensor y = mlp_->forward(norm2_->forward(h));
     addInPlace(y, h);
     return y;
+}
+
+void
+TransformerBlock::decodeForward(float *x, int64_t count,
+                                const KvCacheHandle &kv)
+{
+    const int64_t d = norm1_->dim();
+    runtime::WorkspaceArena &arena =
+        runtime::WorkspaceArena::forCurrentThread();
+    runtime::ArenaScope scope(arena);
+    const size_t n = static_cast<size_t>(count * d);
+    float *nx = arena.getFloats(n);
+    float *h = arena.getFloats(n);
+
+    // h = Attn(norm1(x)); x += h — float addition commutes bitwise, so
+    // the in-place accumulate matches the train path's h + x exactly.
+    norm1_->forwardInference(x, count, nx);
+    attn_->decodeForward(nx, count, kv, h);
+    for (size_t i = 0; i < n; ++i)
+        x[i] += h[i];
+
+    norm2_->forwardInference(x, count, nx);
+    mlp_->forwardInference(nx, count, h);
+    for (size_t i = 0; i < n; ++i)
+        x[i] += h[i];
 }
 
 Tensor

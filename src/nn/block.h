@@ -21,7 +21,24 @@ class TransformerBlock
     TransformerBlock(const ModelConfig &config, int block, Rng &rng,
                      FakeQuantizer *quantizer, const Rope *rope);
 
-    Tensor forward(const Tensor &x, int64_t batch, int64_t seq);
+    /** Train/Prefill forward; @p kv is required for Prefill (the
+     *  attention appends its K/V rows there). */
+    Tensor forward(const Tensor &x, int64_t batch, int64_t seq,
+                   ForwardMode mode, const KvCacheHandle &kv = {});
+
+    /** Deprecated training-only signature; forwards to Train mode. */
+    Tensor
+    forward(const Tensor &x, int64_t batch, int64_t seq)
+    {
+        return forward(x, batch, seq, ForwardMode::Train);
+    }
+
+    /**
+     * Single-token decode through the block, in place: @p x is
+     * [count, d_model] and is updated to the block output. Uses arena
+     * scratch only; zero heap allocations after warm-up.
+     */
+    void decodeForward(float *x, int64_t count, const KvCacheHandle &kv);
 
     Tensor backward(const Tensor &dy);
 

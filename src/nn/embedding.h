@@ -30,6 +30,7 @@ class Embedding
     void backward(const Tensor &d_out);
 
     Tensor &table() { return table_; }
+    const Tensor &table() const { return table_; }
     Tensor &grad() { return grad_table_; }
 
     void zeroGrad() { grad_table_.zero(); }

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Forward-pass modes and the KV-cache handle for incremental decoding.
+ *
+ * Historically the model had one implicit full-sequence forward shape.
+ * The serving runtime (src/serve/) needs three distinct contracts:
+ *
+ *   Train    full-sequence forward that saves every activation a
+ *            subsequent backward() needs. The historical behavior;
+ *            bit-identical to the pre-ForwardMode code.
+ *   Prefill  full-sequence forward over a prompt that additionally
+ *            appends every post-RoPE K/V row into the KV cache and
+ *            releases attention activations on return (backward() is
+ *            a hard error afterwards).
+ *   Decode   single-token-per-sequence incremental forward: Q/K/V are
+ *            projected for one new token per sequence, K/V appended to
+ *            the cache, and attention gathers the full history from
+ *            cache pages. No activations are saved.
+ */
+#ifndef SNIP_NN_FORWARD_MODE_H
+#define SNIP_NN_FORWARD_MODE_H
+
+#include <cstdint>
+
+namespace snip {
+
+namespace serve {
+class KvCache;
+} // namespace serve
+
+/** Which forward contract a Model/Block/Attention call runs under. */
+enum class ForwardMode
+{
+    Train,
+    Prefill,
+    Decode,
+};
+
+/** Name for logging/assertions. */
+inline const char *
+forwardModeName(ForwardMode mode)
+{
+    switch (mode) {
+        case ForwardMode::Train:
+            return "Train";
+        case ForwardMode::Prefill:
+            return "Prefill";
+        case ForwardMode::Decode:
+            return "Decode";
+    }
+    return "?";
+}
+
+/**
+ * Non-owning view of the KV cache rows a Prefill/Decode forward
+ * touches: one cache plus the sequence slot for each batch row.
+ * Train-mode calls pass the default (invalid) handle.
+ */
+struct KvCacheHandle
+{
+    serve::KvCache *cache = nullptr;
+    /** Sequence slot per batch row, [count]. Must outlive the call. */
+    const int64_t *seq_ids = nullptr;
+    int64_t count = 0;
+
+    bool
+    valid() const
+    {
+        return cache != nullptr && seq_ids != nullptr && count > 0;
+    }
+};
+
+} // namespace snip
+
+#endif // SNIP_NN_FORWARD_MODE_H

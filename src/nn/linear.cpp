@@ -1,5 +1,11 @@
 #include "nn/linear.h"
 
+#include <cstring>
+
+#include "quant/scaling.h"
+#include "runtime/workspace_arena.h"
+#include "simd/dispatch.h"
+#include "simd/kernels.h"
 #include "tensor/gemm.h"
 #include "tensor/ops.h"
 #include "util/rng.h"
@@ -84,6 +90,80 @@ Linear::forward(const Tensor &x)
     if (tap_)
         tap_->onForward(tap_idx_, x, w_, y);
     return y;
+}
+
+const Tensor &
+Linear::inferenceWeight(const QuantPlan &wp)
+{
+    if (!wp.fused && !wp.materialize)
+        return w_; // passthrough plan: the FP32 master is the operand
+    const uint64_t epoch = weightPackEpoch();
+    if (!w_inf_valid_ || w_inf_epoch_ != epoch ||
+        w_inf_format_ != wp.cfg.format.name) {
+        SNIP_ASSERT(wp.cfg.rounding == Rounding::Nearest,
+                    "stochastic-rounding weights are training-only (",
+                    name_, ")");
+        w_inf_ = quantizer_->quantize(w_, wp.cfg);
+        w_inf_valid_ = true;
+        w_inf_epoch_ = epoch;
+        w_inf_format_ = wp.cfg.format.name;
+    }
+    return w_inf_;
+}
+
+void
+Linear::forwardInference(const float *x, int64_t rows, float *y)
+{
+    const int64_t in = inFeatures();
+    const int64_t out = outFeatures();
+    const QuantPlan xp = plan(GemmKind::Fwd, TensorRole::Activation);
+    const QuantPlan wp = plan(GemmKind::Fwd, TensorRole::Weight);
+    const Tensor &w = inferenceWeight(wp);
+
+    if (!xp.fused && !xp.materialize) {
+        gemmNT(x, w.data(), y, rows, out, in);
+        return;
+    }
+
+    // Quantize the activation rows into arena scratch, replicating
+    // FakeQuantizer::quantizeInPlace exactly for the row-local
+    // granularities (a decode row must quantize identically to the
+    // same row inside a full-sequence activation, which only holds
+    // when no region spans rows).
+    SNIP_ASSERT(xp.cfg.rounding == Rounding::Nearest,
+                "stochastic-rounding activations are training-only (",
+                name_, ")");
+    const Granularity gran = xp.cfg.scaling.granularity;
+    SNIP_ASSERT(gran == Granularity::Tilewise ||
+                    gran == Granularity::Rowwise,
+                "inference needs row-local activation scaling (", name_,
+                " uses ", granularityName(gran), ")");
+    const int64_t nb =
+        gran == Granularity::Tilewise
+            ? std::max<int64_t>(1, xp.cfg.scaling.block)
+            : in;
+    const simd::KernelTable &kt = simd::activeKernels();
+    const QuantGrid grid = quantGrid(xp.cfg.format);
+    const double fmt_max = xp.cfg.format.maxValue();
+
+    runtime::WorkspaceArena &arena =
+        runtime::WorkspaceArena::forCurrentThread();
+    runtime::ArenaScope scope(arena);
+    float *xq = arena.getFloats(static_cast<size_t>(rows * in));
+    std::memcpy(xq, x, static_cast<size_t>(rows * in) * sizeof(float));
+    for (int64_t r = 0; r < rows; ++r) {
+        float *row = xq + r * in;
+        for (int64_t c0 = 0; c0 < in; c0 += nb) {
+            const int64_t len = std::min(nb, in - c0);
+            const double max_abs =
+                static_cast<double>(kt.maxAbs(row + c0, len));
+            const double scale = regionScale(max_abs, fmt_max);
+            kt.quantizeNearest(row + c0, len, xp.cfg.format, grid,
+                               static_cast<float>(scale),
+                               static_cast<float>(1.0 / scale));
+        }
+    }
+    gemmNT(xq, w.data(), y, rows, out, in);
 }
 
 Tensor

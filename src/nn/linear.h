@@ -78,6 +78,19 @@ class Linear
     /** Forward GEMM; saves @p x for the backward pass. */
     Tensor forward(const Tensor &x);
 
+    /**
+     * Inference-only forward on raw buffers: y[rows, out] = x W^T
+     * with the layer's forward fake quantization applied (activation
+     * tiles quantized into arena scratch; the quantized weight copy is
+     * cached and rebuilt only when the weight-pack epoch moves or the
+     * scheme changes). Saves nothing, fires no tap, and after warm-up
+     * performs zero heap allocations. Rows are bit-identical to
+     * forward()'s legacy (non-packed) path, i.e. to forward() itself
+     * under SNIP_GEMM_PACK=off. Stochastic-rounding schemes are a
+     * training-only feature and hard-error here.
+     */
+    void forwardInference(const float *x, int64_t rows, float *y);
+
     /** Backward GEMMs; accumulates into grad(), returns dX. */
     Tensor backward(const Tensor &dy);
 
@@ -100,6 +113,7 @@ class Linear
     weight()
     {
         w_packs_.invalidate();
+        w_inf_valid_ = false;
         return w_;
     }
     const Tensor &weight() const { return w_; }
@@ -159,6 +173,10 @@ class Linear
     /** The weight cache, or null while implicit reuse is unsafe. */
     PackedWeightCache *activeCache();
 
+    /** The quantized weight copy forwardInference() feeds its GEMM
+     *  (w_ itself for passthrough plans), rebuilt when stale. */
+    const Tensor &inferenceWeight(const QuantPlan &wp);
+
     std::string name_;
     Tensor w_;
     Tensor grad_w_;
@@ -169,6 +187,13 @@ class Linear
     int tap_idx_ = -1;
     /** Packed+quantized weight panels, one slot per GEMM orientation. */
     PackedWeightCache w_packs_;
+
+    // Quantized-weight copy for the inference path, keyed on the
+    // global weight-pack epoch and the format it was built under.
+    Tensor w_inf_;
+    bool w_inf_valid_ = false;
+    uint64_t w_inf_epoch_ = 0;
+    std::string w_inf_format_;
 };
 
 } // namespace snip

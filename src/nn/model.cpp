@@ -1,7 +1,9 @@
 #include "nn/model.h"
 
 #include <cmath>
+#include <cstring>
 
+#include "runtime/workspace_arena.h"
 #include "tensor/ops.h"
 
 namespace snip {
@@ -55,17 +57,34 @@ LlamaModel::LlamaModel(const ModelConfig &config, uint64_t seed)
 
 Tensor
 LlamaModel::forward(const std::vector<int32_t> &tokens, int64_t batch,
-                    int64_t seq)
+                    int64_t seq, ForwardMode mode,
+                    const KvCacheHandle &kv)
 {
     SNIP_ASSERT(static_cast<int64_t>(tokens.size()) == batch * seq,
                 "token count != batch*seq");
     SNIP_ASSERT(seq <= config_.max_seq, "sequence too long");
+
+    if (mode == ForwardMode::Decode) {
+        SNIP_ASSERT(seq == 1, "Decode forward takes one token per "
+                              "sequence; use decodeStep directly");
+        Tensor logits(batch, config_.vocab_size);
+        decodeStep(tokens.data(), batch, kv, logits.data());
+        return logits;
+    }
+    if (mode == ForwardMode::Prefill) {
+        SNIP_ASSERT(kv.valid() && kv.count == batch,
+                    "prefill needs a cache handle covering every batch "
+                    "row");
+        SNIP_ASSERT(fwd_noise_eps_ == 0.0,
+                    "noise injection is a training probe; disable it "
+                    "before prefill");
+    }
     batch_ = batch;
     seq_ = seq;
 
     Tensor x = embedding_->forward(tokens);
     for (auto &blk : blocks_)
-        x = blk->forward(x, batch, seq);
+        x = blk->forward(x, batch, seq, mode, kv);
 
     last_hidden_norm_ = frobeniusNorm(x);
     if (fwd_noise_eps_ > 0.0)
@@ -73,6 +92,35 @@ LlamaModel::forward(const std::vector<int32_t> &tokens, int64_t batch,
 
     Tensor xn = final_norm_->forward(x);
     return lm_head_->forward(xn);
+}
+
+void
+LlamaModel::decodeStep(const int32_t *tokens, int64_t count,
+                       const KvCacheHandle &kv, float *logits)
+{
+    SNIP_ASSERT(kv.valid() && kv.count == count,
+                "decode needs a cache handle covering every row");
+    const int64_t d = config_.d_model;
+    runtime::WorkspaceArena &arena =
+        runtime::WorkspaceArena::forCurrentThread();
+    runtime::ArenaScope scope(arena);
+    float *x = arena.getFloats(static_cast<size_t>(count * d));
+    float *xn = arena.getFloats(static_cast<size_t>(count * d));
+
+    const float *table = embedding_->table().data();
+    for (int64_t i = 0; i < count; ++i) {
+        const int32_t t = tokens[i];
+        SNIP_ASSERT(t >= 0 && t < config_.vocab_size,
+                    "token id out of range");
+        std::memcpy(x + i * d, table + static_cast<int64_t>(t) * d,
+                    static_cast<size_t>(d) * sizeof(float));
+    }
+
+    for (auto &blk : blocks_)
+        blk->decodeForward(x, count, kv);
+
+    final_norm_->forwardInference(x, count, xn);
+    lm_head_->forwardInference(xn, count, logits);
 }
 
 void

@@ -38,11 +38,35 @@ class LlamaModel
 
     /**
      * Run the forward pass for @p tokens laid out as batch x seq
-     * (flattened row-major). Returns logits [batch*seq, vocab] and
-     * saves the state needed by backward().
+     * (flattened row-major). Returns logits [batch*seq, vocab].
+     *
+     * Train saves the state backward() needs. Prefill additionally
+     * populates @p kv (one freshly-begun sequence per batch row, ids
+     * in kv.seq_ids) with every layer's post-RoPE K/V, and saves no
+     * backward state. Decode requires seq == 1 and routes to
+     * decodeStep().
      */
     Tensor forward(const std::vector<int32_t> &tokens, int64_t batch,
-                   int64_t seq);
+                   int64_t seq, ForwardMode mode,
+                   const KvCacheHandle &kv = {});
+
+    /** Deprecated training-only signature; forwards to Train mode. */
+    Tensor
+    forward(const std::vector<int32_t> &tokens, int64_t batch,
+            int64_t seq)
+    {
+        return forward(tokens, batch, seq, ForwardMode::Train);
+    }
+
+    /**
+     * One decode step for @p count independent sequences: tokens[i] is
+     * the next input token of sequence kv.seq_ids[i]; the next-token
+     * logits land in @p logits [count, vocab]. K/V rows for the new
+     * tokens are appended to the cache. Zero heap allocations after
+     * warm-up (all scratch comes from workspace arenas).
+     */
+    void decodeStep(const int32_t *tokens, int64_t count,
+                    const KvCacheHandle &kv, float *logits);
 
     /** Backprop from dLogits through the whole model. */
     void backward(const Tensor &dlogits);

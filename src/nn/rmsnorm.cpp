@@ -42,6 +42,23 @@ RMSNorm::forward(const Tensor &x)
     return y;
 }
 
+void
+RMSNorm::forwardInference(const float *x, int64_t rows, float *y) const
+{
+    const float *pg = gain_.data();
+    for (int64_t r = 0; r < rows; ++r) {
+        const float *row = x + r * dim_;
+        double ss = 0.0;
+        for (int64_t c = 0; c < dim_; ++c)
+            ss += static_cast<double>(row[c]) * row[c];
+        const float inv_rms = static_cast<float>(
+            1.0 / std::sqrt(ss / static_cast<double>(dim_) + eps_));
+        float *out = y + r * dim_;
+        for (int64_t c = 0; c < dim_; ++c)
+            out[c] = row[c] * inv_rms * pg[c];
+    }
+}
+
 Tensor
 RMSNorm::backward(const Tensor &dy)
 {

@@ -25,8 +25,17 @@ class RMSNorm
     /** Normalize each row of x [rows, dim]. */
     Tensor forward(const Tensor &x);
 
+    /**
+     * Inference-only forward on raw buffers: normalizes @p rows rows
+     * of @p x into @p y (may not alias) without saving state or
+     * allocating. Row results are bit-identical to forward().
+     */
+    void forwardInference(const float *x, int64_t rows, float *y) const;
+
     /** Backprop; accumulates gain gradient, returns dX. */
     Tensor backward(const Tensor &dy);
+
+    int64_t dim() const { return dim_; }
 
     Tensor &gain() { return gain_; }
     Tensor &grad() { return grad_gain_; }

@@ -41,25 +41,31 @@ Rope::apply(Tensor &x, int64_t batch, int64_t seq, int64_t n_heads,
     SNIP_ASSERT(x.rank() == 2 && x.size(0) == batch * seq &&
                 x.size(1) == n_heads * head_dim_);
     SNIP_ASSERT(seq <= max_seq_, "sequence longer than RoPE table");
-    const int64_t pairs = head_dim_ / 2;
     float *px = x.data();
     const int64_t cols = n_heads * head_dim_;
 
-    for (int64_t row = 0; row < batch * seq; ++row) {
-        const int64_t pos = row % seq;
-        const float *crow = cos_.data() + pos * pairs;
-        const float *srow = sin_.data() + pos * pairs;
-        float *base = px + row * cols;
-        for (int64_t h = 0; h < n_heads; ++h) {
-            float *head = base + h * head_dim_;
-            for (int64_t p = 0; p < pairs; ++p) {
-                const float c = crow[p];
-                const float s = inverse ? -srow[p] : srow[p];
-                const float a = head[p];
-                const float b = head[p + pairs];
-                head[p] = a * c - b * s;
-                head[p + pairs] = a * s + b * c;
-            }
+    for (int64_t row = 0; row < batch * seq; ++row)
+        applyRow(px + row * cols, n_heads, row % seq, inverse);
+}
+
+void
+Rope::applyRow(float *row, int64_t n_heads, int64_t pos,
+               bool inverse) const
+{
+    SNIP_ASSERT(pos >= 0 && pos < max_seq_,
+                "position beyond RoPE table");
+    const int64_t pairs = head_dim_ / 2;
+    const float *crow = cos_.data() + pos * pairs;
+    const float *srow = sin_.data() + pos * pairs;
+    for (int64_t h = 0; h < n_heads; ++h) {
+        float *head = row + h * head_dim_;
+        for (int64_t p = 0; p < pairs; ++p) {
+            const float c = crow[p];
+            const float s = inverse ? -srow[p] : srow[p];
+            const float a = head[p];
+            const float b = head[p + pairs];
+            head[p] = a * c - b * s;
+            head[p + pairs] = a * s + b * c;
         }
     }
 }

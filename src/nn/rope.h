@@ -33,6 +33,18 @@ class Rope
     void apply(Tensor &x, int64_t batch, int64_t seq, int64_t n_heads,
                bool inverse = false) const;
 
+    /**
+     * Rotate one token's heads in place at absolute position @p pos
+     * (the incremental-decode entry; apply() is a loop over this).
+     *
+     * @param row     [n_heads * head_dim] floats
+     * @param n_heads heads contained in the row
+     * @param pos     absolute sequence position, < maxSeq()
+     * @param inverse apply the inverse rotation
+     */
+    void applyRow(float *row, int64_t n_heads, int64_t pos,
+                  bool inverse = false) const;
+
     int64_t headDim() const { return head_dim_; }
     int64_t maxSeq() const { return max_seq_; }
 

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "runtime/workspace_arena.h"
 #include "util/rng.h"
 #include "util/string_util.h"
 
@@ -62,6 +63,27 @@ SwiGluMlp::forward(const Tensor &x)
         ph[i] = ps[i] * pu[i];
     }
     return down_->forward(h);
+}
+
+void
+SwiGluMlp::forwardInference(const float *x, int64_t rows, float *y)
+{
+    const int64_t f = gate_->outFeatures();
+    runtime::WorkspaceArena &arena =
+        runtime::WorkspaceArena::forCurrentThread();
+    runtime::ArenaScope scope(arena);
+    const size_t hidden = static_cast<size_t>(rows * f);
+    float *g = arena.getFloats(hidden);
+    float *u = arena.getFloats(hidden);
+    float *h = arena.getFloats(hidden);
+    gate_->forwardInference(x, rows, g);
+    up_->forwardInference(x, rows, u);
+    for (size_t i = 0; i < hidden; ++i) {
+        const float sig = 1.0f / (1.0f + std::exp(-g[i]));
+        const float s = g[i] * sig;
+        h[i] = s * u[i];
+    }
+    down_->forwardInference(h, rows, y);
 }
 
 Tensor

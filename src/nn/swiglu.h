@@ -25,6 +25,14 @@ class SwiGluMlp
     /** x is [T, d_model]; returns [T, d_model]. */
     Tensor forward(const Tensor &x);
 
+    /**
+     * Inference-only forward on raw buffers: writes the MLP output for
+     * @p rows rows of @p x into @p y (may not alias) using arena
+     * scratch for the hidden activations. Saves no state; rows are
+     * bit-identical to forward() under SNIP_GEMM_PACK=off.
+     */
+    void forwardInference(const float *x, int64_t rows, float *y);
+
     /** Backprop through all three projections. */
     Tensor backward(const Tensor &dy);
 

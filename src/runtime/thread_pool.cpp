@@ -2,9 +2,9 @@
 
 #include <algorithm>
 #include <chrono>
-#include <cstdlib>
 #include <exception>
 
+#include "runtime/env_config.h"
 #include "telemetry/telemetry.h"
 #include "util/logging.h"
 
@@ -22,15 +22,7 @@ thread_local bool t_in_parallel_region = false;
 int
 defaultThreadCount()
 {
-    if (const char *env = std::getenv("SNIP_THREADS")) {
-        char *end = nullptr;
-        long v = std::strtol(env, &end, 10);
-        if (end != env && v >= 1)
-            return static_cast<int>(std::min<long>(v, 512));
-        warn("ignoring invalid SNIP_THREADS value '", env, "'");
-    }
-    unsigned hw = std::thread::hardware_concurrency();
-    return hw > 0 ? static_cast<int>(hw) : 1;
+    return envConfig().threads();
 }
 
 /** One parallelFor invocation. Heap-held via shared_ptr so a worker

@@ -1,0 +1,276 @@
+#include "serve/engine.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "nn/model.h"
+#include "runtime/env_config.h"
+#include "telemetry/telemetry.h"
+#include "util/logging.h"
+
+namespace snip {
+namespace serve {
+
+namespace {
+
+/** Greedy sampling: argmax with lowest-index tie-break. */
+int32_t
+argmaxRow(const float *row, int64_t n)
+{
+    int64_t best = 0;
+    for (int64_t i = 1; i < n; ++i)
+        if (row[i] > row[best])
+            best = i;
+    return static_cast<int32_t>(best);
+}
+
+double
+percentile(std::vector<double> &v, double q)
+{
+    if (v.empty())
+        return 0.0;
+    std::sort(v.begin(), v.end());
+    const double pos = static_cast<double>(v.size() - 1) * q;
+    return v[static_cast<size_t>(pos + 0.5)];
+}
+
+double
+realSeconds()
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+} // namespace
+
+Engine::Engine(LlamaModel &model, const EngineConfig &config)
+    : model_(model),
+      config_(config),
+      cache_([&] {
+          const ModelConfig &mc = model.config();
+          KvCacheConfig kc;
+          kc.n_layers = mc.n_blocks;
+          kc.n_kv_heads = mc.n_kv_heads;
+          kc.head_dim = mc.headDim();
+          kc.page_tokens = config.kv_page_tokens > 0
+                               ? config.kv_page_tokens
+                               : runtime::envConfig().kvPageTokens();
+          kc.max_seqs = config.max_concurrency;
+          kc.max_seq_tokens = mc.max_seq;
+          const int64_t worst_per_seq =
+              mc.n_blocks *
+              ((mc.max_seq + kc.page_tokens - 1) / kc.page_tokens);
+          kc.max_pages = config.max_pages > 0
+                             ? config.max_pages
+                             : config.max_concurrency * worst_per_seq;
+          kc.mode = config.kv_mode;
+          return kc;
+      }())
+{
+    SNIP_ASSERT(config_.max_concurrency > 0,
+                "engine needs at least one sequence slot");
+    const int64_t vocab = model_.config().vocab_size;
+    seq_ids_.reserve(static_cast<size_t>(config_.max_concurrency));
+    step_tokens_.reserve(static_cast<size_t>(config_.max_concurrency));
+    logits_.resize(static_cast<size_t>(config_.max_concurrency * vocab));
+    active_.reserve(static_cast<size_t>(config_.max_concurrency));
+}
+
+double
+Engine::now() const
+{
+    return realSeconds() - t0_s_ + idle_skip_s_;
+}
+
+int64_t
+Engine::pagesNeeded(int64_t tokens) const
+{
+    const KvCacheConfig &kc = cache_.config();
+    return kc.n_layers *
+           ((tokens + kc.page_tokens - 1) / kc.page_tokens);
+}
+
+void
+Engine::admit(ServeRequest request, double now_s)
+{
+    const int64_t plen = static_cast<int64_t>(request.prompt.size());
+    SNIP_ASSERT(plen > 0, "empty prompt in request ", request.id);
+    SNIP_ASSERT(plen + request.max_new_tokens <= model_.config().max_seq,
+                "request ", request.id, " needs ",
+                plen + request.max_new_tokens,
+                " tokens but max_seq is ", model_.config().max_seq);
+
+    ActiveSeq seq;
+    seq.slot = free_slots_.back();
+    free_slots_.pop_back();
+    cache_.beginSequence(seq.slot);
+
+    const double t_pre = realSeconds();
+    KvCacheHandle handle;
+    handle.cache = &cache_;
+    handle.seq_ids = &seq.slot;
+    handle.count = 1;
+    Tensor logits = model_.forward(request.prompt, 1, plen,
+                                   ForwardMode::Prefill, handle);
+    const double prefill_s = realSeconds() - t_pre;
+    stats_.prefill_s += prefill_s;
+    stats_.prefill_tokens += plen;
+    telemetry::addSeconds(telemetry::Seconds::ServePrefill, prefill_s);
+    telemetry::count(telemetry::Counter::ServePrefillTokens, plen);
+
+    const int32_t first = argmaxRow(
+        logits.data() + (plen - 1) * model_.config().vocab_size,
+        model_.config().vocab_size);
+    const double t_first = now_s + prefill_s;
+    seq.result.id = request.id;
+    seq.result.tokens.push_back(first);
+    seq.result.ttft_s = t_first - request.arrival_s;
+    seq.last_token_s = t_first;
+    stats_.decode_tokens += 1;
+    seq.done = (first == request.eos_token &&
+                request.eos_token >= 0) ||
+               request.max_new_tokens <= 1;
+    seq.request = std::move(request);
+    active_.push_back(std::move(seq));
+    if (active_.back().done)
+        retire(active_.size() - 1);
+
+    stats_.peak_kv_pages =
+        std::max(stats_.peak_kv_pages, cache_.pagesInUse());
+    telemetry::gaugeSet(telemetry::LastGauge::KvPagesInUse,
+                        cache_.pagesInUse());
+    telemetry::gaugeMax(telemetry::MaxGauge::KvPagesPeak,
+                        cache_.pagesInUse());
+    telemetry::gaugeSet(telemetry::LastGauge::ServeActiveSeqs,
+                        static_cast<int64_t>(active_.size()));
+}
+
+void
+Engine::decodeOnce(double now_s)
+{
+    const int64_t vocab = model_.config().vocab_size;
+    seq_ids_.clear();
+    step_tokens_.clear();
+    for (const ActiveSeq &seq : active_) {
+        seq_ids_.push_back(seq.slot);
+        step_tokens_.push_back(seq.result.tokens.back());
+    }
+    const int64_t count = static_cast<int64_t>(active_.size());
+
+    KvCacheHandle handle;
+    handle.cache = &cache_;
+    handle.seq_ids = seq_ids_.data();
+    handle.count = count;
+
+    const double t_dec = realSeconds();
+    model_.decodeStep(step_tokens_.data(), count, handle,
+                      logits_.data());
+    const double decode_s = realSeconds() - t_dec;
+    stats_.decode_s += decode_s;
+    stats_.decode_steps += 1;
+    stats_.decode_tokens += count;
+    telemetry::addSeconds(telemetry::Seconds::ServeDecode, decode_s);
+    telemetry::count(telemetry::Counter::ServeDecodeSteps);
+    telemetry::count(telemetry::Counter::ServeDecodeTokens, count);
+
+    const double t_tok = now_s + decode_s;
+    for (size_t i = active_.size(); i-- > 0;) {
+        ActiveSeq &seq = active_[i];
+        const int32_t next = argmaxRow(
+            logits_.data() + static_cast<int64_t>(i) * vocab, vocab);
+        seq.result.tokens.push_back(next);
+        seq.result.itl_s.push_back(t_tok - seq.last_token_s);
+        seq.last_token_s = t_tok;
+        if (static_cast<int64_t>(seq.result.tokens.size()) >=
+                seq.request.max_new_tokens ||
+            (seq.request.eos_token >= 0 &&
+             next == seq.request.eos_token))
+            retire(i);
+    }
+
+    stats_.peak_kv_pages =
+        std::max(stats_.peak_kv_pages, cache_.pagesInUse());
+    telemetry::gaugeSet(telemetry::LastGauge::KvPagesInUse,
+                        cache_.pagesInUse());
+    telemetry::gaugeMax(telemetry::MaxGauge::KvPagesPeak,
+                        cache_.pagesInUse());
+    telemetry::gaugeSet(telemetry::LastGauge::ServeActiveSeqs,
+                        static_cast<int64_t>(active_.size()));
+}
+
+void
+Engine::retire(std::size_t idx)
+{
+    ActiveSeq &seq = active_[idx];
+    cache_.endSequence(seq.slot);
+    free_slots_.push_back(seq.slot);
+    done_.push_back(std::move(seq.result));
+    stats_.requests += 1;
+    telemetry::count(telemetry::Counter::ServeRequests);
+    active_.erase(active_.begin() + static_cast<int64_t>(idx));
+}
+
+std::vector<RequestResult>
+Engine::run(RequestQueue &queue)
+{
+    stats_ = ServeStats{};
+    done_.clear();
+    active_.clear();
+    free_slots_.clear();
+    for (int64_t s = config_.max_concurrency; s-- > 0;)
+        free_slots_.push_back(s); // lowest slot admits first
+    idle_skip_s_ = 0.0;
+    t0_s_ = realSeconds();
+
+    while (!queue.empty() || !active_.empty()) {
+        double t = now();
+        if (active_.empty() && !queue.empty() &&
+            queue.peek().arrival_s > t) {
+            // Idle: skip the logical clock to the next arrival
+            // instead of spinning.
+            idle_skip_s_ += queue.peek().arrival_s - t;
+            t = now();
+        }
+        while (!queue.empty() && !free_slots_.empty() &&
+               queue.peek().arrival_s <= t) {
+            const ServeRequest &head = queue.peek();
+            const int64_t need = pagesNeeded(
+                static_cast<int64_t>(head.prompt.size()) +
+                head.max_new_tokens);
+            if (cache_.pagesFree() < need) {
+                SNIP_ASSERT(!active_.empty(),
+                            "request ", head.id, " needs ", need,
+                            " KV pages but the pool only holds ",
+                            cache_.pagesFree(),
+                            " free; raise EngineConfig::max_pages");
+                break; // wait for a retirement to free pages
+            }
+            admit(queue.pop(), t);
+            t = now();
+        }
+        if (!active_.empty())
+            decodeOnce(now());
+    }
+
+    stats_.elapsed_s = realSeconds() - t0_s_;
+    std::vector<double> ttfts, itls;
+    for (const RequestResult &r : done_) {
+        ttfts.push_back(r.ttft_s);
+        for (double itl : r.itl_s)
+            itls.push_back(itl);
+    }
+    stats_.p50_ttft_s = percentile(ttfts, 0.50);
+    stats_.p99_ttft_s = percentile(ttfts, 0.99);
+    stats_.p50_itl_s = percentile(itls, 0.50);
+    stats_.p99_itl_s = percentile(itls, 0.99);
+
+    std::sort(done_.begin(), done_.end(),
+              [](const RequestResult &a, const RequestResult &b) {
+                  return a.id < b.id;
+              });
+    return std::move(done_);
+}
+
+} // namespace serve
+} // namespace snip

@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Continuous-batching inference engine.
+ *
+ * One engine thread drives the whole loop: admit arrived requests into
+ * free sequence slots, prefill each new prompt through the batched
+ * forward (ForwardMode::Prefill populates the paged KV cache), then
+ * coalesce every active sequence into ONE decode step per iteration —
+ * the decode batch shrinks and grows as sequences retire mid-flight
+ * and new arrivals take their slots, never idling on a straggler.
+ *
+ * Generation is greedy argmax (lowest index wins ties), so the token
+ * stream of a request depends only on model weights and its prompt:
+ * continuous batching returns the same tokens as running requests one
+ * at a time (tests/test_serve.cpp pins this).
+ *
+ * Admission runs on a logical clock that tracks real elapsed time but
+ * skips ahead to the next arrival whenever the engine is idle, so a
+ * sparse trace doesn't stall the loop; TTFT/ITL latencies are measured
+ * on the same clock.
+ */
+#ifndef SNIP_SERVE_ENGINE_H
+#define SNIP_SERVE_ENGINE_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "serve/kv_cache.h"
+#include "serve/request_queue.h"
+
+namespace snip {
+
+class LlamaModel;
+
+namespace serve {
+
+/** Engine sizing; KV knobs default from SNIP_KV_CACHE/SNIP_KV_PAGE. */
+struct EngineConfig
+{
+    /** Sequence slots = widest coalesced decode batch. */
+    int64_t max_concurrency = 8;
+    /** Tokens per KV page; 0 = envConfig().kvPageTokens(). */
+    int64_t kv_page_tokens = 0;
+    /** KV pool capacity in pages; 0 = worst case for max_concurrency
+     *  sequences of max_seq tokens (no admission ever blocks). */
+    int64_t max_pages = 0;
+    /** KV storage mode; parsed from SNIP_KV_CACHE by default. */
+    KvCacheMode kv_mode = kvCacheModeFromEnv();
+};
+
+/** Per-request outcome. */
+struct RequestResult
+{
+    int64_t id = 0;
+    std::vector<int32_t> tokens; ///< generated (greedy) tokens
+    double ttft_s = 0.0;         ///< arrival -> first token
+    std::vector<double> itl_s;   ///< inter-token gaps, decode only
+};
+
+/** Aggregate run statistics. */
+struct ServeStats
+{
+    int64_t requests = 0;
+    int64_t prefill_tokens = 0;
+    int64_t decode_tokens = 0; ///< includes each prefill's first token
+    int64_t decode_steps = 0;
+    int64_t peak_kv_pages = 0;
+    double elapsed_s = 0.0;
+    double prefill_s = 0.0;
+    double decode_s = 0.0;
+    double p50_ttft_s = 0.0, p99_ttft_s = 0.0;
+    double p50_itl_s = 0.0, p99_itl_s = 0.0;
+
+    double
+    tokensPerSecond() const
+    {
+        return elapsed_s > 0.0
+                   ? static_cast<double>(decode_tokens) / elapsed_s
+                   : 0.0;
+    }
+};
+
+/** Continuous-batching engine over one model. */
+class Engine
+{
+  public:
+    /** @p model must outlive the engine; its max_seq bounds
+     *  prompt + generation length per request. */
+    Engine(LlamaModel &model, const EngineConfig &config);
+
+    /** Drain @p queue to completion; results ordered by request id. */
+    std::vector<RequestResult> run(RequestQueue &queue);
+
+    /** Statistics of the most recent run(). */
+    const ServeStats &stats() const { return stats_; }
+
+    const KvCache &kvCache() const { return cache_; }
+
+  private:
+    struct ActiveSeq
+    {
+        int64_t slot = -1; ///< cache sequence id
+        ServeRequest request;
+        RequestResult result;
+        double last_token_s = 0.0;
+        bool done = false;
+    };
+
+    double now() const;
+    int64_t pagesNeeded(int64_t tokens) const;
+    void admit(ServeRequest request, double now_s);
+    void decodeOnce(double now_s);
+    void retire(std::size_t idx);
+
+    LlamaModel &model_;
+    EngineConfig config_;
+    KvCache cache_;
+    ServeStats stats_;
+
+    std::vector<ActiveSeq> active_;
+    std::vector<int64_t> free_slots_;
+    std::vector<RequestResult> done_;
+    // Preallocated decode-step staging (zero allocs per iteration).
+    std::vector<int64_t> seq_ids_;
+    std::vector<int32_t> step_tokens_;
+    std::vector<float> logits_;
+
+    double t0_s_ = 0.0;       ///< real-clock run start
+    double idle_skip_s_ = 0.0; ///< logical time skipped while idle
+};
+
+} // namespace serve
+} // namespace snip
+
+#endif // SNIP_SERVE_ENGINE_H

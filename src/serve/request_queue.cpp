@@ -1,0 +1,76 @@
+#include "serve/request_queue.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace snip {
+namespace serve {
+
+RequestQueue
+RequestQueue::synthetic(const SyntheticStreamConfig &config)
+{
+    SNIP_ASSERT(config.vocab > 0 && config.min_prompt > 0 &&
+                    config.max_prompt >= config.min_prompt &&
+                    config.min_new > 0 &&
+                    config.max_new >= config.min_new,
+                "bad synthetic stream config");
+    RequestQueue q;
+    Rng rng(config.seed);
+    double clock = 0.0;
+    for (int64_t i = 0; i < config.n_requests; ++i) {
+        if (config.arrival_rate > 0.0) {
+            // Exponential interarrival: an open-loop Poisson stream.
+            const double u = rng.nextDouble();
+            clock += -std::log1p(-u) / config.arrival_rate;
+        }
+        ServeRequest r;
+        r.id = i;
+        r.arrival_s = clock;
+        const int64_t plen =
+            config.min_prompt +
+            static_cast<int64_t>(rng.nextBelow(static_cast<uint64_t>(
+                config.max_prompt - config.min_prompt + 1)));
+        r.prompt.resize(static_cast<size_t>(plen));
+        for (auto &t : r.prompt)
+            t = static_cast<int32_t>(
+                rng.nextBelow(static_cast<uint64_t>(config.vocab)));
+        r.max_new_tokens =
+            config.min_new +
+            static_cast<int64_t>(rng.nextBelow(static_cast<uint64_t>(
+                config.max_new - config.min_new + 1)));
+        r.eos_token = config.eos_token;
+        q.push(std::move(r));
+    }
+    return q;
+}
+
+void
+RequestQueue::push(ServeRequest request)
+{
+    SNIP_ASSERT(next_ == 0, "push after consumption started");
+    requests_.push_back(std::move(request));
+    std::stable_sort(requests_.begin(), requests_.end(),
+                     [](const ServeRequest &a, const ServeRequest &b) {
+                         return a.arrival_s < b.arrival_s;
+                     });
+}
+
+const ServeRequest &
+RequestQueue::peek() const
+{
+    SNIP_ASSERT(!empty(), "peek on empty queue");
+    return requests_[next_];
+}
+
+ServeRequest
+RequestQueue::pop()
+{
+    SNIP_ASSERT(!empty(), "pop on empty queue");
+    return std::move(requests_[next_++]);
+}
+
+} // namespace serve
+} // namespace snip

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Serving request stream: request records plus a deterministic
+ * synthetic open-loop generator.
+ *
+ * The engine consumes requests in arrival order; the synthetic stream
+ * draws prompt contents, lengths and exponential interarrival gaps
+ * from one seeded Rng, so a (seed, config) pair names a workload
+ * exactly — benches and tests replay identical traffic.
+ */
+#ifndef SNIP_SERVE_REQUEST_QUEUE_H
+#define SNIP_SERVE_REQUEST_QUEUE_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace snip {
+namespace serve {
+
+/** One generation request. */
+struct ServeRequest
+{
+    int64_t id = 0;
+    /** Arrival time on the engine's logical clock, seconds. */
+    double arrival_s = 0.0;
+    std::vector<int32_t> prompt;
+    /** Tokens to generate (greedy), counting the prefill token. */
+    int64_t max_new_tokens = 1;
+    /** Stop token, or -1 to always run to max_new_tokens. */
+    int32_t eos_token = -1;
+};
+
+/** Knobs of the synthetic open-loop stream. */
+struct SyntheticStreamConfig
+{
+    int64_t n_requests = 16;
+    uint64_t seed = 0x5EEDull;
+    /** Prompt token ids are drawn uniformly from [0, vocab). */
+    int64_t vocab = 128;
+    int64_t min_prompt = 4;
+    int64_t max_prompt = 24;
+    int64_t min_new = 4;
+    int64_t max_new = 16;
+    /** Mean arrival rate, requests/second; <= 0 = all arrive at 0. */
+    double arrival_rate = 0.0;
+    int32_t eos_token = -1;
+};
+
+/** Arrival-ordered request queue. */
+class RequestQueue
+{
+  public:
+    RequestQueue() = default;
+
+    /** Build the deterministic synthetic stream for @p config. */
+    static RequestQueue synthetic(const SyntheticStreamConfig &config);
+
+    void push(ServeRequest request);
+
+    bool empty() const { return next_ >= requests_.size(); }
+    std::size_t pending() const { return requests_.size() - next_; }
+
+    /** The next request by arrival; queue must be non-empty. */
+    const ServeRequest &peek() const;
+    ServeRequest pop();
+
+  private:
+    std::vector<ServeRequest> requests_; ///< sorted by arrival_s
+    std::size_t next_ = 0;
+};
+
+} // namespace serve
+} // namespace snip
+
+#endif // SNIP_SERVE_REQUEST_QUEUE_H

@@ -1,9 +1,9 @@
 #include "simd/dispatch.h"
 
 #include <atomic>
-#include <cstdlib>
 #include <cstring>
 
+#include "runtime/env_config.h"
 #include "simd/kernels.h"
 #include "util/logging.h"
 
@@ -49,7 +49,7 @@ resolve(const char *spec)
 const KernelTable *
 resolveFromEnv()
 {
-    const char *spec = std::getenv("SNIP_SIMD");
+    const char *spec = runtime::envConfig().simd().cstrOrNull();
     const KernelTable *t = resolve(spec);
     if (t == nullptr) {
         warn("unknown SNIP_SIMD value '", spec,
@@ -110,6 +110,9 @@ setBackendByName(const char *name)
 void
 reinitFromEnv()
 {
+    // Tests mutate SNIP_SIMD with setenv(); refresh the shared
+    // snapshot so the re-resolution below sees the new value.
+    runtime::reloadEnvConfig();
     g_active.store(resolveFromEnv(), std::memory_order_release);
 }
 

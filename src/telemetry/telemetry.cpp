@@ -10,6 +10,7 @@
 
 #include <unistd.h>
 
+#include "runtime/env_config.h"
 #include "runtime/thread_pool.h"
 #include "simd/dispatch.h"
 #include "tensor/gemm.h"
@@ -272,6 +273,33 @@ renderStepRecord(int64_t step, double wall_seconds, const Snapshot &now,
                  false);
     r += "}";
 
+    r += ", \"serve\": {";
+    appendInt(r, "requests",
+              counterDelta(now, prev, Counter::ServeRequests), true);
+    appendInt(r, "prefill_tokens",
+              counterDelta(now, prev, Counter::ServePrefillTokens),
+              false);
+    appendInt(r, "decode_tokens",
+              counterDelta(now, prev, Counter::ServeDecodeTokens),
+              false);
+    appendInt(r, "decode_steps",
+              counterDelta(now, prev, Counter::ServeDecodeSteps), false);
+    appendDouble(r, "prefill_s",
+                 secondsDelta(now, prev, Seconds::ServePrefill), false);
+    appendDouble(r, "decode_s",
+                 secondsDelta(now, prev, Seconds::ServeDecode), false);
+    appendInt(r, "kv_page_allocs",
+              counterDelta(now, prev, Counter::KvPageAllocs), false);
+    appendInt(r, "kv_page_releases",
+              counterDelta(now, prev, Counter::KvPageReleases), false);
+    appendInt(r, "kv_pages_in_use",
+              now.lastGauge(LastGauge::KvPagesInUse), false);
+    appendInt(r, "kv_pages_peak", now.maxGauge(MaxGauge::KvPagesPeak),
+              false);
+    appendInt(r, "active_seqs",
+              now.lastGauge(LastGauge::ServeActiveSeqs), false);
+    r += "}";
+
     const int64_t hits = counterDelta(now, prev, Counter::SolveCacheHits);
     const int64_t misses =
         counterDelta(now, prev, Counter::SolveCacheMisses);
@@ -443,7 +471,8 @@ resolveMode()
     if (mode >= 0)
         return mode; // raced with another resolver/configure()
     Config config;
-    const char *spec = std::getenv("SNIP_TELEMETRY");
+    const char *spec =
+        runtime::envConfig().telemetry().cstrOrNull();
     if (!parseSpec(spec, &config)) {
         warn("unknown SNIP_TELEMETRY value '", spec,
              "' (expected off|on|json:<path>); telemetry disabled");

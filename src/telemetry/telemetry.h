@@ -78,6 +78,12 @@ enum class Counter : int
     SchemeUpdates,     ///< scheme updates applied to the model
     SchemeSolveCached, ///< ... whose ILP came from the solve cache
     SchemePublishes,   ///< results published by the update service
+    ServeRequests,     ///< requests retired by the serving engine
+    ServePrefillTokens,///< prompt tokens prefilled
+    ServeDecodeTokens, ///< tokens produced by decode steps
+    ServeDecodeSteps,  ///< coalesced decode iterations
+    KvPageAllocs,      ///< KV-cache pages taken from the free list
+    KvPageReleases,    ///< KV-cache pages returned on retirement
     kCount
 };
 
@@ -90,6 +96,8 @@ enum class Seconds : int
     SchemeHidden, ///< ... portion overlapped with training
     SchemeExposed,///< ... portion the trainer waited for
     SchemeWorker, ///< update-service worker busy seconds
+    ServePrefill, ///< engine seconds inside prefill forwards
+    ServeDecode,  ///< engine seconds inside decode steps
     kCount
 };
 
@@ -98,6 +106,7 @@ enum class Seconds : int
 enum class MaxGauge : int
 {
     ArenaHighWaterBytes, ///< peak bytes live in any one arena episode
+    KvPagesPeak,         ///< peak KV-cache pages in use
     kCount
 };
 
@@ -105,6 +114,10 @@ enum class MaxGauge : int
 enum class LastGauge : int
 {
     ArenaReservedBytes, ///< slab bytes currently owned per arena
+    // Serve gauges are owned by the single engine thread (LastGauge
+    // folds by summing shards, so only one thread may write them).
+    KvPagesInUse,       ///< KV-cache pages currently allocated
+    ServeActiveSeqs,    ///< sequences in the engine's active batch
     kCount
 };
 

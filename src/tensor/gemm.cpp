@@ -9,6 +9,7 @@
 
 #include "quant/codec.h"
 #include "quant/scaling.h"
+#include "runtime/env_config.h"
 #include "runtime/thread_pool.h"
 #include "runtime/workspace_arena.h"
 #include "simd/dispatch.h"
@@ -399,6 +400,12 @@ invalidateWeightPacks()
     g_weight_epoch.fetch_add(1, std::memory_order_acq_rel);
 }
 
+uint64_t
+weightPackEpoch()
+{
+    return g_weight_epoch.load(std::memory_order_acquire);
+}
+
 namespace {
 
 /**
@@ -727,7 +734,8 @@ gemmPackMode()
     int mode = g_pack_mode.load(std::memory_order_acquire);
     if (mode < 0) {
         GemmPackMode m = GemmPackMode::Auto;
-        const char *spec = std::getenv("SNIP_GEMM_PACK");
+        const char *spec =
+            runtime::envConfig().gemmPack().cstrOrNull();
         if (!parsePackMode(spec, &m)) {
             warn("unknown SNIP_GEMM_PACK value '", spec,
                  "' (expected auto|on|off); using auto");

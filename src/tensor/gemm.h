@@ -198,6 +198,11 @@ class PackedWeightCache
  *  (optimizer step, checkpoint restore) must call this. */
 void invalidateWeightPacks();
 
+/** Current weight-pack epoch: 0 until the first invalidateWeightPacks()
+ *  call, then bumped by every one. Caches derived from weights (packed
+ *  panels, quantized inference copies) key on this to notice mutation. */
+uint64_t weightPackEpoch();
+
 // ------------------------------------- quantizing packed entry points
 //
 // The packed pipeline with fused quantize-on-pack. aq/bq describe the

@@ -13,6 +13,7 @@
 #include <stdexcept>
 #include <vector>
 
+#include "runtime/env_config.h"
 #include "runtime/thread_pool.h"
 
 namespace snip {
@@ -154,16 +155,20 @@ TEST(Runtime, DefaultThreadCountHonorsSnipThreadsEnv)
     std::string saved_value = saved ? saved : "";
 
     ASSERT_EQ(setenv("SNIP_THREADS", "3", 1), 0);
+    reloadEnvConfig();
     EXPECT_EQ(defaultThreadCount(), 3);
     ASSERT_EQ(setenv("SNIP_THREADS", "not-a-number", 1), 0);
+    reloadEnvConfig();
     EXPECT_GE(defaultThreadCount(), 1); // falls back to hardware
     ASSERT_EQ(setenv("SNIP_THREADS", "0", 1), 0);
+    reloadEnvConfig();
     EXPECT_GE(defaultThreadCount(), 1);
 
     if (saved)
         setenv("SNIP_THREADS", saved_value.c_str(), 1);
     else
         unsetenv("SNIP_THREADS");
+    reloadEnvConfig();
 }
 
 TEST(Runtime, GlobalPoolIsSharedAndResizable)
