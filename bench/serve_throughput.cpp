@@ -11,9 +11,14 @@
  * kernel sweep and gates them with tools/check_bench.py like any
  * other benchmark.
  *
+ * With --trace[=PATH] span tracing is enabled for the measured runs
+ * and a Chrome trace-event JSON (Perfetto-loadable, summarizable with
+ * tools/trace_report.py) is written at exit. Traced bench rows get a
+ * "/traced" name suffix so they never gate against untraced baselines.
+ *
  * Usage:
  *   serve_throughput [--requests=64] [--concurrency=8] [--seed=7]
- *                    [--threads=N] [--json=PATH]
+ *                    [--threads=N] [--json=PATH] [--trace[=PATH]]
  */
 #include <cstdio>
 #include <string>
@@ -23,6 +28,7 @@
 #include "runtime/env_config.h"
 #include "runtime/thread_pool.h"
 #include "serve/engine.h"
+#include "telemetry/trace.h"
 #include "train/presets.h"
 #include "util/string_util.h"
 
@@ -113,23 +119,29 @@ jsonRow(const std::string &name, double items_per_second,
 }
 
 bool
-writeJson(const std::string &path, const std::vector<ModeResult> &runs)
+writeJson(const std::string &path, const std::vector<ModeResult> &runs,
+          bool traced)
 {
     std::FILE *f = std::fopen(path.c_str(), "w");
     if (f == nullptr)
         return false;
+    // Traced runs carry recording overhead; the suffix keeps their
+    // rows from ever gating against untraced baselines (CI excludes
+    // "/traced" like the thread sweeps).
+    const char *suffix = traced ? "/traced" : "";
     std::vector<std::string> rows;
     for (const ModeResult &r : runs) {
         const serve::ServeStats &s = r.stats;
-        rows.push_back(jsonRow(strformat("BM_ServeDecode/%s", r.mode),
-                               s.tokensPerSecond(),
-                               s.elapsed_s * 1e9));
         rows.push_back(
-            jsonRow(strformat("BM_ServePrefillTokens/%s", r.mode),
-                    prefillTokensPerSecond(s), s.prefill_s * 1e9));
+            jsonRow(strformat("BM_ServeDecode/%s%s", r.mode, suffix),
+                    s.tokensPerSecond(), s.elapsed_s * 1e9));
+        rows.push_back(jsonRow(strformat("BM_ServePrefillTokens/%s%s",
+                                         r.mode, suffix),
+                               prefillTokensPerSecond(s),
+                               s.prefill_s * 1e9));
         rows.push_back(
-            jsonRow(strformat("BM_ServeItlP50/%s", r.mode), 0.0,
-                    s.p50_itl_s * 1e9));
+            jsonRow(strformat("BM_ServeItlP50/%s%s", r.mode, suffix),
+                    0.0, s.p50_itl_s * 1e9));
     }
     std::fprintf(f, "{\n  \"context\": {\"executable\": "
                     "\"serve_throughput\"},\n  \"benchmarks\": [\n");
@@ -152,6 +164,18 @@ serveMain(int argc, char **argv)
     const int64_t threads = args.getInt("threads", 0);
     if (threads > 0)
         runtime::setGlobalThreadCount(static_cast<int>(threads));
+
+    const bool tracing = args.has("trace");
+    std::string trace_path;
+    if (tracing) {
+        trace_path = args.get("trace", "");
+        if (trace_path.empty())
+            trace_path = "serve_trace.json";
+        trace::Config tc;
+        tc.enabled = true;
+        tc.json_path = trace_path;
+        trace::configure(tc);
+    }
 
     std::printf("%s", runtime::envConfig().dump().c_str());
     std::printf("requests=%lld concurrency=%lld seed=%llu\n",
@@ -177,11 +201,20 @@ serveMain(int argc, char **argv)
 
     const std::string json = args.get("json", "");
     if (!json.empty()) {
-        if (!writeJson(json, runs)) {
+        if (!writeJson(json, runs, tracing)) {
             std::fprintf(stderr, "cannot write %s\n", json.c_str());
             return 1;
         }
         std::printf("wrote %s\n", json.c_str());
+    }
+    if (tracing) {
+        if (!trace::flush()) {
+            std::fprintf(stderr, "cannot write %s\n",
+                         trace_path.c_str());
+            return 1;
+        }
+        std::printf("wrote %s (%lld spans)\n", trace_path.c_str(),
+                    static_cast<long long>(trace::spansRecorded()));
     }
     return 0;
 }

@@ -16,6 +16,7 @@
  *
  *   ./serve_demo [--requests=12] [--concurrency=4] [--seed=7]
  */
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -29,6 +30,7 @@
 #include "train/presets.h"
 #include "util/rng.h"
 #include "util/string_util.h"
+#include "util/table.h"
 
 using namespace snip;
 
@@ -109,6 +111,33 @@ decodeTrajectory(LlamaModel &model, const std::vector<int32_t> &prompt,
     }
     cache.endSequence(sid);
     return rows;
+}
+
+/** Per-request latency table: the engine-reported numbers a span
+ *  trace (SNIP_TRACE=json:...) should be eyeballed against. */
+void
+printRequestTable(const std::vector<serve::RequestResult> &results)
+{
+    TablePrinter table(
+        {"request", "tokens", "ttft_ms", "itl_mean_ms", "itl_max_ms"});
+    for (const serve::RequestResult &r : results) {
+        double itl_sum = 0.0, itl_max = 0.0;
+        for (double itl : r.itl_s) {
+            itl_sum += itl;
+            itl_max = std::max(itl_max, itl);
+        }
+        const double itl_mean =
+            r.itl_s.empty()
+                ? 0.0
+                : itl_sum / static_cast<double>(r.itl_s.size());
+        table.newRow();
+        table.cell(r.id);
+        table.cell(static_cast<int64_t>(r.tokens.size()));
+        table.cell(r.ttft_s * 1e3, 3);
+        table.cell(itl_mean * 1e3, 3);
+        table.cell(itl_max * 1e3, 3);
+    }
+    table.print();
 }
 
 std::vector<float>
@@ -242,6 +271,7 @@ main(int argc, char **argv)
                 "p99 %.3f ms\n",
                 s.p50_ttft_s * 1e3, s.p99_ttft_s * 1e3,
                 s.p50_itl_s * 1e3, s.p99_itl_s * 1e3);
+    printRequestTable(results);
     if (results.size() != static_cast<size_t>(requests)) {
         std::printf("FAIL: expected %lld results, got %zu\n",
                     static_cast<long long>(requests), results.size());

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "telemetry/telemetry.h"
+#include "telemetry/trace.h"
 #include "util/logging.h"
 
 namespace snip {
@@ -11,6 +12,9 @@ namespace snip {
 SchemeUpdateResult
 runSchemeUpdate(const SchemeUpdateRequest &request)
 {
+    trace::TraceScope span(trace::Category::Scheme, "scheme_solve",
+                           "epoch",
+                           static_cast<int64_t>(request.epoch));
     const auto start = std::chrono::steady_clock::now();
 
     // Step 4: divergence analysis on the snapshotted statistics.
@@ -44,7 +48,10 @@ SchemeUpdateService::submit(SchemeUpdateRequest request)
     // The worker owns the snapshot; nothing in it aliases trainer
     // state, so the solve proceeds while training continues.
     auto req = std::make_shared<SchemeUpdateRequest>(std::move(request));
-    worker_.submit([this, req] { publish(runSchemeUpdate(*req)); });
+    worker_.submit([this, req] {
+        trace::setCurrentThreadName("scheme-worker");
+        publish(runSchemeUpdate(*req));
+    });
     return epoch;
 }
 

@@ -5,6 +5,7 @@
 
 #include "async/scheme_service.h"
 #include "telemetry/telemetry.h"
+#include "telemetry/trace.h"
 #include "util/logging.h"
 
 namespace snip {
@@ -162,7 +163,12 @@ SnipController::adoptPending(LlamaModel &model)
         return;
     }
     const auto t0 = std::chrono::steady_clock::now();
-    SchemeUpdateResult result = service_->wait(pending_epoch_);
+    SchemeUpdateResult result = [&] {
+        trace::TraceScope span(trace::Category::Scheme, "handoff_wait",
+                               "epoch",
+                               static_cast<int64_t>(pending_epoch_));
+        return service_->wait(pending_epoch_);
+    }();
     // Any earlier blocking wait on this epoch (exportState during a
     // mid-interval checkpoint) was trainer time too.
     applyResult(model, result,

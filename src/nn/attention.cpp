@@ -12,6 +12,7 @@
 #include "simd/dispatch.h"
 #include "simd/kernels.h"
 #include "telemetry/telemetry.h"
+#include "telemetry/trace.h"
 #include "tensor/gemm.h"
 #include "util/rng.h"
 #include "util/string_util.h"
@@ -523,6 +524,8 @@ attentionForwardCore(const AttnShape &s, const float *q, const float *k,
     validateShape(s);
     telemetry::ScopedTimer timer(telemetry::Timer::AttnFwd);
     telemetry::count(telemetry::Counter::AttnFwdCalls);
+    trace::TraceScope span(trace::Category::Attn, "attn_fwd", "batch",
+                           s.batch, "heads", s.n_heads);
     if (attnMode() == AttnMode::Par)
         forwardPar(s, q, k, v, probs, ctx);
     else
@@ -537,6 +540,8 @@ attentionBackwardCore(const AttnShape &s, const float *q, const float *k,
     validateShape(s);
     telemetry::ScopedTimer timer(telemetry::Timer::AttnBwd);
     telemetry::count(telemetry::Counter::AttnBwdCalls);
+    trace::TraceScope span(trace::Category::Attn, "attn_bwd", "batch",
+                           s.batch, "heads", s.n_heads);
     if (attnMode() == AttnMode::Par)
         backwardPar(s, q, k, v, probs, dctx, dq, dk, dv);
     else

@@ -81,6 +81,7 @@ EnvConfig::fromEnvironment()
     c.gemm_pack_ = captureKnob("SNIP_GEMM_PACK");
     c.attn_ = captureKnob("SNIP_ATTN");
     c.telemetry_ = captureKnob("SNIP_TELEMETRY");
+    c.trace_ = captureKnob("SNIP_TRACE");
     c.kv_cache_ = captureKnob("SNIP_KV_CACHE");
     c.kv_page_ = captureKnob("SNIP_KV_PAGE");
     c.threads_ = parseThreads(c.threads_knob_);
@@ -101,6 +102,8 @@ EnvConfig::dump() const
     appendKnob(&out, "SNIP_ATTN", attn_, attn_.set ? attn_.value : "par");
     appendKnob(&out, "SNIP_TELEMETRY", telemetry_,
                telemetry_.set ? telemetry_.value : "off");
+    appendKnob(&out, "SNIP_TRACE", trace_,
+               trace_.set ? trace_.value : "off");
     appendKnob(&out, "SNIP_KV_CACHE", kv_cache_,
                kv_cache_.set ? kv_cache_.value : "fp8");
     appendKnob(&out, "SNIP_KV_PAGE", kv_page_,

@@ -17,6 +17,7 @@
  *   SNIP_GEMM_PACK  packed-GEMM policy: auto|on|off
  *   SNIP_ATTN       attention scheduling: par|serial
  *   SNIP_TELEMETRY  telemetry sink: off|on|json:<path>
+ *   SNIP_TRACE      span-trace sink: off|on|json:<path>
  *   SNIP_KV_CACHE   serving KV-cache storage: fp8|fp32
  *   SNIP_KV_PAGE    serving KV-cache page size in tokens (1..4096)
  *
@@ -70,6 +71,7 @@ class EnvConfig
     const EnvKnob &gemmPack() const { return gemm_pack_; }
     const EnvKnob &attn() const { return attn_; }
     const EnvKnob &telemetry() const { return telemetry_; }
+    const EnvKnob &trace() const { return trace_; }
     const EnvKnob &kvCache() const { return kv_cache_; }
     const EnvKnob &kvPage() const { return kv_page_; }
 
@@ -83,6 +85,7 @@ class EnvConfig
     EnvKnob gemm_pack_;
     EnvKnob attn_;
     EnvKnob telemetry_;
+    EnvKnob trace_;
     EnvKnob kv_cache_;
     EnvKnob kv_page_;
     int threads_ = 1;

@@ -6,6 +6,7 @@
 
 #include "runtime/env_config.h"
 #include "telemetry/telemetry.h"
+#include "telemetry/trace.h"
 #include "util/logging.h"
 
 namespace snip {
@@ -149,6 +150,15 @@ ThreadPool::parallelFor(int64_t begin, int64_t end, int64_t grain,
         grain = 1;
     const int64_t n = end - begin;
     const int64_t n_chunks = (n + grain - 1) / grain;
+
+    // Sampled span (1 in 16 per submitter): B*H fan-outs issue
+    // thousands of jobs per step and would flood the flight recorder.
+    static thread_local uint32_t t_trace_tick = 0;
+    const bool traced =
+        trace::enabled() && ((++t_trace_tick & 15u) == 0);
+    trace::TraceScope trace_span(traced, trace::Category::Pool,
+                                 "parallel_for", "n", n, "chunks",
+                                 n_chunks);
 
     // Counted on every path (inline included) so job/chunk totals are
     // thread-count invariant: the chunking never depends on n_threads_.

@@ -6,6 +6,7 @@
 #include "nn/model.h"
 #include "runtime/env_config.h"
 #include "telemetry/telemetry.h"
+#include "telemetry/trace.h"
 #include "util/logging.h"
 
 namespace snip {
@@ -106,13 +107,28 @@ Engine::admit(ServeRequest request, double now_s)
     free_slots_.pop_back();
     cache_.beginSequence(seq.slot);
 
+    if (trace::enabled()) {
+        // The queue wait ended the instant this admission started;
+        // backdate the span so the timeline shows the full wait.
+        seq.admit_ns = trace::nowNs();
+        const int64_t queued_ns = static_cast<int64_t>(
+            std::max(0.0, now_s - request.arrival_s) * 1e9);
+        trace::record(trace::Category::Serve, "queued",
+                      seq.admit_ns - queued_ns, queued_ns, "id",
+                      request.id);
+    }
+
     const double t_pre = realSeconds();
     KvCacheHandle handle;
     handle.cache = &cache_;
     handle.seq_ids = &seq.slot;
     handle.count = 1;
-    Tensor logits = model_.forward(request.prompt, 1, plen,
-                                   ForwardMode::Prefill, handle);
+    Tensor logits = [&] {
+        trace::TraceScope span(trace::Category::Serve, "prefill", "id",
+                               request.id, "tokens", plen);
+        return model_.forward(request.prompt, 1, plen,
+                              ForwardMode::Prefill, handle);
+    }();
     const double prefill_s = realSeconds() - t_pre;
     stats_.prefill_s += prefill_s;
     stats_.prefill_tokens += plen;
@@ -157,6 +173,9 @@ Engine::decodeOnce(double now_s)
         step_tokens_.push_back(seq.result.tokens.back());
     }
     const int64_t count = static_cast<int64_t>(active_.size());
+    trace::TraceScope span(trace::Category::Serve, "decode_step",
+                           "width", count, "step",
+                           stats_.decode_steps);
 
     KvCacheHandle handle;
     handle.cache = &cache_;
@@ -203,6 +222,12 @@ void
 Engine::retire(std::size_t idx)
 {
     ActiveSeq &seq = active_[idx];
+    if (trace::enabled() && seq.admit_ns > 0)
+        trace::record(
+            trace::Category::Serve, "request", seq.admit_ns,
+            trace::nowNs() - seq.admit_ns, "id", seq.result.id,
+            "tokens",
+            static_cast<int64_t>(seq.result.tokens.size()));
     cache_.endSequence(seq.slot);
     free_slots_.push_back(seq.slot);
     done_.push_back(std::move(seq.result));
@@ -215,6 +240,7 @@ std::vector<RequestResult>
 Engine::run(RequestQueue &queue)
 {
     stats_ = ServeStats{};
+    trace::setCurrentThreadName("serve-engine");
     done_.clear();
     active_.clear();
     free_slots_.clear();

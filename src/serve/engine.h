@@ -104,6 +104,7 @@ class Engine
         ServeRequest request;
         RequestResult result;
         double last_token_s = 0.0;
+        int64_t admit_ns = 0; ///< trace clock at admission (0 = off)
         bool done = false;
     };
 

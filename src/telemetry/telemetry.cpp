@@ -381,39 +381,14 @@ renderDocumentLocked(Registry &reg)
     return doc;
 }
 
-/** Write tmp + rename, so concurrent readers (and concurrent writer
- *  processes racing for the same path) always see a complete JSON
- *  document. */
-bool
-writeFileAtomic(const std::string &path, const std::string &content)
-{
-    const std::string tmp =
-        path + ".tmp." + std::to_string(::getpid());
-    std::FILE *f = std::fopen(tmp.c_str(), "wb");
-    if (f == nullptr)
-        return false;
-    const bool ok =
-        std::fwrite(content.data(), 1, content.size(), f) ==
-        content.size();
-    if (std::fclose(f) != 0 || !ok) {
-        std::remove(tmp.c_str());
-        return false;
-    }
-    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
-        std::remove(tmp.c_str());
-        return false;
-    }
-    return true;
-}
-
 bool
 flushLocked(Registry &reg)
 {
     reg.boundaries_since_flush = 0;
     if (reg.config.json_path.empty())
         return true;
-    return writeFileAtomic(reg.config.json_path,
-                           renderDocumentLocked(reg));
+    return detail::writeFileAtomic(reg.config.json_path,
+                                   renderDocumentLocked(reg));
 }
 
 void
@@ -461,6 +436,28 @@ parseSpec(const char *spec, Config *out)
 } // namespace
 
 namespace detail {
+
+bool
+writeFileAtomic(const std::string &path, const std::string &content)
+{
+    const std::string tmp =
+        path + ".tmp." + std::to_string(::getpid());
+    std::FILE *f = std::fopen(tmp.c_str(), "wb");
+    if (f == nullptr)
+        return false;
+    const bool ok =
+        std::fwrite(content.data(), 1, content.size(), f) ==
+        content.size();
+    if (std::fclose(f) != 0 || !ok) {
+        std::remove(tmp.c_str());
+        return false;
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        std::remove(tmp.c_str());
+        return false;
+    }
+    return true;
+}
 
 int
 resolveMode()

@@ -171,6 +171,12 @@ extern std::atomic<int> g_mode;
 int resolveMode();
 Shard &shardSlow();
 
+/** Write tmp + rename, so concurrent readers (and concurrent writer
+ *  processes racing for the same path) always see a complete
+ *  document. Shared with the trace exporter (telemetry/trace.h). */
+bool writeFileAtomic(const std::string &path,
+                     const std::string &content);
+
 inline bool
 on()
 {

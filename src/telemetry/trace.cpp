@@ -1,0 +1,362 @@
+#include "telemetry/trace.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <mutex>
+#include <vector>
+
+#include <unistd.h>
+
+#include "runtime/env_config.h"
+#include "telemetry/telemetry.h"
+#include "util/logging.h"
+
+namespace snip {
+namespace trace {
+
+namespace detail {
+
+std::atomic<int> g_mode{-1};
+thread_local Ring *t_ring = nullptr;
+
+} // namespace detail
+
+namespace {
+
+using detail::Ring;
+using detail::SpanCell;
+
+const char *const kCategoryNames[kNumCategories] = {
+    "train", "scheme", "pool", "gemm", "attn", "serve"};
+
+/** Registry state behind every slow path (ring creation, export).
+ *  Hot-path recording never takes this lock. */
+struct Registry
+{
+    std::mutex mu;
+    /** All rings ever created, in registration order (the order
+     *  assigns tids). Never freed; see Ring. */
+    std::vector<Ring *> rings;
+
+    Config config;
+    bool atexit_registered = false;
+};
+
+Registry &
+registry()
+{
+    static Registry *r = new Registry; // leaked; see rings comment
+    return *r;
+}
+
+/** Steady-clock origin shared by every span. Resolved once on first
+ *  use (thread-safe magic static; no lock or allocation afterwards). */
+std::chrono::steady_clock::time_point
+traceEpoch()
+{
+    static const std::chrono::steady_clock::time_point epoch =
+        std::chrono::steady_clock::now();
+    return epoch;
+}
+
+void
+appendEscaped(std::string &out, const char *s)
+{
+    for (; *s != '\0'; ++s) {
+        const char ch = *s;
+        switch (ch) {
+            case '"':
+                out += "\\\"";
+                break;
+            case '\\':
+                out += "\\\\";
+                break;
+            case '\n':
+                out += "\\n";
+                break;
+            case '\t':
+                out += "\\t";
+                break;
+            default:
+                if (static_cast<unsigned char>(ch) < 0x20) {
+                    char buf[8];
+                    std::snprintf(buf, sizeof(buf), "\\u%04x", ch);
+                    out += buf;
+                } else {
+                    out += ch;
+                }
+        }
+    }
+}
+
+/** A consistent copy of one cell, or failure when the read raced the
+ *  owner mid-rewrite (seqlock double-check). */
+struct SpanCopy
+{
+    int64_t ts_ns = 0;
+    int64_t dur_ns = 0;
+    int cat = 0;
+    const char *name = nullptr;
+    const char *arg_key[2] = {nullptr, nullptr};
+    int64_t arg_val[2] = {0, 0};
+};
+
+bool
+readCell(const SpanCell &c, uint64_t ticket, SpanCopy *out)
+{
+    if (c.seq.load(std::memory_order_acquire) != ticket)
+        return false;
+    out->ts_ns = c.ts_ns.load(std::memory_order_relaxed);
+    out->dur_ns = c.dur_ns.load(std::memory_order_relaxed);
+    out->cat = c.cat.load(std::memory_order_relaxed);
+    out->name = c.name.load(std::memory_order_relaxed);
+    out->arg_key[0] = c.arg_key[0].load(std::memory_order_relaxed);
+    out->arg_val[0] = c.arg_val[0].load(std::memory_order_relaxed);
+    out->arg_key[1] = c.arg_key[1].load(std::memory_order_relaxed);
+    out->arg_val[1] = c.arg_val[1].load(std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_acquire);
+    return c.seq.load(std::memory_order_relaxed) == ticket &&
+           out->name != nullptr;
+}
+
+void
+appendEvent(std::string &out, int64_t pid, int tid, const SpanCopy &s,
+            bool first)
+{
+    if (!first)
+        out += ",\n";
+    char buf[160];
+    std::snprintf(buf, sizeof(buf),
+                  "    {\"ph\": \"X\", \"pid\": %lld, \"tid\": %d, "
+                  "\"ts\": %.3f, \"dur\": %.3f",
+                  static_cast<long long>(pid), tid,
+                  static_cast<double>(s.ts_ns) / 1e3,
+                  static_cast<double>(s.dur_ns) / 1e3);
+    out += buf;
+    out += ", \"cat\": \"";
+    out += (s.cat >= 0 && s.cat < kNumCategories)
+               ? kCategoryNames[s.cat]
+               : "other";
+    out += "\", \"name\": \"";
+    appendEscaped(out, s.name);
+    out += "\"";
+    if (s.arg_key[0] != nullptr || s.arg_key[1] != nullptr) {
+        out += ", \"args\": {";
+        bool first_arg = true;
+        for (int a = 0; a < 2; ++a) {
+            if (s.arg_key[a] == nullptr)
+                continue;
+            if (!first_arg)
+                out += ", ";
+            first_arg = false;
+            out += "\"";
+            appendEscaped(out, s.arg_key[a]);
+            std::snprintf(buf, sizeof(buf), "\": %lld",
+                          static_cast<long long>(s.arg_val[a]));
+            out += buf;
+        }
+        out += "}";
+    }
+    out += "}";
+}
+
+void
+appendThreadNameEvent(std::string &out, int64_t pid, int tid,
+                      const char *name, bool first)
+{
+    if (!first)
+        out += ",\n";
+    char buf[96];
+    std::snprintf(buf, sizeof(buf),
+                  "    {\"ph\": \"M\", \"pid\": %lld, \"tid\": %d, "
+                  "\"name\": \"thread_name\", \"args\": {\"name\": \"",
+                  static_cast<long long>(pid), tid);
+    out += buf;
+    appendEscaped(out, name);
+    out += "\"}}";
+}
+
+std::string
+renderJsonLocked(Registry &reg)
+{
+    const int64_t pid = static_cast<int64_t>(::getpid());
+    std::string doc = "{\"traceEvents\": [\n";
+    bool first = true;
+    for (const Ring *r : reg.rings) {
+        if (const char *tn =
+                r->thread_name.load(std::memory_order_acquire)) {
+            appendThreadNameEvent(doc, pid, r->tid, tn, first);
+            first = false;
+        }
+        const uint64_t head = r->head.load(std::memory_order_acquire);
+        const uint64_t cap = static_cast<uint64_t>(kRingCapacity);
+        const uint64_t lo = head > cap ? head - cap + 1 : 1;
+        for (uint64_t ticket = lo; ticket <= head; ++ticket) {
+            SpanCopy s;
+            if (!readCell(r->cells[(ticket - 1) % cap], ticket, &s))
+                continue; // torn by a concurrent writer; skip
+            appendEvent(doc, pid, r->tid, s, first);
+            first = false;
+        }
+    }
+    doc += "\n  ], \"displayTimeUnit\": \"ms\"}\n";
+    return doc;
+}
+
+bool
+flushLocked(Registry &reg)
+{
+    if (reg.config.json_path.empty())
+        return true;
+    return telemetry::detail::writeFileAtomic(reg.config.json_path,
+                                              renderJsonLocked(reg));
+}
+
+void
+applyConfigLocked(Registry &reg, const Config &config)
+{
+    reg.config = config;
+    if (config.enabled && !config.json_path.empty() &&
+        !reg.atexit_registered) {
+        // Benches and tests rarely flush explicitly; make sure a
+        // normally-exiting process always leaves a complete document.
+        reg.atexit_registered = true;
+        std::atexit([] { (void)flush(); });
+    }
+    // Pin the shared epoch before any recorder can observe mode=on,
+    // so the first span never pays the magic-static guard.
+    (void)traceEpoch();
+    detail::g_mode.store(config.enabled ? 1 : 0,
+                         std::memory_order_release);
+}
+
+bool
+parseSpec(const char *spec, Config *out)
+{
+    if (spec == nullptr || *spec == '\0' ||
+        std::strcmp(spec, "off") == 0) {
+        out->enabled = false;
+        out->json_path.clear();
+        return true;
+    }
+    if (std::strcmp(spec, "on") == 0) {
+        out->enabled = true;
+        out->json_path.clear();
+        return true;
+    }
+    if (std::strncmp(spec, "json:", 5) == 0 && spec[5] != '\0') {
+        out->enabled = true;
+        out->json_path = spec + 5;
+        return true;
+    }
+    return false;
+}
+
+} // namespace
+
+namespace detail {
+
+int
+resolveMode()
+{
+    Registry &reg = registry();
+    std::lock_guard<std::mutex> lk(reg.mu);
+    int mode = g_mode.load(std::memory_order_acquire);
+    if (mode >= 0)
+        return mode; // raced with another resolver/configure()
+    Config config;
+    const char *spec = runtime::envConfig().trace().cstrOrNull();
+    if (!parseSpec(spec, &config)) {
+        warn("unknown SNIP_TRACE value '", spec,
+             "' (expected off|on|json:<path>); tracing disabled");
+        config = Config{};
+    }
+    applyConfigLocked(reg, config);
+    return config.enabled ? 1 : 0;
+}
+
+Ring &
+ringSlow()
+{
+    Registry &reg = registry();
+    std::lock_guard<std::mutex> lk(reg.mu);
+    if (t_ring == nullptr) {
+        t_ring = new Ring; // leaked; see Registry::rings
+        reg.rings.push_back(t_ring);
+        t_ring->tid = static_cast<int>(reg.rings.size());
+    }
+    return *t_ring;
+}
+
+} // namespace detail
+
+int64_t
+nowNs()
+{
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now() - traceEpoch())
+        .count();
+}
+
+void
+setCurrentThreadName(const char *name)
+{
+    if (!detail::on())
+        return;
+    detail::ring().thread_name.store(name, std::memory_order_release);
+}
+
+std::string
+renderJson()
+{
+    Registry &reg = registry();
+    std::lock_guard<std::mutex> lk(reg.mu);
+    return renderJsonLocked(reg);
+}
+
+bool
+flush()
+{
+    if (detail::g_mode.load(std::memory_order_acquire) != 1)
+        return true;
+    Registry &reg = registry();
+    std::lock_guard<std::mutex> lk(reg.mu);
+    return flushLocked(reg);
+}
+
+int64_t
+spansRecorded()
+{
+    Registry &reg = registry();
+    std::lock_guard<std::mutex> lk(reg.mu);
+    int64_t n = 0;
+    for (const Ring *r : reg.rings) {
+        const uint64_t head = r->head.load(std::memory_order_acquire);
+        n += static_cast<int64_t>(
+            std::min(head, static_cast<uint64_t>(kRingCapacity)));
+    }
+    return n;
+}
+
+void
+configure(const Config &config)
+{
+    Registry &reg = registry();
+    std::lock_guard<std::mutex> lk(reg.mu);
+    applyConfigLocked(reg, config);
+}
+
+bool
+configureFromSpec(const char *spec)
+{
+    Config config;
+    if (!parseSpec(spec, &config))
+        return false;
+    configure(config);
+    return true;
+}
+
+} // namespace trace
+} // namespace snip

@@ -15,6 +15,7 @@
 #include "simd/dispatch.h"
 #include "simd/kernels.h"
 #include "telemetry/telemetry.h"
+#include "telemetry/trace.h"
 #include "util/logging.h"
 
 namespace snip {
@@ -66,6 +67,8 @@ gemmBlockedLegacy(simd::GemmBlockFn block_fn, const float *a,
     telemetry::count(telemetry::Counter::GemmCalls);
     telemetry::count(telemetry::Counter::GemmLegacyCalls);
     telemetry::count(telemetry::Counter::GemmFlops, 2 * m * n * k);
+    trace::TraceScope span(trace::Category::Gemm, "gemm", "m", m, "n",
+                           n);
     LegacyCtx ctx{block_fn, a, b, c, m, n, k, accumulate};
     const LegacyCtx *pc = &ctx;
     runtime::parallelFor(0, mBlocks(m), 1, [pc](int64_t b0, int64_t b1) {
@@ -505,6 +508,8 @@ packedGemm(const float *a, int64_t a_ld, bool a_k_major, int64_t a_rows,
     telemetry::count(telemetry::Counter::GemmCalls);
     telemetry::count(telemetry::Counter::GemmPackedCalls);
     telemetry::count(telemetry::Counter::GemmFlops, 2 * m * n * k);
+    trace::TraceScope span(trace::Category::Gemm, "gemm_packed", "m",
+                           m, "n", n);
     const simd::KernelTable &kt = simd::activeKernels();
     runtime::WorkspaceArena &arena =
         runtime::WorkspaceArena::forCurrentThread();
@@ -675,6 +680,8 @@ gemmBatchedStreamB(simd::GemmBlockFn block_fn, const float *a,
     telemetry::count(telemetry::Counter::GemmBatchedItems, count);
     telemetry::count(telemetry::Counter::GemmFlops,
                      2 * count * m * n * k);
+    trace::TraceScope span(trace::Category::Gemm, "gemm_batched",
+                           "items", count, "m", m);
     runtime::WorkspaceArena &arena =
         runtime::WorkspaceArena::forCurrentThread();
     runtime::ArenaScope scope(arena);
@@ -902,6 +909,9 @@ gemmBatchedTN(const float *a, int64_t a_stride, const float *b,
     telemetry::count(telemetry::Counter::GemmBatchedItems, count);
     telemetry::count(telemetry::Counter::GemmFlops,
                      2 * count * m * n * k);
+    trace::TraceScope span(trace::Category::Gemm,
+                           "gemm_batched_grouped", "items", count, "m",
+                           m);
     const BatchedCtx *pc = &ctx;
     // Workers own whole GROUPS: the items of a group reduce into the
     // group's shared C sequentially (each item's product is fully

@@ -2,6 +2,7 @@
 
 #include "runtime/thread_pool.h"
 #include "telemetry/telemetry.h"
+#include "telemetry/trace.h"
 #include "tensor/gemm.h"
 #include "util/logging.h"
 
@@ -30,17 +31,37 @@ Trainer::Trainer(const TrainerConfig &config)
 double
 Trainer::trainStep(SnipController *controller)
 {
+    trace::TraceScope step_span(trace::Category::Train, "step", "step",
+                                step_);
     Batch batch = iter_->next();
-    if (controller)
-        controller->maybeUpdate(*model_, opt_.get(), batch, step_,
-                                &pool());
+    {
+        // The apply boundary is a phase of every step, controller or
+        // not: a near-zero span here means "nothing adopted".
+        trace::TraceScope span(trace::Category::Train, "scheme_apply",
+                               "step", step_);
+        if (controller)
+            controller->maybeUpdate(*model_, opt_.get(), batch, step_,
+                                    &pool());
+    }
 
     model_->zeroGrad();
-    LossResult loss = model_->forwardLoss(batch.tokens, batch.targets,
-                                          batch.batch, batch.seq);
-    model_->backward(loss.dlogits);
-    opt_->setLr(lr_.at(step_));
-    opt_->step();
+    LossResult loss = [&] {
+        trace::TraceScope span(trace::Category::Train, "fwd", "step",
+                               step_);
+        return model_->forwardLoss(batch.tokens, batch.targets,
+                                   batch.batch, batch.seq);
+    }();
+    {
+        trace::TraceScope span(trace::Category::Train, "bwd", "step",
+                               step_);
+        model_->backward(loss.dlogits);
+    }
+    {
+        trace::TraceScope span(trace::Category::Train, "optim", "step",
+                               step_);
+        opt_->setLr(lr_.at(step_));
+        opt_->step();
+    }
     ++step_;
     losses_.push_back(loss.loss);
     telemetry::stepBoundary(step_);

@@ -114,6 +114,21 @@ TEST(EnvConfig, StringKnobsCaptureRawText)
     EXPECT_EQ(runtime::envConfig().gemmPack().value, "off");
 }
 
+TEST(EnvConfig, TraceKnobCapturesRawText)
+{
+    EnvVarGuard guard("SNIP_TRACE");
+    guard.set("json:/tmp/spans.json");
+    EXPECT_TRUE(runtime::envConfig().trace().set);
+    EXPECT_EQ(runtime::envConfig().trace().value, "json:/tmp/spans.json");
+    // Handed to trace::configureFromSpec untouched — the grammar is
+    // owned there, so even a bogus spec is captured verbatim.
+    guard.set("bogus");
+    EXPECT_EQ(runtime::envConfig().trace().value, "bogus");
+    guard.unset();
+    EXPECT_FALSE(runtime::envConfig().trace().set);
+    EXPECT_EQ(runtime::envConfig().trace().cstrOrNull(), nullptr);
+}
+
 TEST(EnvConfig, KvCacheModeFollowsEnv)
 {
     EnvVarGuard guard("SNIP_KV_CACHE");
@@ -133,7 +148,8 @@ TEST(EnvConfig, DumpNamesEveryKnob)
     const std::string d = runtime::envConfig().dump();
     for (const char *knob :
          {"SNIP_THREADS", "SNIP_SIMD", "SNIP_GEMM_PACK", "SNIP_ATTN",
-          "SNIP_TELEMETRY", "SNIP_KV_CACHE", "SNIP_KV_PAGE"})
+          "SNIP_TELEMETRY", "SNIP_TRACE", "SNIP_KV_CACHE",
+          "SNIP_KV_PAGE"})
         EXPECT_NE(d.find(knob), std::string::npos) << knob;
 }
 

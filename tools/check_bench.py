@@ -29,6 +29,11 @@ Perf-trend support (CI archives one record per run):
                              the bench medians of this run, optional
                              embedded telemetry (--telemetry T.json)
                              and free-form --meta key=value pairs.
+                             The record always holds EVERY row of the
+                             run — --exclude filters the gate only, so
+                             ungated rows (thread sweeps, ITL
+                             percentiles, /traced runs) still land in
+                             the archived trend.
   --compare-trends OLD NEW   print the per-benchmark cost deltas of
                              two previously emitted trend records
                              (exit 0 always; it reports, not gates).
@@ -220,7 +225,11 @@ def main():
     new = load_costs(args.new, exclude)
     base = load_costs(args.baseline, exclude)
 
-    if args.emit_trend and not emit_trend(args.emit_trend, new,
+    # The trend record archives the WHOLE run: --exclude only filters
+    # the gate, so ungated rows (thread sweeps, ITL percentiles,
+    # /traced invocations) stay visible to --compare-trends.
+    if args.emit_trend and not emit_trend(args.emit_trend,
+                                          load_costs(args.new, None),
                                           args.telemetry, args.meta):
         return 2
 

@@ -1,0 +1,184 @@
+#!/usr/bin/env python3
+"""Summarize (or validate) a snip Chrome trace-event JSON.
+
+The C++ runtime (src/telemetry/trace.h, SNIP_TRACE=json:<path>) writes
+{"traceEvents": [...]} documents loadable in Perfetto/chrome://tracing.
+This tool answers the quick questions without a UI:
+
+  - where did the time go, per category and span name (total time and
+    SELF time, i.e. minus enclosed same-thread spans)?
+  - which requests were slowest end to end (the serve "request" spans)?
+  - how wide were the coalesced decode iterations (the "decode_step"
+    width histogram)?
+
+Validation mode for CI:
+
+  trace_report.py --check [--require name1,name2,...] trace.json
+
+exits non-zero unless the document is structurally sound (traceEvents
+is a non-empty list; every X event carries pid/tid/ts/dur/name) and
+every required span name appears at least once.
+
+Usage:
+  python3 tools/trace_report.py trace.json
+  python3 tools/trace_report.py --check --require queued,prefill trace.json
+"""
+
+import argparse
+import collections
+import json
+import sys
+
+
+def load_events(path):
+    with open(path) as f:
+        doc = json.load(f)
+    if not isinstance(doc, dict) or "traceEvents" not in doc:
+        raise ValueError("missing top-level traceEvents")
+    events = doc["traceEvents"]
+    if not isinstance(events, list):
+        raise ValueError("traceEvents is not a list")
+    return events
+
+
+def check(events, required):
+    """Structural validation; returns a list of problems."""
+    problems = []
+    if not events:
+        problems.append("traceEvents is empty")
+    names = set()
+    for i, ev in enumerate(events):
+        if not isinstance(ev, dict):
+            problems.append(f"event {i} is not an object")
+            continue
+        ph = ev.get("ph")
+        if ph not in ("X", "M"):
+            problems.append(f"event {i}: unexpected ph {ph!r}")
+            continue
+        if ph == "M":
+            continue
+        for key in ("pid", "tid", "ts", "dur", "name", "cat"):
+            if key not in ev:
+                problems.append(f"event {i}: missing {key!r}")
+        if isinstance(ev.get("dur"), (int, float)) and ev["dur"] < 0:
+            problems.append(f"event {i}: negative dur")
+        names.add(ev.get("name"))
+    for name in required:
+        if name not in names:
+            problems.append(f"required span {name!r} never recorded")
+    return problems
+
+
+def spans(events):
+    return [ev for ev in events if ev.get("ph") == "X"]
+
+
+def self_times(xs):
+    """Per-(cat, name) total and self time in us.
+
+    Self time subtracts enclosed same-thread spans: sorted by start
+    (ties: longer first), a span's parent is the innermost open span
+    on its thread, which loses the child's duration. Spans that merely
+    OVERLAP a parent without nesting inside it (concurrent logical
+    spans like the serve "request" lifecycles) are not subtracted —
+    they aren't stack-shaped, and subtracting them would drive parent
+    self time negative.
+    """
+    totals = collections.defaultdict(float)
+    selfs = collections.defaultdict(float)
+    counts = collections.defaultdict(int)
+    by_tid = collections.defaultdict(list)
+    for ev in xs:
+        by_tid[(ev["pid"], ev["tid"])].append(ev)
+    for tid_events in by_tid.values():
+        tid_events.sort(key=lambda ev: (ev["ts"], -ev["dur"]))
+        stack = []  # (end_ts, key) of open spans
+        for ev in tid_events:
+            key = (ev.get("cat", "?"), ev["name"])
+            end = ev["ts"] + ev["dur"]
+            totals[key] += ev["dur"]
+            selfs[key] += ev["dur"]
+            counts[key] += 1
+            while stack and stack[-1][0] <= ev["ts"]:
+                stack.pop()
+            if stack and end <= stack[-1][0]:  # fully nested only
+                selfs[stack[-1][1]] -= ev["dur"]
+            stack.append((end, key))
+    return totals, selfs, counts
+
+
+def report(events):
+    xs = spans(events)
+    if not xs:
+        print("no spans recorded")
+        return
+
+    totals, selfs, counts = self_times(xs)
+    n_threads = len({(ev["pid"], ev["tid"]) for ev in xs})
+    print(f"{len(xs)} spans across {n_threads} thread(s)\n")
+    print(f"{'category':<8} {'span':<22} {'count':>7} "
+          f"{'total_ms':>10} {'self_ms':>10}")
+    for key in sorted(totals, key=lambda k: -selfs[k]):
+        cat, name = key
+        print(f"{cat:<8} {name:<22} {counts[key]:>7} "
+              f"{totals[key] / 1e3:>10.3f} {selfs[key] / 1e3:>10.3f}")
+
+    requests = [ev for ev in xs if ev["name"] == "request"]
+    if requests:
+        requests.sort(key=lambda ev: -ev["dur"])
+        print("\nslowest requests (admission -> retirement):")
+        for ev in requests[:10]:
+            args = ev.get("args", {})
+            print(f"  request {args.get('id', '?'):>4}: "
+                  f"{ev['dur'] / 1e3:8.3f} ms, "
+                  f"{args.get('tokens', '?')} tokens")
+
+    widths = collections.Counter(
+        ev.get("args", {}).get("width", 0)
+        for ev in xs if ev["name"] == "decode_step")
+    if widths:
+        print("\ndecode-step width histogram (batch coalescing):")
+        peak = max(widths.values())
+        for width in sorted(widths):
+            n = widths[width]
+            bar = "#" * max(1, round(40 * n / peak))
+            print(f"  width {width:>3}: {n:>6}  {bar}")
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("trace", help="Chrome trace-event JSON path")
+    ap.add_argument("--check", action="store_true",
+                    help="validate structure instead of reporting")
+    ap.add_argument("--require", default="",
+                    help="comma-separated span names that must appear "
+                         "(implies --check semantics for them)")
+    args = ap.parse_args()
+
+    try:
+        events = load_events(args.trace)
+    except (OSError, ValueError, json.JSONDecodeError) as e:
+        print(f"error: {args.trace}: {e}", file=sys.stderr)
+        return 1
+
+    required = [n for n in args.require.split(",") if n]
+    if args.check or required:
+        problems = check(events, required)
+        if problems:
+            for p in problems[:20]:
+                print(f"error: {args.trace}: {p}", file=sys.stderr)
+            return 1
+        n_spans = len(spans(events))
+        print(f"{args.trace}: OK ({n_spans} spans"
+              + (f", all of [{', '.join(required)}] present"
+                 if required else "") + ")")
+        if not args.check:
+            report(events)
+        return 0
+
+    report(events)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
