@@ -102,12 +102,21 @@ main(int argc, char **argv)
     for (int64_t i = 0; i < steps / 2 + 1; ++i)
         first_half.push_back(trainer.trainStep(&controller));
     // Checkpoint while the second update may still be in flight; the
-    // pending scheme and its apply boundary land in the file.
-    if (saveCheckpoint(trainer, "resume_async.ckpt", &controller))
+    // pending scheme and its apply boundary land in the file. keep=1
+    // rotates the previous file to resume_async.ckpt.1 — the fallback
+    // loadCheckpointWithFallback() walks if this one is ever torn.
+    CheckpointWriteOptions copts;
+    copts.keep = 1;
+    CheckpointStatus save_status = CheckpointStatus::Ok;
+    if (saveCheckpoint(trainer, "resume_async.ckpt", &controller,
+                       &save_status, copts))
         std::printf("  checkpointed mid-interval at step %lld "
                     "(pending update: %s)\n",
                     static_cast<long long>(trainer.step()),
                     controller.hasPendingUpdate() ? "yes" : "no");
+    else
+        std::printf("  checkpoint write failed: %s\n",
+                    checkpointStatusName(save_status));
     auto tail = trainer.train(steps - steps / 2 - 1, &controller);
     const double direct_final = tail.empty()
                                     ? first_half.back()
@@ -115,9 +124,11 @@ main(int argc, char **argv)
 
     Trainer resumed(cfg);
     SnipController resumed_controller(cc);
+    CheckpointStatus load_status = CheckpointStatus::Ok;
     if (!loadCheckpoint(resumed, "resume_async.ckpt",
-                        &resumed_controller)) {
-        std::printf("  could not reload resume_async.ckpt\n");
+                        &resumed_controller, &load_status)) {
+        std::printf("  could not reload resume_async.ckpt: %s\n",
+                    checkpointStatusName(load_status));
         return 1;
     }
     auto resumed_tail =

@@ -14,7 +14,15 @@
  *
  * Exits 0 only if every check passes.
  *
+ * With --overload the demo instead runs the robustness smoke: a KV
+ * page pool sized far below the offered load plus a stream containing
+ * structurally impossible requests and tight deadlines. Passing means
+ * every request still got a result (rejections and expiries carry
+ * their status, nothing hangs), the engine drained, and the page
+ * accounting returned to exactly zero.
+ *
  *   ./serve_demo [--requests=12] [--concurrency=4] [--seed=7]
+ *                [--overload]
  */
 #include <algorithm>
 #include <cmath>
@@ -221,6 +229,90 @@ checkFp8Tolerance(LlamaModel &model, uint64_t seed)
     return ok;
 }
 
+/**
+ * Overload smoke: a pool far too small for the offered stream, spiked
+ * with never-fit requests and tight deadlines. The engine must give
+ * every request a result, never deadlock, and account every KV page
+ * back to the pool.
+ */
+int
+runOverloadSmoke(LlamaModel &model, int64_t requests, uint64_t seed)
+{
+    const ModelConfig &cfg = model.config();
+
+    serve::SyntheticStreamConfig sc;
+    sc.n_requests = requests;
+    sc.seed = seed;
+    sc.vocab = cfg.vocab_size;
+    sc.min_prompt = 4;
+    sc.max_prompt = 16;
+    sc.min_new = 4;
+    sc.max_new = 12;
+    sc.arrival_rate = 500.0; // slam the queue
+    sc.deadline_s = 0.05;    // tight per-request deadline
+    auto queue = serve::RequestQueue::synthetic(sc);
+
+    // Spike in structurally impossible traffic: an empty prompt and a
+    // request whose worst case exceeds max_seq.
+    serve::ServeRequest empty;
+    empty.id = requests;
+    empty.arrival_s = 0.0;
+    queue.push(empty);
+    serve::ServeRequest huge;
+    huge.id = requests + 1;
+    huge.arrival_s = 0.0;
+    huge.prompt = somePrompt(4, cfg.vocab_size, seed + 3);
+    huge.max_new_tokens = cfg.max_seq; // 4 + max_seq > max_seq
+    queue.push(huge);
+    const int64_t total = requests + 2;
+
+    serve::EngineConfig ec;
+    ec.max_concurrency = 4;
+    // A pool that covers barely one worst-case sequence: admission
+    // overcommit is guaranteed, so preemption must kick in.
+    ec.kv_page_tokens = 4;
+    ec.max_pages =
+        cfg.n_blocks * ((cfg.max_seq + 3) / 4) + cfg.n_blocks;
+    serve::Engine engine(model, ec);
+    auto results = engine.run(queue);
+
+    const serve::ServeStats &s = engine.stats();
+    std::printf("overload smoke: %zu results for %lld requests — "
+                "%lld ok, %lld rejected, %lld preempted, "
+                "%lld expired (%lld admission retries)\n",
+                results.size(), static_cast<long long>(total),
+                static_cast<long long>(s.requests - s.rejected -
+                                       s.preempted - s.expired),
+                static_cast<long long>(s.rejected),
+                static_cast<long long>(s.preempted),
+                static_cast<long long>(s.expired),
+                static_cast<long long>(s.admission_retries));
+    for (const serve::RequestResult &r : results)
+        if (r.status != serve::RequestStatus::Ok)
+            std::printf("  request %lld: %s\n",
+                        static_cast<long long>(r.id),
+                        serve::requestStatusName(r.status));
+
+    bool ok = true;
+    if (results.size() != static_cast<size_t>(total)) {
+        std::printf("FAIL: %zu results, expected %lld\n",
+                    results.size(), static_cast<long long>(total));
+        ok = false;
+    }
+    if (engine.kvCache().pagesInUse() != 0) {
+        std::printf("FAIL: %lld KV pages leaked\n",
+                    static_cast<long long>(
+                        engine.kvCache().pagesInUse()));
+        ok = false;
+    }
+    if (s.rejected == 0) {
+        std::printf("FAIL: the never-fit spikes were not rejected\n");
+        ok = false;
+    }
+    std::printf("%s\n", ok ? "OK" : "FAIL");
+    return ok ? 0 : 1;
+}
+
 } // namespace
 
 int
@@ -238,6 +330,9 @@ main(int argc, char **argv)
     LlamaModel model(cfg, seed);
     model.setScheme(PrecisionScheme::uniform(
         model.registry().numLinear(), Precision::FP8));
+
+    if (args.has("overload"))
+        return runOverloadSmoke(model, requests, seed);
 
     // 1. Stream synthetic requests through the continuous batcher.
     serve::SyntheticStreamConfig sc;

@@ -1,8 +1,10 @@
 #include "async/scheme_service.h"
 
 #include <chrono>
+#include <stdexcept>
 #include <utility>
 
+#include "runtime/fault_injection.h"
 #include "telemetry/telemetry.h"
 #include "telemetry/trace.h"
 #include "util/logging.h"
@@ -16,6 +18,9 @@ runSchemeUpdate(const SchemeUpdateRequest &request)
                            "epoch",
                            static_cast<int64_t>(request.epoch));
     const auto start = std::chrono::steady_clock::now();
+
+    if (SNIP_FAULT_POINT("scheme.solve"))
+        throw std::runtime_error("injected scheme.solve fault");
 
     // Step 4: divergence analysis on the snapshotted statistics.
     DivergenceAnalyzer analyzer(request.stats, &request.bwd_probe,
@@ -36,21 +41,39 @@ runSchemeUpdate(const SchemeUpdateRequest &request)
     return result;
 }
 
+SchemeUpdateResult
+runSchemeUpdateGuarded(const SchemeUpdateRequest &request)
+{
+    try {
+        return runSchemeUpdate(request);
+    } catch (const std::exception &e) {
+        warn("scheme update epoch ", request.epoch, " failed: ",
+             e.what(), "; the current scheme stays in effect");
+        SchemeUpdateResult result;
+        result.epoch = request.epoch;
+        result.apply_step = request.apply_step;
+        result.failed = true;
+        return result;
+    }
+}
+
 uint64_t
 SchemeUpdateService::submit(SchemeUpdateRequest request)
 {
     SNIP_ASSERT(request.epoch > 0, "epochs are 1-based");
     const uint64_t epoch = request.epoch;
     if (mode_ == Mode::Inline) {
-        publish(runSchemeUpdate(request));
+        publish(runSchemeUpdateGuarded(request));
         return epoch;
     }
     // The worker owns the snapshot; nothing in it aliases trainer
-    // state, so the solve proceeds while training continues.
+    // state, so the solve proceeds while training continues. The
+    // guarded runner publishes even on failure, so the trainer's
+    // blocking wait at the apply boundary always completes.
     auto req = std::make_shared<SchemeUpdateRequest>(std::move(request));
     worker_.submit([this, req] {
         trace::setCurrentThreadName("scheme-worker");
-        publish(runSchemeUpdate(*req));
+        publish(runSchemeUpdateGuarded(*req));
     });
     return epoch;
 }

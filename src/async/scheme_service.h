@@ -80,14 +80,29 @@ struct SchemeUpdateResult
     /** Wall-clock seconds the worker spent on Steps 4-5 (analysis +
      *  solve, including cache lookups). */
     double work_seconds = 0.0;
+    /** The solve threw (or an injected scheme.solve fault fired):
+     *  selection/table are empty and the controller resolves the
+     *  epoch by keeping the current scheme (skip-update). */
+    bool failed = false;
 };
 
 /**
  * Steps 4-5 as a pure function of the snapshot — the single code path
  * both the inline fallback and the async worker execute, which is what
- * makes the two modes bit-identical.
+ * makes the two modes bit-identical. Throws whatever the analysis or
+ * the solver throws.
  */
 SchemeUpdateResult runSchemeUpdate(const SchemeUpdateRequest &request);
+
+/**
+ * runSchemeUpdate with failure containment: an exception (including
+ * an injected "scheme.solve" fault) is logged and converted into a
+ * `failed` result carrying the request's epoch and apply step, so the
+ * trainer's deterministic apply boundary is still honored — the
+ * worker never takes the process down.
+ */
+SchemeUpdateResult
+runSchemeUpdateGuarded(const SchemeUpdateRequest &request);
 
 /** Owns the worker and the epoch-tagged handoff (see file comment). */
 class SchemeUpdateService

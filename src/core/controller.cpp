@@ -93,6 +93,23 @@ SnipController::applyResult(LlamaModel &model,
                             const SchemeUpdateResult &result,
                             double waited_seconds)
 {
+    if (result.failed) {
+        // Skip-update semantics: the worker's solve failed, so this
+        // epoch resolves by keeping the scheme already on the model.
+        // Training continues deterministically — the boundary was
+        // honored, nothing was applied.
+        warn("scheme update epoch ", result.epoch,
+             " resolved as a skip; keeping the current scheme");
+        ++totals_.skipped;
+        totals_.exposed_seconds += waited_seconds;
+        overhead_.epoch = result.epoch;
+        overhead_.exposed_seconds = waited_seconds;
+        telemetry::count(telemetry::Counter::SchemeUpdateSkips);
+        telemetry::recordTimer(telemetry::Timer::SchemeWait,
+                               waited_seconds);
+        return;
+    }
+
     // Step 6: apply.
     model.setScheme(result.selection.scheme);
     selection_ = result.selection;
@@ -141,7 +158,7 @@ SnipController::updateScheme(LlamaModel &model, AdamW *optimizer,
     SchemeUpdateRequest req =
         makeSnapshot(model, optimizer, batch, /*step=*/0, pool);
     req.apply_step = req.snapshot_step;
-    SchemeUpdateResult result = runSchemeUpdate(req);
+    SchemeUpdateResult result = runSchemeUpdateGuarded(req);
     applyResult(model, result, /*waited_seconds=*/result.work_seconds);
     return selection_;
 }
@@ -248,8 +265,16 @@ SnipController::exportState()
             const auto t0 = std::chrono::steady_clock::now();
             SchemeUpdateResult result = service_->wait(pending_epoch_);
             pending_wait_seconds_ += secondsSince(t0);
-            state.pending_scheme = result.selection.scheme;
-            state.pending_fp4_fraction = result.selection.fp4_fraction;
+            if (result.failed) {
+                // The pending epoch resolved as a skip: a resumed run
+                // has nothing to re-arm (the current scheme simply
+                // stays), so persist "no pending update".
+                state.pending = false;
+            } else {
+                state.pending_scheme = result.selection.scheme;
+                state.pending_fp4_fraction =
+                    result.selection.fp4_fraction;
+            }
         }
     }
     return state;

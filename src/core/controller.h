@@ -80,6 +80,9 @@ struct OverheadTotals
     double hidden_seconds = 0.0;
     double exposed_seconds = 0.0;
     int cache_hits = 0;
+    /** Updates whose solve failed, resolved by keeping the current
+     *  scheme (skip-update semantics). */
+    int skipped = 0;
 };
 
 /** Periodic scheme-update driver. */

@@ -1,42 +1,86 @@
 #include "ilp/solve_cache.h"
 
+#include <cmath>
 #include <cstdio>
-#include <fstream>
+#include <cstring>
 #include <vector>
 
+#include "runtime/fault_injection.h"
 #include "telemetry/telemetry.h"
+#include "util/crc32.h"
+#include "util/file_io.h"
 #include "util/logging.h"
 
 namespace snip {
 
 namespace {
 
-constexpr uint64_t kMagic = 0x534E4950534C4331ull; // "SNIPSLC1"
+// v2 appended the CRC-32 trailer; v1 files (no trailer) still load.
+constexpr uint64_t kMagic = 0x534E4950534C4332ull;   // "SNIPSLC2"
+constexpr uint64_t kMagicV1 = 0x534E4950534C4331ull; // "SNIPSLC1"
+
+// Sanity bounds a corrupt entry can't push an allocation or loop
+// through before validation rejects it.
+constexpr uint64_t kMaxChoices = 1u << 20;
+constexpr int64_t kMaxNodes = int64_t{1} << 40;
 
 void
-writeU64(std::ostream &out, uint64_t v)
+putU64(std::string &out, uint64_t v)
 {
-    out.write(reinterpret_cast<const char *>(&v), sizeof(v));
-}
-
-bool
-readU64(std::istream &in, uint64_t &v)
-{
-    in.read(reinterpret_cast<char *>(&v), sizeof(v));
-    return static_cast<bool>(in);
+    out.append(reinterpret_cast<const char *>(&v), sizeof(v));
 }
 
 void
-writeF64(std::ostream &out, double v)
+putF64(std::string &out, double v)
 {
-    out.write(reinterpret_cast<const char *>(&v), sizeof(v));
+    out.append(reinterpret_cast<const char *>(&v), sizeof(v));
 }
 
-bool
-readF64(std::istream &in, double &v)
+struct Reader
 {
-    in.read(reinterpret_cast<char *>(&v), sizeof(v));
-    return static_cast<bool>(in);
+    const char *p;
+    const char *end;
+
+    bool
+    bytes(void *dst, size_t n)
+    {
+        if (static_cast<size_t>(end - p) < n)
+            return false;
+        std::memcpy(dst, p, n);
+        p += n;
+        return true;
+    }
+
+    bool u64(uint64_t &v) { return bytes(&v, sizeof(v)); }
+    bool f64(double &v) { return bytes(&v, sizeof(v)); }
+};
+
+/** One persisted entry; false on truncation or an invalid field, so
+ *  a corrupt tail degrades to "keep the good prefix". */
+bool
+readEntry(Reader &r, uint64_t *key, IlpSolution *sol)
+{
+    uint64_t feasible = 0, nodes = 0, n_choice = 0;
+    if (!r.u64(*key) || !r.u64(feasible) || !r.f64(sol->objective) ||
+        !r.f64(sol->achieved_efficiency) || !r.u64(nodes) ||
+        !r.f64(sol->solve_seconds) || !r.u64(n_choice))
+        return false;
+    if (feasible > 1 || !std::isfinite(sol->objective) ||
+        !std::isfinite(sol->achieved_efficiency) ||
+        !std::isfinite(sol->solve_seconds) || sol->solve_seconds < 0.0 ||
+        nodes > static_cast<uint64_t>(kMaxNodes) ||
+        n_choice > kMaxChoices)
+        return false;
+    sol->feasible = feasible != 0;
+    sol->nodes_explored = static_cast<int64_t>(nodes);
+    sol->choice.resize(n_choice);
+    for (uint64_t i = 0; i < n_choice; ++i) {
+        uint64_t c = 0;
+        if (!r.u64(c) || c > kMaxChoices)
+            return false;
+        sol->choice[i] = static_cast<int>(c);
+    }
+    return true;
 }
 
 } // namespace
@@ -159,47 +203,61 @@ SolveCache::load()
     bytes_ = 0;
     if (path_.empty())
         return false;
-    std::ifstream in(path_, std::ios::binary);
-    if (!in)
+    std::string file;
+    if (!fsio::readFile(path_, &file))
         return false;
+    if (SNIP_FAULT_POINT("solve_cache.load") && !file.empty()) {
+        // Simulated on-disk corruption: flip one mid-file bit after
+        // the read, exercising the validated-parse salvage path.
+        file[file.size() / 2] =
+            static_cast<char>(file[file.size() / 2] ^ 0x40);
+    }
 
+    Reader r{file.data(), file.data() + file.size()};
     uint64_t magic = 0, count = 0;
-    if (!readU64(in, magic) || magic != kMagic || !readU64(in, count)) {
+    if (!r.u64(magic) || (magic != kMagic && magic != kMagicV1) ||
+        !r.u64(count)) {
         warn("ignoring unreadable solve cache ", path_);
         return false;
     }
+    bool clean = true;
+    if (magic == kMagic) {
+        // v2: the last 8 bytes hold the CRC of everything before
+        // them. A mismatch doesn't discard the file outright — the
+        // per-entry validation below salvages the good prefix.
+        uint64_t stored = 0;
+        if (file.size() < sizeof(uint64_t)) {
+            clean = false;
+        } else {
+            std::memcpy(&stored,
+                        file.data() + file.size() - sizeof(uint64_t),
+                        sizeof(stored));
+            clean = crc32(file.data(),
+                          file.size() - sizeof(uint64_t)) == stored;
+            r.end = file.data() + file.size() - sizeof(uint64_t);
+        }
+        if (!clean)
+            warn("solve cache ", path_,
+                 " failed its CRC check; salvaging valid entries");
+    }
+
     // Entries are persisted most-recently-used first; re-inserting in
     // reverse file order rebuilds the same recency (and applies the
-    // bounds: the file's coldest entries fall off first).
+    // bounds: the file's coldest entries fall off first). A bad entry
+    // ends the parse — the stream can't be resynchronized past it —
+    // and the validated prefix is kept.
     std::vector<std::pair<uint64_t, IlpSolution>> loaded;
-    loaded.reserve(static_cast<size_t>(count));
+    loaded.reserve(static_cast<size_t>(
+        std::min<uint64_t>(count, kMaxChoices)));
     for (uint64_t e = 0; e < count; ++e) {
-        uint64_t key = 0, feasible = 0, nodes = 0, n_choice = 0;
+        uint64_t key = 0;
         IlpSolution sol;
-        if (!readU64(in, key) || !readU64(in, feasible) ||
-            !readF64(in, sol.objective) ||
-            !readF64(in, sol.achieved_efficiency) ||
-            !readU64(in, nodes) || !readF64(in, sol.solve_seconds) ||
-            !readU64(in, n_choice)) {
-            warn("truncated solve cache ", path_, "; dropping it");
-            entries_.clear();
-            lru_.clear();
-            bytes_ = 0;
-            return false;
-        }
-        sol.feasible = feasible != 0;
-        sol.nodes_explored = static_cast<int64_t>(nodes);
-        sol.choice.resize(n_choice);
-        for (uint64_t i = 0; i < n_choice; ++i) {
-            uint64_t c = 0;
-            if (!readU64(in, c)) {
-                warn("truncated solve cache ", path_, "; dropping it");
-                entries_.clear();
-                lru_.clear();
-                bytes_ = 0;
-                return false;
-            }
-            sol.choice[i] = static_cast<int>(c);
+        if (!readEntry(r, &key, &sol)) {
+            warn("solve cache ", path_, ": entry ", e, " of ", count,
+                 " is corrupt; keeping the ", loaded.size(),
+                 " entries before it");
+            clean = false;
+            break;
         }
         loaded.emplace_back(key, std::move(sol));
     }
@@ -207,7 +265,7 @@ SolveCache::load()
     for (auto it = loaded.rbegin(); it != loaded.rend(); ++it)
         insertLocked(it->first, it->second);
     evictions_ = evictions_before; // load trimming is not an eviction
-    return true;
+    return clean;
 }
 
 bool
@@ -222,29 +280,27 @@ SolveCache::saveLocked() const
 {
     if (path_.empty())
         return false;
-    const std::string tmp = path_ + ".tmp";
-    {
-        std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-        if (!out)
-            return false;
-        writeU64(out, kMagic);
-        writeU64(out, static_cast<uint64_t>(entries_.size()));
-        for (uint64_t key : lru_) { // MRU first: recency persists
-            const IlpSolution &sol = entries_.at(key).solution;
-            writeU64(out, key);
-            writeU64(out, sol.feasible ? 1 : 0);
-            writeF64(out, sol.objective);
-            writeF64(out, sol.achieved_efficiency);
-            writeU64(out, static_cast<uint64_t>(sol.nodes_explored));
-            writeF64(out, sol.solve_seconds);
-            writeU64(out, static_cast<uint64_t>(sol.choice.size()));
-            for (int c : sol.choice)
-                writeU64(out, static_cast<uint64_t>(c));
-        }
-        if (!out)
-            return false;
+    if (SNIP_FAULT_POINT("solve_cache.rewrite"))
+        return false; // simulated rewrite failure; callers warn
+    std::string image;
+    putU64(image, kMagic);
+    putU64(image, static_cast<uint64_t>(entries_.size()));
+    for (uint64_t key : lru_) { // MRU first: recency persists
+        const IlpSolution &sol = entries_.at(key).solution;
+        putU64(image, key);
+        putU64(image, sol.feasible ? 1 : 0);
+        putF64(image, sol.objective);
+        putF64(image, sol.achieved_efficiency);
+        putU64(image, static_cast<uint64_t>(sol.nodes_explored));
+        putF64(image, sol.solve_seconds);
+        putU64(image, static_cast<uint64_t>(sol.choice.size()));
+        for (int c : sol.choice)
+            putU64(image, static_cast<uint64_t>(c));
     }
-    return std::rename(tmp.c_str(), path_.c_str()) == 0;
+    putU64(image, crc32(image.data(), image.size()));
+    // A cache is reconstructible state: readers-only atomicity is
+    // enough (a crash just re-solves), so skip the fsync.
+    return fsio::writeFileAtomic(path_, image, /*durable=*/false);
 }
 
 size_t

@@ -15,11 +15,14 @@
  * smuggle in an invalid scheme — it just degrades to a miss.
  *
  * On-disk format (binary, alongside the train/checkpoint format):
- * magic "SNIPSLC1", entry count, then per entry the key, feasibility,
+ * magic "SNIPSLC2", entry count, then per entry the key, feasibility,
  * objective, achieved efficiency, node count, original solve seconds
- * and the choice vector. The file is rewritten atomically
- * (tmp + rename) after each insert when a path is configured; an
- * unreadable or corrupt file is treated as an empty cache.
+ * and the choice vector, closed by a CRC-32 trailer ("SNIPSLC1" files,
+ * no trailer, still load). The file is rewritten atomically
+ * (tmp + rename) after each insert when a path is configured. Every
+ * entry is validated on load (finite objectives, bounded counts); a
+ * truncated or corrupt tail drops only the bad entries — the validated
+ * prefix is kept — and an unreadable file is an empty cache.
  *
  * The cache is LRU-bounded: setLimits() caps the entry count and the
  * approximate in-memory bytes (0 = unlimited, the default). Lookups

@@ -84,6 +84,7 @@ EnvConfig::fromEnvironment()
     c.trace_ = captureKnob("SNIP_TRACE");
     c.kv_cache_ = captureKnob("SNIP_KV_CACHE");
     c.kv_page_ = captureKnob("SNIP_KV_PAGE");
+    c.fault_ = captureKnob("SNIP_FAULT");
     c.threads_ = parseThreads(c.threads_knob_);
     c.kv_page_tokens_ = parseKvPage(c.kv_page_);
     return c;
@@ -109,6 +110,8 @@ EnvConfig::dump() const
     appendKnob(&out, "SNIP_KV_PAGE", kv_page_,
                strformat("%lld",
                          static_cast<long long>(kv_page_tokens_)));
+    appendKnob(&out, "SNIP_FAULT", fault_,
+               fault_.set ? fault_.value : "off");
     return out;
 }
 

@@ -20,6 +20,9 @@
  *   SNIP_TRACE      span-trace sink: off|on|json:<path>
  *   SNIP_KV_CACHE   serving KV-cache storage: fp8|fp32
  *   SNIP_KV_PAGE    serving KV-cache page size in tokens (1..4096)
+ *   SNIP_FAULT      fault-injection schedule:
+ *                   <site>:<n|every-k|p=x[@seed]>[,...] (off when
+ *                   unset; see runtime/fault_injection.h)
  *
  * Only the knobs whose grammar is owned here (threads, KV page size)
  * are parsed eagerly; the string-valued specs are handed to their
@@ -74,6 +77,7 @@ class EnvConfig
     const EnvKnob &trace() const { return trace_; }
     const EnvKnob &kvCache() const { return kv_cache_; }
     const EnvKnob &kvPage() const { return kv_page_; }
+    const EnvKnob &fault() const { return fault_; }
 
     /** Human-readable multi-line rendering of every knob: the
      *  effective value plus the raw environment text (or "unset"). */
@@ -88,6 +92,7 @@ class EnvConfig
     EnvKnob trace_;
     EnvKnob kv_cache_;
     EnvKnob kv_page_;
+    EnvKnob fault_;
     int threads_ = 1;
     int64_t kv_page_tokens_ = 16;
 };

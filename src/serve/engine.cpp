@@ -5,6 +5,7 @@
 
 #include "nn/model.h"
 #include "runtime/env_config.h"
+#include "runtime/fault_injection.h"
 #include "telemetry/telemetry.h"
 #include "telemetry/trace.h"
 #include "util/logging.h"
@@ -43,7 +44,35 @@ realSeconds()
         .count();
 }
 
+/** Idle head-admission deferrals tolerated under an injected
+ *  "serve.admit" fault before the request is rejected outright — the
+ *  bound that keeps a hostile fault schedule from spinning an idle
+ *  engine forever. */
+constexpr int64_t kMaxHeadDeferrals = 64;
+
 } // namespace
+
+const char *
+requestStatusName(RequestStatus status)
+{
+    switch (status) {
+    case RequestStatus::Ok:
+        return "ok";
+    case RequestStatus::RejectedEmptyPrompt:
+        return "rejected-empty-prompt";
+    case RequestStatus::RejectedTooLong:
+        return "rejected-too-long";
+    case RequestStatus::RejectedPoolTooSmall:
+        return "rejected-pool-too-small";
+    case RequestStatus::RejectedAdmission:
+        return "rejected-admission";
+    case RequestStatus::Expired:
+        return "expired";
+    case RequestStatus::Preempted:
+        return "preempted";
+    }
+    return "?";
+}
 
 Engine::Engine(LlamaModel &model, const EngineConfig &config)
     : model_(model),
@@ -95,16 +124,15 @@ Engine::pagesNeeded(int64_t tokens) const
 void
 Engine::admit(ServeRequest request, double now_s)
 {
+    // Structural fit was vetted by the admission loop in run();
+    // everything past this point can only fail by page pressure,
+    // which the pre-decode reservation pass resolves by preemption.
     const int64_t plen = static_cast<int64_t>(request.prompt.size());
-    SNIP_ASSERT(plen > 0, "empty prompt in request ", request.id);
-    SNIP_ASSERT(plen + request.max_new_tokens <= model_.config().max_seq,
-                "request ", request.id, " needs ",
-                plen + request.max_new_tokens,
-                " tokens but max_seq is ", model_.config().max_seq);
 
     ActiveSeq seq;
     seq.slot = free_slots_.back();
     free_slots_.pop_back();
+    seq.admit_order = admit_counter_++;
     cache_.beginSequence(seq.slot);
 
     if (trace::enabled()) {
@@ -236,6 +264,70 @@ Engine::retire(std::size_t idx)
     active_.erase(active_.begin() + static_cast<int64_t>(idx));
 }
 
+void
+Engine::rejectRequest(ServeRequest request, RequestStatus status)
+{
+    debugLog("serve request ", request.id,
+             " rejected at admission: ", requestStatusName(status));
+    RequestResult r;
+    r.id = request.id;
+    r.status = status;
+    done_.push_back(std::move(r));
+    stats_.requests += 1;
+    if (status == RequestStatus::Expired) {
+        stats_.expired += 1;
+        telemetry::count(telemetry::Counter::ServeExpired);
+    } else {
+        stats_.rejected += 1;
+        telemetry::count(telemetry::Counter::ServeRejected);
+    }
+    telemetry::count(telemetry::Counter::ServeRequests);
+}
+
+void
+Engine::finishEarly(std::size_t idx, RequestStatus status)
+{
+    ActiveSeq &seq = active_[idx];
+    seq.result.status = status;
+    if (status == RequestStatus::Preempted) {
+        stats_.preempted += 1;
+        telemetry::count(telemetry::Counter::ServePreempted);
+        debugLog("serve request ", seq.result.id,
+                 " preempted to relieve KV page pressure");
+    } else {
+        stats_.expired += 1;
+        telemetry::count(telemetry::Counter::ServeExpired);
+        debugLog("serve request ", seq.result.id,
+                 " expired mid-flight");
+    }
+    retire(idx); // releases every KV page and frees the slot
+}
+
+void
+Engine::expireActive(double now_s)
+{
+    for (std::size_t i = active_.size(); i-- > 0;) {
+        const ServeRequest &req = active_[i].request;
+        if (req.deadline_s > 0.0 && now_s > req.deadline_s)
+            finishEarly(i, RequestStatus::Expired);
+    }
+}
+
+int64_t
+Engine::pagesNeededThisStep() const
+{
+    // Decode appends one token to every layer of every active
+    // sequence; a page is allocated exactly when the current length
+    // sits on a page boundary (all layers advance in lockstep, so
+    // layer 0 speaks for the sequence).
+    const KvCacheConfig &kc = cache_.config();
+    int64_t needed = 0;
+    for (const ActiveSeq &seq : active_)
+        if (cache_.length(seq.slot, 0) % kc.page_tokens == 0)
+            needed += kc.n_layers;
+    return needed;
+}
+
 std::vector<RequestResult>
 Engine::run(RequestQueue &queue)
 {
@@ -247,6 +339,8 @@ Engine::run(RequestQueue &queue)
     for (int64_t s = config_.max_concurrency; s-- > 0;)
         free_slots_.push_back(s); // lowest slot admits first
     idle_skip_s_ = 0.0;
+    admit_counter_ = 0;
+    head_deferrals_ = 0;
     t0_s_ = realSeconds();
 
     while (!queue.empty() || !active_.empty()) {
@@ -258,22 +352,83 @@ Engine::run(RequestQueue &queue)
             idle_skip_s_ += queue.peek().arrival_s - t;
             t = now();
         }
-        while (!queue.empty() && !free_slots_.empty() &&
-               queue.peek().arrival_s <= t) {
+        expireActive(t);
+        while (!queue.empty() && queue.peek().arrival_s <= t) {
             const ServeRequest &head = queue.peek();
-            const int64_t need = pagesNeeded(
-                static_cast<int64_t>(head.prompt.size()) +
-                head.max_new_tokens);
-            if (cache_.pagesFree() < need) {
-                SNIP_ASSERT(!active_.empty(),
-                            "request ", head.id, " needs ", need,
-                            " KV pages but the pool only holds ",
-                            cache_.pagesFree(),
-                            " free; raise EngineConfig::max_pages");
-                break; // wait for a retirement to free pages
+            const int64_t plen =
+                static_cast<int64_t>(head.prompt.size());
+            // Structural rejects come before the slot check: a request
+            // that can never run must not block the queue behind it.
+            if (plen <= 0) {
+                rejectRequest(queue.pop(),
+                              RequestStatus::RejectedEmptyPrompt);
+                continue;
             }
+            if (plen + head.max_new_tokens > model_.config().max_seq) {
+                rejectRequest(queue.pop(),
+                              RequestStatus::RejectedTooLong);
+                continue;
+            }
+            const int64_t need =
+                pagesNeeded(plen + head.max_new_tokens);
+            if (need > cache_.config().max_pages) {
+                rejectRequest(queue.pop(),
+                              RequestStatus::RejectedPoolTooSmall);
+                continue;
+            }
+            if (head.deadline_s > 0.0 && t > head.deadline_s) {
+                rejectRequest(queue.pop(), RequestStatus::Expired);
+                continue;
+            }
+            if (free_slots_.empty())
+                break; // wait for a retirement to free a slot
+            if (cache_.pagesFree() < need) {
+                if (!active_.empty())
+                    break; // retirements will free pages
+                // Idle yet short of pages: the never-fit check above
+                // vetted the whole pool, so something else pinned
+                // pages — reject rather than deadlock.
+                rejectRequest(queue.pop(),
+                              RequestStatus::RejectedPoolTooSmall);
+                continue;
+            }
+            if (SNIP_FAULT_POINT("serve.admit")) {
+                // Deterministic requeue: the head stays queued and is
+                // retried next iteration. An idle engine bounds the
+                // deferrals so the loop always makes progress.
+                ++stats_.admission_retries;
+                if (active_.empty() &&
+                    ++head_deferrals_ > kMaxHeadDeferrals) {
+                    head_deferrals_ = 0;
+                    rejectRequest(queue.pop(),
+                                  RequestStatus::RejectedAdmission);
+                    continue;
+                }
+                break;
+            }
+            head_deferrals_ = 0;
             admit(queue.pop(), t);
             t = now();
+        }
+        if (!active_.empty()) {
+            // Reserve this step's page allocations up front; when the
+            // pool cannot cover them (or an injected "kv.alloc" fault
+            // models an allocation failure), preempt the NEWEST
+            // admission until the step fits — deterministic, and the
+            // oldest work always completes.
+            int64_t needed = pagesNeededThisStep();
+            bool fault = SNIP_FAULT_POINT("kv.alloc");
+            while ((cache_.pagesFree() < needed || fault) &&
+                   !active_.empty()) {
+                fault = false;
+                std::size_t newest = 0;
+                for (std::size_t i = 1; i < active_.size(); ++i)
+                    if (active_[i].admit_order >
+                        active_[newest].admit_order)
+                        newest = i;
+                finishEarly(newest, RequestStatus::Preempted);
+                needed = pagesNeededThisStep();
+            }
         }
         if (!active_.empty())
             decodeOnce(now());
@@ -282,6 +437,8 @@ Engine::run(RequestQueue &queue)
     stats_.elapsed_s = realSeconds() - t0_s_;
     std::vector<double> ttfts, itls;
     for (const RequestResult &r : done_) {
+        if (r.tokens.empty())
+            continue; // rejected before prefill: no latency sample
         ttfts.push_back(r.ttft_s);
         for (double itl : r.itl_s)
             itls.push_back(itl);

@@ -18,6 +18,26 @@
  * skips ahead to the next arrival whenever the engine is idle, so a
  * sparse trace doesn't stall the loop; TTFT/ITL latencies are measured
  * on the same clock.
+ *
+ * Overload and failure behavior (every request gets a result, the
+ * engine never asserts on traffic and never deadlocks):
+ *
+ *  - Structurally impossible requests — empty prompt, prompt +
+ *    generation beyond max_seq, worst-case KV footprint beyond the
+ *    whole pool — are rejected at admission with a per-request status.
+ *  - A request that fits but not *right now* waits in the queue
+ *    (backpressure) until retirements free pages.
+ *  - Deadlines (ServeRequest::deadline_s) are enforced on the logical
+ *    clock: a queued request past its deadline is rejected, an active
+ *    one is cancelled cleanly with every KV page released.
+ *  - Before each decode step the engine reserves the pages that step
+ *    will allocate; when the pool can't cover them (admission
+ *    overcommit, or an injected "kv.alloc" fault) it preempts the
+ *    NEWEST-admitted sequence — deterministically, independent of
+ *    timing — instead of asserting inside the allocator.
+ *  - An injected "serve.admit" fault defers the head admission
+ *    (deterministic requeue); an idle engine bounds the deferrals so
+ *    a hostile schedule cannot spin it forever.
  */
 #ifndef SNIP_SERVE_ENGINE_H
 #define SNIP_SERVE_ENGINE_H
@@ -49,10 +69,26 @@ struct EngineConfig
     KvCacheMode kv_mode = kvCacheModeFromEnv();
 };
 
+/** How a request's service ended. */
+enum class RequestStatus
+{
+    Ok = 0,               ///< ran to eos/max_new_tokens
+    RejectedEmptyPrompt,  ///< no prompt tokens to prefill
+    RejectedTooLong,      ///< prompt + max_new beyond model max_seq
+    RejectedPoolTooSmall, ///< worst-case KV beyond the whole pool
+    RejectedAdmission,    ///< admission fault, retries exhausted
+    Expired,              ///< deadline passed (queued or mid-flight)
+    Preempted,            ///< cancelled to relieve KV page pressure
+};
+
+/** Stable name of @p status ("ok", "expired", ...). */
+const char *requestStatusName(RequestStatus status);
+
 /** Per-request outcome. */
 struct RequestResult
 {
     int64_t id = 0;
+    RequestStatus status = RequestStatus::Ok;
     std::vector<int32_t> tokens; ///< generated (greedy) tokens
     double ttft_s = 0.0;         ///< arrival -> first token
     std::vector<double> itl_s;   ///< inter-token gaps, decode only
@@ -66,6 +102,10 @@ struct ServeStats
     int64_t decode_tokens = 0; ///< includes each prefill's first token
     int64_t decode_steps = 0;
     int64_t peak_kv_pages = 0;
+    int64_t rejected = 0;  ///< requests refused at admission
+    int64_t preempted = 0; ///< sequences cancelled for page pressure
+    int64_t expired = 0;   ///< requests past their deadline
+    int64_t admission_retries = 0; ///< deferred head admissions
     double elapsed_s = 0.0;
     double prefill_s = 0.0;
     double decode_s = 0.0;
@@ -104,7 +144,8 @@ class Engine
         ServeRequest request;
         RequestResult result;
         double last_token_s = 0.0;
-        int64_t admit_ns = 0; ///< trace clock at admission (0 = off)
+        int64_t admit_ns = 0;    ///< trace clock at admission (0 = off)
+        int64_t admit_order = 0; ///< admission sequence number
         bool done = false;
     };
 
@@ -113,6 +154,14 @@ class Engine
     void admit(ServeRequest request, double now_s);
     void decodeOnce(double now_s);
     void retire(std::size_t idx);
+    /** Reject @p request before admission with @p status. */
+    void rejectRequest(ServeRequest request, RequestStatus status);
+    /** Cancel active @p idx with @p status, releasing its pages. */
+    void finishEarly(std::size_t idx, RequestStatus status);
+    /** Expire active sequences past their deadline at @p now_s. */
+    void expireActive(double now_s);
+    /** Pages the next decode step will allocate across @p active_. */
+    int64_t pagesNeededThisStep() const;
 
     LlamaModel &model_;
     EngineConfig config_;
@@ -129,6 +178,8 @@ class Engine
 
     double t0_s_ = 0.0;       ///< real-clock run start
     double idle_skip_s_ = 0.0; ///< logical time skipped while idle
+    int64_t admit_counter_ = 0; ///< admissions so far this run
+    int64_t head_deferrals_ = 0; ///< consecutive idle head deferrals
 };
 
 } // namespace serve

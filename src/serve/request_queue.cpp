@@ -42,6 +42,8 @@ RequestQueue::synthetic(const SyntheticStreamConfig &config)
             static_cast<int64_t>(rng.nextBelow(static_cast<uint64_t>(
                 config.max_new - config.min_new + 1)));
         r.eos_token = config.eos_token;
+        if (config.deadline_s > 0.0)
+            r.deadline_s = r.arrival_s + config.deadline_s;
         q.push(std::move(r));
     }
     return q;

@@ -29,6 +29,10 @@ struct ServeRequest
     int64_t max_new_tokens = 1;
     /** Stop token, or -1 to always run to max_new_tokens. */
     int32_t eos_token = -1;
+    /** Absolute deadline on the engine's logical clock, seconds;
+     *  <= 0 = none. A request past its deadline is cancelled cleanly
+     *  (queued: rejected; mid-flight: stopped, pages released). */
+    double deadline_s = 0.0;
 };
 
 /** Knobs of the synthetic open-loop stream. */
@@ -45,6 +49,9 @@ struct SyntheticStreamConfig
     /** Mean arrival rate, requests/second; <= 0 = all arrive at 0. */
     double arrival_rate = 0.0;
     int32_t eos_token = -1;
+    /** Per-request deadline relative to its arrival, seconds;
+     *  <= 0 = none. */
+    double deadline_s = 0.0;
 };
 
 /** Arrival-ordered request queue. */

@@ -11,9 +11,11 @@
 #include <unistd.h>
 
 #include "runtime/env_config.h"
+#include "runtime/fault_injection.h"
 #include "runtime/thread_pool.h"
 #include "simd/dispatch.h"
 #include "tensor/gemm.h"
+#include "util/file_io.h"
 #include "util/logging.h"
 
 namespace snip {
@@ -267,6 +269,8 @@ renderStepRecord(int64_t step, double wall_seconds, const Snapshot &now,
                  secondsDelta(now, prev, Seconds::SchemeWorker), false);
     appendInt(r, "solve_cached",
               counterDelta(now, prev, Counter::SchemeSolveCached), false);
+    appendInt(r, "skipped",
+              counterDelta(now, prev, Counter::SchemeUpdateSkips), false);
     appendDouble(r, "handoff_wait_s",
                  now.timer(Timer::SchemeWait).sum_seconds -
                      prev.timer(Timer::SchemeWait).sum_seconds,
@@ -296,8 +300,19 @@ renderStepRecord(int64_t step, double wall_seconds, const Snapshot &now,
               now.lastGauge(LastGauge::KvPagesInUse), false);
     appendInt(r, "kv_pages_peak", now.maxGauge(MaxGauge::KvPagesPeak),
               false);
+    appendInt(r, "rejected",
+              counterDelta(now, prev, Counter::ServeRejected), false);
+    appendInt(r, "preempted",
+              counterDelta(now, prev, Counter::ServePreempted), false);
+    appendInt(r, "expired",
+              counterDelta(now, prev, Counter::ServeExpired), false);
     appendInt(r, "active_seqs",
               now.lastGauge(LastGauge::ServeActiveSeqs), false);
+    r += "}";
+
+    r += ", \"faults\": {";
+    appendInt(r, "injected",
+              counterDelta(now, prev, Counter::FaultsInjected), true);
     r += "}";
 
     const int64_t hits = counterDelta(now, prev, Counter::SolveCacheHits);
@@ -381,14 +396,26 @@ renderDocumentLocked(Registry &reg)
     return doc;
 }
 
-bool
-flushLocked(Registry &reg)
+/**
+ * Render the export under the lock; the CALLER writes the file after
+ * releasing reg.mu. File I/O must never hold the registry mutex: the
+ * write seam reenters telemetry (the "telemetry.export" fault point
+ * counts its injection, which may create this thread's shard — a
+ * self-deadlock if the mutex were still held), and a slow disk would
+ * stall every thread's first counter bump besides.
+ *
+ * Returns the path to write (empty = nothing to do) in @p path and
+ * the rendered document in @p doc.
+ */
+void
+prepareFlushLocked(Registry &reg, std::string *path, std::string *doc)
 {
     reg.boundaries_since_flush = 0;
+    path->clear();
     if (reg.config.json_path.empty())
-        return true;
-    return detail::writeFileAtomic(reg.config.json_path,
-                                   renderDocumentLocked(reg));
+        return;
+    *path = reg.config.json_path;
+    *doc = renderDocumentLocked(reg);
 }
 
 void
@@ -440,23 +467,13 @@ namespace detail {
 bool
 writeFileAtomic(const std::string &path, const std::string &content)
 {
-    const std::string tmp =
-        path + ".tmp." + std::to_string(::getpid());
-    std::FILE *f = std::fopen(tmp.c_str(), "wb");
-    if (f == nullptr)
+    // Exports are observability, not durable state: a lost export is
+    // re-rendered at the next flush, so readers-only atomicity
+    // (durable = false) is enough. Both the telemetry and the trace
+    // exporter funnel through this one seam.
+    if (SNIP_FAULT_POINT("telemetry.export"))
         return false;
-    const bool ok =
-        std::fwrite(content.data(), 1, content.size(), f) ==
-        content.size();
-    if (std::fclose(f) != 0 || !ok) {
-        std::remove(tmp.c_str());
-        return false;
-    }
-    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
-        std::remove(tmp.c_str());
-        return false;
-    }
-    return true;
+    return fsio::writeFileAtomic(path, content, /*durable=*/false);
 }
 
 int
@@ -509,23 +526,28 @@ stepBoundary(int64_t step)
     // Resolve outside the registry lock: both may take their own.
     const int pool_threads = runtime::globalThreadPool().numThreads();
     Registry &reg = registry();
-    std::lock_guard<std::mutex> lk(reg.mu);
-    const auto now_time = std::chrono::steady_clock::now();
-    double wall_seconds = 0.0;
-    if (reg.have_prev_time)
-        wall_seconds =
-            std::chrono::duration<double>(now_time - reg.prev_time)
-                .count();
-    const Snapshot now = foldLocked(reg);
-    reg.series.push_back(
-        renderStepRecord(step, wall_seconds, now, reg.prev,
-                         pool_threads));
-    reg.prev = now;
-    reg.prev_time = now_time;
-    reg.have_prev_time = true;
-    if (reg.config.flush_every > 0 &&
-        ++reg.boundaries_since_flush >= reg.config.flush_every)
-        (void)flushLocked(reg);
+    std::string flush_path, flush_doc;
+    {
+        std::lock_guard<std::mutex> lk(reg.mu);
+        const auto now_time = std::chrono::steady_clock::now();
+        double wall_seconds = 0.0;
+        if (reg.have_prev_time)
+            wall_seconds =
+                std::chrono::duration<double>(now_time - reg.prev_time)
+                    .count();
+        const Snapshot now = foldLocked(reg);
+        reg.series.push_back(
+            renderStepRecord(step, wall_seconds, now, reg.prev,
+                             pool_threads));
+        reg.prev = now;
+        reg.prev_time = now_time;
+        reg.have_prev_time = true;
+        if (reg.config.flush_every > 0 &&
+            ++reg.boundaries_since_flush >= reg.config.flush_every)
+            prepareFlushLocked(reg, &flush_path, &flush_doc);
+    }
+    if (!flush_path.empty())
+        (void)detail::writeFileAtomic(flush_path, flush_doc);
 }
 
 bool
@@ -534,8 +556,14 @@ flush()
     if (detail::g_mode.load(std::memory_order_acquire) != 1)
         return true;
     Registry &reg = registry();
-    std::lock_guard<std::mutex> lk(reg.mu);
-    return flushLocked(reg);
+    std::string path, doc;
+    {
+        std::lock_guard<std::mutex> lk(reg.mu);
+        prepareFlushLocked(reg, &path, &doc);
+    }
+    if (path.empty())
+        return true;
+    return detail::writeFileAtomic(path, doc);
 }
 
 int64_t

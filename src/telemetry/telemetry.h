@@ -78,12 +78,18 @@ enum class Counter : int
     SchemeUpdates,     ///< scheme updates applied to the model
     SchemeSolveCached, ///< ... whose ILP came from the solve cache
     SchemePublishes,   ///< results published by the update service
+    SchemeUpdateSkips, ///< failed updates resolved by keeping the
+                       ///< current scheme (skip-update semantics)
     ServeRequests,     ///< requests retired by the serving engine
     ServePrefillTokens,///< prompt tokens prefilled
     ServeDecodeTokens, ///< tokens produced by decode steps
     ServeDecodeSteps,  ///< coalesced decode iterations
+    ServeRejected,     ///< requests rejected at admission
+    ServePreempted,    ///< sequences cancelled to relieve the KV pool
+    ServeExpired,      ///< requests cancelled past their deadline
     KvPageAllocs,      ///< KV-cache pages taken from the free list
     KvPageReleases,    ///< KV-cache pages returned on retirement
+    FaultsInjected,    ///< injected faults fired (SNIP_FAULT)
     kCount
 };
 

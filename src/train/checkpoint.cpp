@@ -2,8 +2,12 @@
 
 #include <cstdint>
 #include <cstdio>
-#include <fstream>
+#include <cstring>
+#include <vector>
 
+#include "runtime/fault_injection.h"
+#include "util/crc32.h"
+#include "util/file_io.h"
 #include "util/logging.h"
 
 namespace snip {
@@ -11,235 +15,440 @@ namespace snip {
 namespace {
 
 // v2 added the quantizer/noise RNG stream states (bit-exact resume
-// under stochastic rounding) and the optional controller section.
-constexpr uint64_t kMagic = 0x534E4950434B5032ull;    // "SNIPCKP2"
+// under stochastic rounding) and the optional controller section; v3
+// added the CRC-32 footer. v2 payloads are identical to v3's, so they
+// still load (without the integrity check).
+constexpr uint64_t kMagic = 0x534E4950434B5033ull;    // "SNIPCKP3"
+constexpr uint64_t kMagicV2 = 0x534E4950434B5032ull;  // "SNIPCKP2"
 constexpr uint64_t kMagicV1 = 0x534E4950434B5031ull;  // "SNIPCKP1"
 constexpr uint64_t kCtlMagic = 0x534E495043544C31ull; // "SNIPCTL1"
+constexpr uint64_t kFooterMagic = 0x534E4950434B4631ull; // "SNIPCKF1"
+constexpr size_t kFooterBytes = 3 * sizeof(uint64_t);
+
+// Bounds a corrupt v2 file (no CRC to catch it) can't push a
+// resize/loop through before the shape checks reject it.
+constexpr uint64_t kMaxSchemeLayers = 1u << 20;
+constexpr uint64_t kMaxTensorRank = 8;
+
+// ------------------------------------------------- payload writing
 
 void
-writeU64(std::ostream &out, uint64_t v)
+putU64(std::string &out, uint64_t v)
 {
-    out.write(reinterpret_cast<const char *>(&v), sizeof(v));
-}
-
-bool
-readU64(std::istream &in, uint64_t &v)
-{
-    in.read(reinterpret_cast<char *>(&v), sizeof(v));
-    return static_cast<bool>(in);
+    out.append(reinterpret_cast<const char *>(&v), sizeof(v));
 }
 
 void
-writeTensor(std::ostream &out, const Tensor &t)
+putF64(std::string &out, double v)
 {
-    writeU64(out, static_cast<uint64_t>(t.rank()));
+    out.append(reinterpret_cast<const char *>(&v), sizeof(v));
+}
+
+void
+putTensor(std::string &out, const Tensor &t)
+{
+    putU64(out, static_cast<uint64_t>(t.rank()));
     for (int d = 0; d < t.rank(); ++d)
-        writeU64(out, static_cast<uint64_t>(t.size(d)));
-    out.write(reinterpret_cast<const char *>(t.data()),
-              static_cast<std::streamsize>(sizeof(float) *
-                                           static_cast<size_t>(t.numel())));
+        putU64(out, static_cast<uint64_t>(t.size(d)));
+    out.append(reinterpret_cast<const char *>(t.data()),
+               sizeof(float) * static_cast<size_t>(t.numel()));
 }
 
+void
+putScheme(std::string &out, const PrecisionScheme &scheme)
+{
+    putU64(out, static_cast<uint64_t>(scheme.layers.size()));
+    for (const auto &layer : scheme.layers) {
+        for (Precision p : layer.gemm)
+            out.push_back(static_cast<char>(p));
+    }
+}
+
+// ------------------------------------------------- payload reading
+
+/** Bounded memory cursor. `truncated` distinguishes "the file ended
+ *  mid-field" from structural mismatches found with bytes to spare. */
+struct Reader
+{
+    const char *p;
+    const char *end;
+    bool truncated = false;
+
+    size_t left() const { return static_cast<size_t>(end - p); }
+
+    bool
+    bytes(void *dst, size_t n)
+    {
+        if (left() < n) {
+            truncated = true;
+            return false;
+        }
+        std::memcpy(dst, p, n);
+        p += n;
+        return true;
+    }
+
+    bool u64(uint64_t &v) { return bytes(&v, sizeof(v)); }
+    bool f64(double &v) { return bytes(&v, sizeof(v)); }
+};
+
 bool
-readTensorInto(std::istream &in, Tensor &t)
+readTensorInto(Reader &r, Tensor &t)
 {
     uint64_t rank;
-    if (!readU64(in, rank))
+    if (!r.u64(rank) || rank > kMaxTensorRank)
         return false;
     std::vector<int64_t> shape;
     for (uint64_t d = 0; d < rank; ++d) {
         uint64_t dim;
-        if (!readU64(in, dim))
+        if (!r.u64(dim))
             return false;
         shape.push_back(static_cast<int64_t>(dim));
     }
     if (shape != t.shape())
-        fatal("checkpoint tensor shape mismatch");
-    in.read(reinterpret_cast<char *>(t.data()),
-            static_cast<std::streamsize>(sizeof(float) *
-                                         static_cast<size_t>(t.numel())));
-    return static_cast<bool>(in);
-}
-
-void
-writeScheme(std::ostream &out, const PrecisionScheme &scheme)
-{
-    writeU64(out, static_cast<uint64_t>(scheme.layers.size()));
-    for (const auto &layer : scheme.layers) {
-        for (Precision p : layer.gemm)
-            out.put(static_cast<char>(p));
-    }
+        return false;
+    return r.bytes(t.data(),
+                   sizeof(float) * static_cast<size_t>(t.numel()));
 }
 
 bool
-readScheme(std::istream &in, PrecisionScheme &scheme)
+readScheme(Reader &r, PrecisionScheme &scheme)
 {
     uint64_t n_layers;
-    if (!readU64(in, n_layers))
+    if (!r.u64(n_layers) || n_layers > kMaxSchemeLayers)
         return false;
     scheme.layers.assign(n_layers, LayerScheme{});
     for (auto &layer : scheme.layers) {
         for (auto &p : layer.gemm) {
-            int c = in.get();
-            if (c == EOF || c < 0 ||
-                c > static_cast<int>(Precision::FP4))
+            char c;
+            if (!r.bytes(&c, 1))
                 return false;
-            p = static_cast<Precision>(c);
+            const int v = static_cast<unsigned char>(c);
+            if (v > static_cast<int>(Precision::FP4))
+                return false;
+            p = static_cast<Precision>(v);
         }
     }
-    return static_cast<bool>(in);
+    return true;
 }
 
-void
-writeF64(std::ostream &out, double v)
-{
-    out.write(reinterpret_cast<const char *>(&v), sizeof(v));
-}
-
+/**
+ * Parse everything after the version magic into @p snap /
+ * @p state, touching no live state. @p snap enters as the shapes
+ * template (trainer.snapshot()).
+ */
 bool
-readF64(std::istream &in, double &v)
+parsePayload(Reader &r, TrainerSnapshot &snap, bool *have_ctl,
+             SnipController::PersistState &state)
 {
-    in.read(reinterpret_cast<char *>(&v), sizeof(v));
-    return static_cast<bool>(in);
-}
-
-} // namespace
-
-bool
-saveCheckpoint(const Trainer &trainer, const std::string &path,
-               SnipController *controller)
-{
-    // Write to a temp file and rename, so a crash mid-save never
-    // leaves a truncated file at the checkpoint path.
-    const std::string tmp = path + ".tmp";
-    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-    if (!out)
+    uint64_t n_params, step, opt_step;
+    if (!r.u64(n_params) || !r.u64(step) || !r.u64(opt_step))
         return false;
+    if (n_params != snap.param_values.size())
+        return false;
+    snap.step = static_cast<int64_t>(step);
+    snap.opt_step_count = static_cast<int64_t>(opt_step);
+    if (!r.f64(snap.lr))
+        return false;
+    if (!readScheme(r, snap.scheme))
+        return false;
+    for (auto &s : snap.quant_rng_state) {
+        if (!r.u64(s))
+            return false;
+    }
+    for (auto &s : snap.noise_rng_state) {
+        if (!r.u64(s))
+            return false;
+    }
+    for (auto &t : snap.param_values) {
+        if (!readTensorInto(r, t))
+            return false;
+    }
+    for (auto &s : snap.opt_states) {
+        if (!readTensorInto(r, s.m) || !readTensorInto(r, s.v))
+            return false;
+    }
 
+    // Optional trailing controller section (absent in old files).
+    *have_ctl = false;
+    if (r.left() > 0) {
+        uint64_t ctl_magic, has_selection, pending;
+        if (!r.u64(ctl_magic) || ctl_magic != kCtlMagic)
+            return false;
+        if (!r.u64(state.epoch) || !r.u64(has_selection) ||
+            !readScheme(r, state.applied_scheme) ||
+            !r.f64(state.applied_fp4_fraction) || !r.u64(pending))
+            return false;
+        state.has_selection = has_selection != 0;
+        state.pending = pending != 0;
+        if (state.pending) {
+            uint64_t apply_step;
+            if (!r.u64(apply_step) ||
+                !readScheme(r, state.pending_scheme) ||
+                !r.f64(state.pending_fp4_fraction))
+                return false;
+            state.pending_apply_step = static_cast<int64_t>(apply_step);
+        }
+        *have_ctl = true;
+    }
+    return r.left() == 0;
+}
+
+/** The complete v3 file image: payload (magic through the optional
+ *  controller section) + CRC footer. */
+std::string
+serializeImage(const Trainer &trainer, SnipController *controller)
+{
+    std::string image;
     TrainerSnapshot snap = trainer.snapshot();
-    writeU64(out, kMagic);
-    writeU64(out, static_cast<uint64_t>(snap.param_values.size()));
-    writeU64(out, static_cast<uint64_t>(snap.step));
-    writeU64(out, static_cast<uint64_t>(snap.opt_step_count));
-    writeF64(out, snap.lr);
-    writeScheme(out, snap.scheme);
+    putU64(image, kMagic);
+    putU64(image, static_cast<uint64_t>(snap.param_values.size()));
+    putU64(image, static_cast<uint64_t>(snap.step));
+    putU64(image, static_cast<uint64_t>(snap.opt_step_count));
+    putF64(image, snap.lr);
+    putScheme(image, snap.scheme);
     for (uint64_t s : snap.quant_rng_state)
-        writeU64(out, s);
+        putU64(image, s);
     for (uint64_t s : snap.noise_rng_state)
-        writeU64(out, s);
+        putU64(image, s);
     for (const auto &t : snap.param_values)
-        writeTensor(out, t);
+        putTensor(image, t);
     for (const auto &s : snap.opt_states) {
-        writeTensor(out, s.m);
-        writeTensor(out, s.v);
+        putTensor(image, s.m);
+        putTensor(image, s.v);
     }
 
     if (controller) {
         // exportState() waits for any in-flight background solve, so
         // the pending update's outcome lands in the file.
         SnipController::PersistState state = controller->exportState();
-        writeU64(out, kCtlMagic);
-        writeU64(out, state.epoch);
-        writeU64(out, state.has_selection ? 1 : 0);
-        writeScheme(out, state.applied_scheme);
-        writeF64(out, state.applied_fp4_fraction);
-        writeU64(out, state.pending ? 1 : 0);
+        putU64(image, kCtlMagic);
+        putU64(image, state.epoch);
+        putU64(image, state.has_selection ? 1 : 0);
+        putScheme(image, state.applied_scheme);
+        putF64(image, state.applied_fp4_fraction);
+        putU64(image, state.pending ? 1 : 0);
         if (state.pending) {
-            writeU64(out,
-                     static_cast<uint64_t>(state.pending_apply_step));
-            writeScheme(out, state.pending_scheme);
-            writeF64(out, state.pending_fp4_fraction);
+            putU64(image,
+                   static_cast<uint64_t>(state.pending_apply_step));
+            putScheme(image, state.pending_scheme);
+            putF64(image, state.pending_fp4_fraction);
         }
     }
-    out.close();
-    if (!out) {
-        std::remove(tmp.c_str());
-        return false;
+
+    const uint64_t payload_size = image.size();
+    putU64(image, kFooterMagic);
+    putU64(image, payload_size);
+    putU64(image, crc32(image.data(), payload_size));
+    return image;
+}
+
+std::string
+rotationName(const std::string &path, int i)
+{
+    return path + "." + std::to_string(i);
+}
+
+/** Shift <path> -> <path>.1 -> ... -> <path>.keep (oldest drops). */
+void
+rotateCheckpoints(const std::string &path, int keep)
+{
+    if (keep <= 0)
+        return;
+    for (int i = keep; i >= 2; --i)
+        (void)std::rename(rotationName(path, i - 1).c_str(),
+                          rotationName(path, i).c_str());
+    (void)std::rename(path.c_str(), rotationName(path, 1).c_str());
+}
+
+bool
+failWith(CheckpointStatus *status, CheckpointStatus s)
+{
+    if (status)
+        *status = s;
+    return false;
+}
+
+} // namespace
+
+const char *
+checkpointStatusName(CheckpointStatus status)
+{
+    switch (status) {
+        case CheckpointStatus::Ok:
+            return "ok";
+        case CheckpointStatus::FileMissing:
+            return "file_missing";
+        case CheckpointStatus::BadMagic:
+            return "bad_magic";
+        case CheckpointStatus::OutdatedVersion:
+            return "outdated_version";
+        case CheckpointStatus::Truncated:
+            return "truncated";
+        case CheckpointStatus::CrcMismatch:
+            return "crc_mismatch";
+        case CheckpointStatus::Malformed:
+            return "malformed";
+        case CheckpointStatus::WriteFailed:
+            return "write_failed";
+        case CheckpointStatus::SyncFailed:
+            return "sync_failed";
+        case CheckpointStatus::RenameFailed:
+            return "rename_failed";
+        case CheckpointStatus::TornWrite:
+            return "torn_write";
     }
-    return std::rename(tmp.c_str(), path.c_str()) == 0;
+    return "unknown";
+}
+
+bool
+saveCheckpoint(const Trainer &trainer, const std::string &path,
+               SnipController *controller, CheckpointStatus *status,
+               const CheckpointWriteOptions &options)
+{
+    const std::string image = serializeImage(trainer, controller);
+    const std::string tmp = path + ".tmp";
+
+    if (SNIP_FAULT_POINT("ckpt.write")) {
+        // Simulated ENOSPC mid-write: half the image lands in the
+        // staging file, the caller sees the error, nothing published.
+        (void)fsio::writeFile(tmp, image.substr(0, image.size() / 2));
+        std::remove(tmp.c_str());
+        return failWith(status, CheckpointStatus::WriteFailed);
+    }
+    if (!fsio::writeFile(tmp, image)) {
+        std::remove(tmp.c_str());
+        return failWith(status, CheckpointStatus::WriteFailed);
+    }
+    if (options.durable &&
+        (SNIP_FAULT_POINT("ckpt.fsync") || !fsio::syncFile(tmp))) {
+        std::remove(tmp.c_str());
+        return failWith(status, CheckpointStatus::SyncFailed);
+    }
+    if (SNIP_FAULT_POINT("ckpt.rename")) {
+        // Simulated crash before the publish rename: the staged image
+        // survives at <tmp>, the published path is untouched.
+        return failWith(status, CheckpointStatus::RenameFailed);
+    }
+    rotateCheckpoints(path, options.keep);
+    if (SNIP_FAULT_POINT("ckpt.torn")) {
+        // Simulated torn publish (non-atomic filesystem / power cut
+        // mid-writeback): a truncated image lands at the final path.
+        // Rotation already ran, so <path>.1 holds the last good file.
+        (void)fsio::writeFile(path, image.substr(0, image.size() / 2));
+        std::remove(tmp.c_str());
+        return failWith(status, CheckpointStatus::TornWrite);
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        std::remove(tmp.c_str());
+        return failWith(status, CheckpointStatus::RenameFailed);
+    }
+    if (options.durable)
+        (void)fsio::syncParentDir(path);
+    if (status)
+        *status = CheckpointStatus::Ok;
+    return true;
 }
 
 bool
 loadCheckpoint(Trainer &trainer, const std::string &path,
-               SnipController *controller)
+               SnipController *controller, CheckpointStatus *status)
 {
-    std::ifstream in(path, std::ios::binary);
-    if (!in)
-        return false;
+    std::string file;
+    if (!fsio::readFile(path, &file))
+        return failWith(status, CheckpointStatus::FileMissing);
+    if (file.size() < sizeof(uint64_t))
+        return failWith(status, CheckpointStatus::Truncated);
 
-    uint64_t magic, n_params, step, opt_step;
-    if (!readU64(in, magic))
-        return false;
+    uint64_t magic;
+    std::memcpy(&magic, file.data(), sizeof(magic));
+    size_t payload_size = file.size();
     if (magic == kMagicV1) {
         // Outdated format (no RNG stream states): report unreadable so
         // callers (e.g. the bench checkpoint cache) regenerate it.
         warn("outdated SNIPCKP1 checkpoint, ignoring: ", path);
-        return false;
+        return failWith(status, CheckpointStatus::OutdatedVersion);
     }
-    if (magic != kMagic)
-        fatal("not a SNIP checkpoint: ", path);
-    if (!readU64(in, n_params) || !readU64(in, step) ||
-        !readU64(in, opt_step))
-        return false;
+    if (magic == kMagic) {
+        // v3: verify the footer before looking at anything else. A
+        // missing/garbled footer means the tail was torn off; a CRC
+        // mismatch means the bytes changed under us.
+        if (file.size() < sizeof(uint64_t) + kFooterBytes)
+            return failWith(status, CheckpointStatus::Truncated);
+        uint64_t fmagic, fsize, fcrc;
+        const char *footer = file.data() + file.size() - kFooterBytes;
+        std::memcpy(&fmagic, footer, sizeof(fmagic));
+        std::memcpy(&fsize, footer + 8, sizeof(fsize));
+        std::memcpy(&fcrc, footer + 16, sizeof(fcrc));
+        if (fmagic != kFooterMagic ||
+            fsize != file.size() - kFooterBytes) {
+            warn("checkpoint ", path, " has a torn/missing footer");
+            return failWith(status, CheckpointStatus::Truncated);
+        }
+        payload_size = static_cast<size_t>(fsize);
+        if (crc32(file.data(), payload_size) != fcrc) {
+            warn("checkpoint ", path, " failed its CRC check");
+            return failWith(status, CheckpointStatus::CrcMismatch);
+        }
+    } else if (magic != kMagicV2) {
+        warn("not a SNIP checkpoint: ", path);
+        return failWith(status, CheckpointStatus::BadMagic);
+    }
 
+    // Parse the whole payload into locals BEFORE touching the trainer,
+    // so any failure below leaves it exactly as it was.
+    Reader r{file.data() + sizeof(uint64_t),
+             file.data() + payload_size};
     TrainerSnapshot snap = trainer.snapshot(); // shapes template
-    if (n_params != snap.param_values.size())
-        fatal("checkpoint parameter count mismatch");
-    snap.step = static_cast<int64_t>(step);
-    snap.opt_step_count = static_cast<int64_t>(opt_step);
-    if (!readF64(in, snap.lr))
-        return false;
-    if (!readScheme(in, snap.scheme))
-        return false;
-    for (auto &s : snap.quant_rng_state) {
-        if (!readU64(in, s))
-            return false;
-    }
-    for (auto &s : snap.noise_rng_state) {
-        if (!readU64(in, s))
-            return false;
-    }
-    for (auto &t : snap.param_values) {
-        if (!readTensorInto(in, t))
-            return false;
-    }
-    for (auto &s : snap.opt_states) {
-        if (!readTensorInto(in, s.m) || !readTensorInto(in, s.v))
-            return false;
-    }
-
-    // Optional trailing controller section (absent in old files).
-    // Parse it fully BEFORE touching the trainer, so a file truncated
-    // mid-section reports failure without mutating any state.
     bool have_ctl = false;
     SnipController::PersistState state;
-    uint64_t ctl_magic;
-    if (readU64(in, ctl_magic)) {
-        if (ctl_magic != kCtlMagic)
-            fatal("corrupt controller section in ", path);
-        uint64_t has_selection, pending;
-        if (!readU64(in, state.epoch) || !readU64(in, has_selection) ||
-            !readScheme(in, state.applied_scheme) ||
-            !readF64(in, state.applied_fp4_fraction) ||
-            !readU64(in, pending))
-            return false;
-        state.has_selection = has_selection != 0;
-        state.pending = pending != 0;
-        if (state.pending) {
-            uint64_t apply_step;
-            if (!readU64(in, apply_step) ||
-                !readScheme(in, state.pending_scheme) ||
-                !readF64(in, state.pending_fp4_fraction))
-                return false;
-            state.pending_apply_step = static_cast<int64_t>(apply_step);
-        }
-        have_ctl = true;
+    if (!parsePayload(r, snap, &have_ctl, state)) {
+        const CheckpointStatus s = r.truncated
+                                       ? CheckpointStatus::Truncated
+                                       : CheckpointStatus::Malformed;
+        warn("checkpoint ", path, " unreadable: ",
+             checkpointStatusName(s));
+        return failWith(status, s);
     }
 
     trainer.restore(snap);
     if (controller && have_ctl)
         controller->importState(state);
+    if (status)
+        *status = CheckpointStatus::Ok;
     return true;
+}
+
+bool
+loadCheckpointWithFallback(Trainer &trainer, const std::string &path,
+                           SnipController *controller,
+                           CheckpointStatus *status, int max_fallbacks,
+                           std::string *loaded_path)
+{
+    CheckpointStatus primary = CheckpointStatus::FileMissing;
+    for (int i = 0; i <= max_fallbacks; ++i) {
+        const std::string p = i == 0 ? path : rotationName(path, i);
+        CheckpointStatus s = CheckpointStatus::Ok;
+        if (loadCheckpoint(trainer, p, controller, &s)) {
+            if (i > 0)
+                inform("recovered from fallback checkpoint ", p);
+            if (status)
+                *status = CheckpointStatus::Ok;
+            if (loaded_path)
+                *loaded_path = p;
+            return true;
+        }
+        if (i == 0)
+            primary = s;
+        else if (s == CheckpointStatus::FileMissing)
+            break; // end of the rotation chain
+        if (s != CheckpointStatus::FileMissing)
+            warn("checkpoint ", p, " unreadable (",
+                 checkpointStatusName(s), "); trying fallback");
+    }
+    if (status)
+        *status = primary;
+    return false;
 }
 
 } // namespace snip

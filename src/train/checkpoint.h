@@ -2,15 +2,23 @@
  * @file
  * Binary checkpoint serialization for Trainer state.
  *
- * Simple self-describing format (v2, magic "SNIPCKP2"): parameter
- * count and clocks, the optimizer lr, the model's active precision
- * scheme, the quantizer/noise RNG stream states, then the FP32
- * parameter tensors and optimizer moments. The scheme + RNG states
- * make resumes bit-exact even under stochastic-rounding schemes.
- * Checkpoints let the examples/benches reproduce the paper's "resume
- * pretraining from a released checkpoint" workflow (Sec. 6.1) across
- * process runs; outdated v1 files are reported as unreadable (callers
- * regenerate them).
+ * Self-describing format (v3, magic "SNIPCKP3"): parameter count and
+ * clocks, the optimizer lr, the model's active precision scheme, the
+ * quantizer/noise RNG stream states, then the FP32 parameter tensors
+ * and optimizer moments, an optional controller section, and a CRC-32
+ * footer over everything before it. The scheme + RNG states make
+ * resumes bit-exact even under stochastic-rounding schemes; the footer
+ * makes torn writes and bit rot detectable instead of silently
+ * half-loading. Outdated v1 files are reported as unreadable (callers
+ * regenerate them); v2 files (no footer) still load.
+ *
+ * Durability: the image is staged to <path>.tmp, fsync'd, renamed
+ * over <path>, and the parent directory fsync'd — so a crash at any
+ * point leaves either the old complete checkpoint or the new one.
+ * CheckpointWriteOptions::keep additionally rotates the previous
+ * checkpoints to <path>.1, <path>.2, ... before publishing, and
+ * loadCheckpointWithFallback() walks that chain to the newest
+ * checkpoint that still validates.
  *
  * When a SnipController is passed, an optional trailing section also
  * persists the controller's update state — its epoch counter, last
@@ -31,23 +39,73 @@
 
 namespace snip {
 
+/** Why a checkpoint operation succeeded or failed. */
+enum class CheckpointStatus
+{
+    Ok,              ///< loaded/saved completely
+    FileMissing,     ///< path absent or unreadable
+    BadMagic,        ///< not a SNIP checkpoint
+    OutdatedVersion, ///< v1 file: regenerate it
+    Truncated,       ///< file ends mid-section (torn write)
+    CrcMismatch,     ///< footer checksum does not cover the payload
+    Malformed,       ///< structure disagrees with the trainer (shape /
+                     ///< parameter-count / scheme / section mismatch)
+    WriteFailed,     ///< staging write failed (e.g. disk full)
+    SyncFailed,      ///< fsync of the staged image failed
+    RenameFailed,    ///< publish rename failed (tmp file left behind)
+    TornWrite,       ///< injected torn write reached the final path
+};
+
+/** Human-readable name for logs ("ok", "crc_mismatch", ...). */
+const char *checkpointStatusName(CheckpointStatus status);
+
+/** Durability/rotation knobs for saveCheckpoint. */
+struct CheckpointWriteOptions
+{
+    /** Previous checkpoints retained as <path>.1 (newest) through
+     *  <path>.keep (oldest); 0 = overwrite in place. */
+    int keep = 0;
+    /** fsync the staged file before rename and the directory after
+     *  (crash durability); disable only for throwaway test files. */
+    bool durable = true;
+};
+
 /**
  * Serialize the trainer's current state. With @p controller, the
  * scheme/controller section is appended (see file comment); exporting
  * blocks until any in-flight async update has solved. Returns false on
- * I/O error.
+ * failure, with the reason in @p status when non-null; the previously
+ * published checkpoint (if any) is never damaged by a failed save.
  */
 bool saveCheckpoint(const Trainer &trainer, const std::string &path,
-                    SnipController *controller = nullptr);
+                    SnipController *controller = nullptr,
+                    CheckpointStatus *status = nullptr,
+                    const CheckpointWriteOptions &options = {});
 
 /**
  * Restore state saved by saveCheckpoint into an identically configured
  * trainer. With @p controller, also restores the controller section
  * when present (and re-applies the persisted precision scheme to the
- * model). fatal() on structural mismatch; returns false on I/O error.
+ * model). The file is parsed and verified completely before any state
+ * is touched, so a failed load (false; reason in @p status) never
+ * half-restores the trainer.
  */
 bool loadCheckpoint(Trainer &trainer, const std::string &path,
-                    SnipController *controller = nullptr);
+                    SnipController *controller = nullptr,
+                    CheckpointStatus *status = nullptr);
+
+/**
+ * loadCheckpoint, falling back through the rotation chain: try
+ * @p path, then <path>.1, <path>.2, ... (up to @p max_fallbacks)
+ * until one validates. @p status reports the primary path's failure
+ * when even the fallbacks fail, and Ok on any success;
+ * @p loaded_path (optional) receives the file that actually loaded.
+ */
+bool loadCheckpointWithFallback(Trainer &trainer, const std::string &path,
+                                SnipController *controller = nullptr,
+                                CheckpointStatus *status = nullptr,
+                                int max_fallbacks = 8,
+                                std::string *loaded_path = nullptr);
 
 } // namespace snip
 

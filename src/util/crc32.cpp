@@ -1,0 +1,35 @@
+#include "util/crc32.h"
+
+namespace snip {
+
+namespace {
+
+struct Crc32Table
+{
+    uint32_t entries[256];
+
+    Crc32Table()
+    {
+        for (uint32_t i = 0; i < 256; ++i) {
+            uint32_t c = i;
+            for (int bit = 0; bit < 8; ++bit)
+                c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+            entries[i] = c;
+        }
+    }
+};
+
+} // namespace
+
+uint32_t
+crc32(const void *data, size_t n, uint32_t seed)
+{
+    static const Crc32Table table;
+    const unsigned char *p = static_cast<const unsigned char *>(data);
+    uint32_t c = seed ^ 0xFFFFFFFFu;
+    for (size_t i = 0; i < n; ++i)
+        c = table.entries[(c ^ p[i]) & 0xFFu] ^ (c >> 8);
+    return c ^ 0xFFFFFFFFu;
+}
+
+} // namespace snip

@@ -1,0 +1,90 @@
+#include "util/file_io.h"
+
+#include <cstdio>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+namespace snip {
+namespace fsio {
+
+bool
+readFile(const std::string &path, std::string *out)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (f == nullptr)
+        return false;
+    out->clear();
+    char buf[1 << 16];
+    size_t got;
+    while ((got = std::fread(buf, 1, sizeof(buf), f)) > 0)
+        out->append(buf, got);
+    const bool ok = std::ferror(f) == 0;
+    std::fclose(f);
+    return ok;
+}
+
+bool
+writeFile(const std::string &path, const std::string &content)
+{
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    if (f == nullptr)
+        return false;
+    const bool ok =
+        std::fwrite(content.data(), 1, content.size(), f) ==
+        content.size();
+    return (std::fclose(f) == 0) && ok;
+}
+
+bool
+syncFile(const std::string &path)
+{
+    const int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0)
+        return false;
+    const bool ok = ::fsync(fd) == 0;
+    ::close(fd);
+    return ok;
+}
+
+bool
+syncParentDir(const std::string &path)
+{
+    const size_t slash = path.find_last_of('/');
+    const std::string dir =
+        slash == std::string::npos ? "." : path.substr(0, slash + 1);
+    const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+    if (fd < 0)
+        return false;
+    const bool ok = ::fsync(fd) == 0;
+    ::close(fd);
+    return ok;
+}
+
+bool
+writeFileAtomic(const std::string &path, const std::string &content,
+                bool durable)
+{
+    // The pid suffix keeps concurrent writer processes racing for the
+    // same published path from clobbering each other's staging file.
+    const std::string tmp =
+        path + ".tmp." + std::to_string(::getpid());
+    if (!writeFile(tmp, content)) {
+        std::remove(tmp.c_str());
+        return false;
+    }
+    if (durable && !syncFile(tmp)) {
+        std::remove(tmp.c_str());
+        return false;
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        std::remove(tmp.c_str());
+        return false;
+    }
+    if (durable)
+        (void)syncParentDir(path); // rename landed; sync is advisory
+    return true;
+}
+
+} // namespace fsio
+} // namespace snip

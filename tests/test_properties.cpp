@@ -229,14 +229,15 @@ TEST(Failure, TruncatedCheckpointReturnsFalse)
     std::remove(path.c_str());
 }
 
-TEST(Failure, NonCheckpointFileDies)
+TEST(Failure, NonCheckpointFileFailsCleanly)
 {
     const std::string path = "test_not_ckpt.bin";
     ASSERT_TRUE(writeFile(path, "definitely not a checkpoint"));
     TrainerConfig cfg = trainerPreset(tinyTestModel());
     Trainer trainer(cfg);
-    EXPECT_EXIT(loadCheckpoint(trainer, path),
-                ::testing::ExitedWithCode(1), "not a SNIP checkpoint");
+    CheckpointStatus status = CheckpointStatus::Ok;
+    EXPECT_FALSE(loadCheckpoint(trainer, path, nullptr, &status));
+    EXPECT_EQ(status, CheckpointStatus::BadMagic);
     std::remove(path.c_str());
 }
 

@@ -45,6 +45,23 @@ operator new[](size_t n)
 }
 
 void *
+operator new(size_t n, const std::nothrow_t &) noexcept
+{
+    // std::stable_sort's temporary buffer (and anything else using
+    // the nothrow flavor) must allocate through the counting wrapper
+    // too, or its storage would come from the default (possibly
+    // sanitizer-intercepted) new yet be freed by our delete.
+    g_allocs.fetch_add(1, std::memory_order_relaxed);
+    return std::malloc(n ? n : 1);
+}
+
+void *
+operator new[](size_t n, const std::nothrow_t &tag) noexcept
+{
+    return ::operator new(n, tag);
+}
+
+void *
 operator new(size_t n, std::align_val_t align)
 {
     g_allocs.fetch_add(1, std::memory_order_relaxed);
@@ -97,6 +114,16 @@ operator delete(void *p, size_t, std::align_val_t) noexcept
 }
 void
 operator delete[](void *p, size_t, std::align_val_t) noexcept
+{
+    std::free(p);
+}
+void
+operator delete(void *p, const std::nothrow_t &) noexcept
+{
+    std::free(p);
+}
+void
+operator delete[](void *p, const std::nothrow_t &) noexcept
 {
     std::free(p);
 }
