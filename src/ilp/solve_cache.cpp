@@ -44,7 +44,9 @@ struct Reader
     bool
     bytes(void *dst, size_t n)
     {
-        if (static_cast<size_t>(end - p) < n)
+        // Signed comparison: end < p must read as "empty", never as a
+        // huge unsigned remainder.
+        if (end - p < static_cast<ptrdiff_t>(n))
             return false;
         std::memcpy(dst, p, n);
         p += n;
@@ -226,8 +228,12 @@ SolveCache::load()
         // them. A mismatch doesn't discard the file outright — the
         // per-entry validation below salvages the good prefix.
         uint64_t stored = 0;
-        if (file.size() < sizeof(uint64_t)) {
+        if (file.size() < 3 * sizeof(uint64_t)) {
+            // Too short to hold magic + count + CRC: the trailer
+            // overlaps the header already consumed, so there is no
+            // entry region at all — don't move r.end behind r.p.
             clean = false;
+            r.end = r.p;
         } else {
             std::memcpy(&stored,
                         file.data() + file.size() - sizeof(uint64_t),

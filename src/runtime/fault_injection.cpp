@@ -1,5 +1,6 @@
 #include "runtime/fault_injection.h"
 
+#include <cmath>
 #include <cstdlib>
 #include <map>
 #include <mutex>
@@ -115,8 +116,11 @@ parseClause(std::string_view clause, std::string *name, Site *site)
         char *end = nullptr;
         const std::string prob_str(prob);
         site->p = std::strtod(prob_str.c_str(), &end);
-        if (end == prob_str.c_str() || *end != '\0' || site->p < 0.0 ||
-            site->p > 1.0)
+        // NaN compares false against both bounds — reject it
+        // explicitly or strtod("nan") slips through as a schedule
+        // that never fires.
+        if (end == prob_str.c_str() || *end != '\0' ||
+            !std::isfinite(site->p) || site->p < 0.0 || site->p > 1.0)
             return false;
         site->rng = Rng(seed ^ hashSiteName(*name));
         return true;

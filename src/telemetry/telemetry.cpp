@@ -73,6 +73,17 @@ struct Registry
     /** Rendered per-step JSON objects, joined at flush(). */
     std::vector<std::string> series;
     int boundaries_since_flush = 0;
+
+    /** Export writes happen outside mu (see prepareFlushLocked), so
+     *  concurrent flushers need their own serialization: the staging
+     *  file name is pid-derived, and two unserialized writers would
+     *  truncate each other's staging data mid-write. flush_seq (under
+     *  mu) stamps each prepared document; flush_published (under
+     *  flush_mu) drops a snapshot that lost the race to a newer one
+     *  instead of publishing stale data over it. */
+    std::mutex flush_mu;
+    uint64_t flush_seq = 0;
+    uint64_t flush_published = 0;
 };
 
 Registry &
@@ -404,11 +415,13 @@ renderDocumentLocked(Registry &reg)
  * self-deadlock if the mutex were still held), and a slow disk would
  * stall every thread's first counter bump besides.
  *
- * Returns the path to write (empty = nothing to do) in @p path and
- * the rendered document in @p doc.
+ * Returns the path to write (empty = nothing to do) in @p path, the
+ * rendered document in @p doc, and its freshness stamp in @p seq —
+ * pass all three to writeExport() after dropping reg.mu.
  */
 void
-prepareFlushLocked(Registry &reg, std::string *path, std::string *doc)
+prepareFlushLocked(Registry &reg, std::string *path, std::string *doc,
+                   uint64_t *seq)
 {
     reg.boundaries_since_flush = 0;
     path->clear();
@@ -416,6 +429,22 @@ prepareFlushLocked(Registry &reg, std::string *path, std::string *doc)
         return;
     *path = reg.config.json_path;
     *doc = renderDocumentLocked(reg);
+    *seq = ++reg.flush_seq;
+}
+
+/** Write a document prepared under reg.mu, serialized against other
+ *  exporters and skipped when a newer snapshot already landed. */
+bool
+writeExport(Registry &reg, uint64_t seq, const std::string &path,
+            const std::string &doc)
+{
+    std::lock_guard<std::mutex> lk(reg.flush_mu);
+    if (seq <= reg.flush_published)
+        return true; // a newer snapshot was already published
+    if (!detail::writeFileAtomic(path, doc))
+        return false;
+    reg.flush_published = seq;
+    return true;
 }
 
 void
@@ -527,6 +556,7 @@ stepBoundary(int64_t step)
     const int pool_threads = runtime::globalThreadPool().numThreads();
     Registry &reg = registry();
     std::string flush_path, flush_doc;
+    uint64_t flush_seq = 0;
     {
         std::lock_guard<std::mutex> lk(reg.mu);
         const auto now_time = std::chrono::steady_clock::now();
@@ -544,10 +574,11 @@ stepBoundary(int64_t step)
         reg.have_prev_time = true;
         if (reg.config.flush_every > 0 &&
             ++reg.boundaries_since_flush >= reg.config.flush_every)
-            prepareFlushLocked(reg, &flush_path, &flush_doc);
+            prepareFlushLocked(reg, &flush_path, &flush_doc,
+                               &flush_seq);
     }
     if (!flush_path.empty())
-        (void)detail::writeFileAtomic(flush_path, flush_doc);
+        (void)writeExport(reg, flush_seq, flush_path, flush_doc);
 }
 
 bool
@@ -557,13 +588,14 @@ flush()
         return true;
     Registry &reg = registry();
     std::string path, doc;
+    uint64_t seq = 0;
     {
         std::lock_guard<std::mutex> lk(reg.mu);
-        prepareFlushLocked(reg, &path, &doc);
+        prepareFlushLocked(reg, &path, &doc, &seq);
     }
     if (path.empty())
         return true;
-    return detail::writeFileAtomic(path, doc);
+    return writeExport(reg, seq, path, doc);
 }
 
 int64_t

@@ -249,16 +249,16 @@ rotationName(const std::string &path, int i)
     return path + "." + std::to_string(i);
 }
 
-/** Shift <path> -> <path>.1 -> ... -> <path>.keep (oldest drops). */
+/** Shift <path>.1 -> <path>.2 -> ... -> <path>.keep (oldest drops).
+ *  The live file at <path> is NOT touched here: saveCheckpoint moves
+ *  it aside itself, right before the publish rename, so a failed
+ *  publish can roll it back and never leave <path> empty. */
 void
-rotateCheckpoints(const std::string &path, int keep)
+rotateBackups(const std::string &path, int keep)
 {
-    if (keep <= 0)
-        return;
     for (int i = keep; i >= 2; --i)
         (void)std::rename(rotationName(path, i - 1).c_str(),
                           rotationName(path, i).c_str());
-    (void)std::rename(path.c_str(), rotationName(path, 1).c_str());
 }
 
 bool
@@ -330,7 +330,15 @@ saveCheckpoint(const Trainer &trainer, const std::string &path,
         // survives at <tmp>, the published path is untouched.
         return failWith(status, CheckpointStatus::RenameFailed);
     }
-    rotateCheckpoints(path, options.keep);
+    // Publish: shift the numbered backups, move the live file to
+    // <path>.1, then rename the staged image into place. The live file
+    // moves last and is rolled back if the final rename fails, so a
+    // failed save always leaves a loadable checkpoint at <path>.
+    rotateBackups(path, options.keep);
+    bool live_rotated = false;
+    if (options.keep > 0)
+        live_rotated = std::rename(path.c_str(),
+                                   rotationName(path, 1).c_str()) == 0;
     if (SNIP_FAULT_POINT("ckpt.torn")) {
         // Simulated torn publish (non-atomic filesystem / power cut
         // mid-writeback): a truncated image lands at the final path.
@@ -339,8 +347,12 @@ saveCheckpoint(const Trainer &trainer, const std::string &path,
         std::remove(tmp.c_str());
         return failWith(status, CheckpointStatus::TornWrite);
     }
-    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    if (SNIP_FAULT_POINT("ckpt.publish") ||
+        std::rename(tmp.c_str(), path.c_str()) != 0) {
         std::remove(tmp.c_str());
+        if (live_rotated)
+            (void)std::rename(rotationName(path, 1).c_str(),
+                              path.c_str());
         return failWith(status, CheckpointStatus::RenameFailed);
     }
     if (options.durable)

@@ -16,8 +16,10 @@
  * over <path>, and the parent directory fsync'd — so a crash at any
  * point leaves either the old complete checkpoint or the new one.
  * CheckpointWriteOptions::keep additionally rotates the previous
- * checkpoints to <path>.1, <path>.2, ... before publishing, and
- * loadCheckpointWithFallback() walks that chain to the newest
+ * checkpoints to <path>.1, <path>.2, ... before publishing (the live
+ * file is moved aside only at publish time and rolled back if the
+ * final rename fails, so a failed save never leaves <path> empty),
+ * and loadCheckpointWithFallback() walks that chain to the newest
  * checkpoint that still validates.
  *
  * When a SnipController is passed, an optional trailing section also

@@ -244,6 +244,9 @@ TEST(Fault, SpecParsing)
     EXPECT_FALSE(fault::configureFromSpec("site:every-0"));
     EXPECT_FALSE(fault::configureFromSpec("site:p=1.5"));
     EXPECT_FALSE(fault::configureFromSpec("site:p=x"));
+    EXPECT_FALSE(fault::configureFromSpec("site:p=nan"));
+    EXPECT_FALSE(fault::configureFromSpec("site:p=-nan"));
+    EXPECT_FALSE(fault::configureFromSpec("site:p=inf"));
     EXPECT_TRUE(fault::enabled());
 
     fault::reset();
@@ -475,6 +478,7 @@ TEST(FaultCheckpoint, WriteFaultsLeavePreviousCheckpointLoadable)
         {"ckpt.write:1", CheckpointStatus::WriteFailed, false},
         {"ckpt.fsync:1", CheckpointStatus::SyncFailed, true},
         {"ckpt.rename:1", CheckpointStatus::RenameFailed, false},
+        {"ckpt.publish:1", CheckpointStatus::RenameFailed, false},
     };
     for (const Case &c : cases) {
         trainer.train(1);
@@ -493,6 +497,39 @@ TEST(FaultCheckpoint, WriteFaultsLeavePreviousCheckpointLoadable)
         ASSERT_TRUE(loadCheckpoint(fresh, path)) << c.spec;
         EXPECT_EQ(fresh.step(), 2) << c.spec;
     }
+    removeCheckpointChain(path);
+}
+
+TEST(FaultCheckpoint, FailedPublishRollsBackRotation)
+{
+    FaultGuard fault_guard;
+    const std::string path = "test_faults_publish.ckpt";
+    removeCheckpointChain(path);
+    TrainerConfig cfg = trainerPreset(tinyTestModel());
+    CheckpointWriteOptions opts;
+    opts.keep = 2;
+    opts.durable = false;
+
+    Trainer trainer(cfg);
+    trainer.train(2);
+    ASSERT_TRUE(saveCheckpoint(trainer, path, nullptr, nullptr, opts));
+
+    // The publish rename fails AFTER the live checkpoint was rotated
+    // aside: the rollback must restore it, so a plain loadCheckpoint
+    // of <path> (no fallback walker) still sees the step-2 state.
+    trainer.train(3);
+    ASSERT_TRUE(fault::configureFromSpec("ckpt.publish:1"));
+    CheckpointStatus status = CheckpointStatus::Ok;
+    EXPECT_FALSE(saveCheckpoint(trainer, path, nullptr, &status, opts));
+    EXPECT_EQ(status, CheckpointStatus::RenameFailed);
+    fault::reset();
+
+    Trainer fresh(cfg);
+    status = CheckpointStatus::Ok;
+    ASSERT_TRUE(loadCheckpoint(fresh, path, nullptr, &status));
+    EXPECT_EQ(status, CheckpointStatus::Ok);
+    EXPECT_EQ(fresh.step(), 2);
+
     removeCheckpointChain(path);
 }
 
@@ -531,6 +568,33 @@ TEST(FaultSolveCache, CorruptTailKeepsValidatedPrefix)
     EXPECT_TRUE(salvaged.lookup(3, &out)); // newest entry = first
     EXPECT_EQ(out.choice, (std::vector<int>{0, 1, 3}));
 
+    std::remove(path.c_str());
+}
+
+TEST(FaultSolveCache, TruncatedHeaderLoadsAsEmpty)
+{
+    const std::string path = "test_faults_solve_cache_trunc.bin";
+    std::remove(path.c_str());
+    {
+        SolveCache cache(path);
+        IlpSolution s;
+        s.feasible = true;
+        s.choice = {1};
+        s.objective = 2.0;
+        cache.insert(7, s);
+    }
+    std::string bytes;
+    ASSERT_TRUE(readFileBytes(path, &bytes));
+    ASSERT_GT(bytes.size(), 24u);
+    // Files torn inside magic+count+CRC (under 24 bytes) have no
+    // entry region at all; every such prefix must load as empty
+    // without reading past the buffer (the 16..23-byte range once
+    // placed the CRC trailer boundary *before* the read cursor).
+    for (size_t n = 0; n < 24; ++n) {
+        ASSERT_TRUE(writeFileBytes(path, bytes.substr(0, n)));
+        SolveCache torn(path);
+        EXPECT_EQ(torn.size(), 0u) << "prefix of " << n << " bytes";
+    }
     std::remove(path.c_str());
 }
 
