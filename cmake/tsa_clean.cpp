@@ -1,0 +1,23 @@
+/**
+ * @file
+ * Compile-PASS control for the thread-safety analysis probe (see
+ * CMakeLists.txt and cmake/tsa_violation.cpp): the same guarded access
+ * done correctly under a MutexLock. If THIS fails, the annotation
+ * header itself is broken (not the violation detection), and the
+ * configure step aborts with the real error.
+ */
+#include "util/thread_annotations.h"
+
+struct Guarded
+{
+    snip::util::Mutex mu;
+    int value SNIP_GUARDED_BY(mu) = 0;
+};
+
+int
+main()
+{
+    Guarded g;
+    snip::util::MutexLock lock(g.mu);
+    return g.value;
+}

@@ -1,0 +1,22 @@
+/**
+ * @file
+ * Compile-FAIL probe for the thread-safety analysis (see
+ * CMakeLists.txt): reads a SNIP_GUARDED_BY member without holding its
+ * mutex. Under clang with -Werror=thread-safety this translation unit
+ * MUST be rejected — if it compiles, the analysis is silently off and
+ * the configure step aborts.
+ */
+#include "util/thread_annotations.h"
+
+struct Guarded
+{
+    snip::util::Mutex mu;
+    int value SNIP_GUARDED_BY(mu) = 0;
+};
+
+int
+main()
+{
+    Guarded g;
+    return g.value; // unguarded read: -Wthread-safety must reject this
+}

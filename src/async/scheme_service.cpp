@@ -81,17 +81,16 @@ SchemeUpdateService::submit(SchemeUpdateRequest request)
 bool
 SchemeUpdateService::ready(uint64_t epoch) const
 {
-    std::unique_lock<std::mutex> lock(mu_);
+    util::MutexLock lock(mu_);
     return front_ >= 0 && slots_[front_].epoch >= epoch;
 }
 
 SchemeUpdateResult
 SchemeUpdateService::wait(uint64_t epoch)
 {
-    std::unique_lock<std::mutex> lock(mu_);
-    published_cv_.wait(lock, [&] {
-        return front_ >= 0 && slots_[front_].epoch >= epoch;
-    });
+    util::MutexLock lock(mu_);
+    while (!(front_ >= 0 && slots_[front_].epoch >= epoch))
+        published_cv_.wait(mu_);
     SNIP_ASSERT(slots_[front_].epoch == epoch,
                 "waited-for epoch was overwritten — more than one "
                 "update in flight?");
@@ -101,7 +100,7 @@ SchemeUpdateService::wait(uint64_t epoch)
 uint64_t
 SchemeUpdateService::publishedEpoch() const
 {
-    std::unique_lock<std::mutex> lock(mu_);
+    util::MutexLock lock(mu_);
     return front_ >= 0 ? slots_[front_].epoch : 0;
 }
 
@@ -112,12 +111,12 @@ SchemeUpdateService::publish(SchemeUpdateResult result)
     telemetry::addSeconds(telemetry::Seconds::SchemeWorker,
                           result.work_seconds);
     {
-        std::unique_lock<std::mutex> lock(mu_);
+        util::MutexLock lock(mu_);
         const int back = front_ == 0 ? 1 : 0;
         slots_[back] = std::move(result);
         front_ = back;
     }
-    published_cv_.notify_all();
+    published_cv_.notifyAll();
 }
 
 } // namespace snip

@@ -31,11 +31,9 @@
 #ifndef SNIP_ASYNC_SCHEME_SERVICE_H
 #define SNIP_ASYNC_SCHEME_SERVICE_H
 
-#include <condition_variable>
-#include <mutex>
-
 #include "core/snip_optimizer.h"
 #include "runtime/task_thread.h"
+#include "util/thread_annotations.h"
 
 namespace snip {
 
@@ -143,10 +141,11 @@ class SchemeUpdateService
      * trainer copying the previous result never races the next
      * publication.
      */
-    mutable std::mutex mu_;
-    std::condition_variable published_cv_;
-    SchemeUpdateResult slots_[2];
-    int front_ = -1; ///< slot of the newest published result; -1 none
+    mutable util::Mutex mu_;
+    util::CondVar published_cv_;
+    SchemeUpdateResult slots_[2] SNIP_GUARDED_BY(mu_);
+    /** Slot of the newest published result; -1 none. */
+    int front_ SNIP_GUARDED_BY(mu_) = -1;
 
     /** Declared last: destroyed (drained + joined) first, so in-flight
      *  tasks can still publish into the members above. */

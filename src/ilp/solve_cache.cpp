@@ -108,7 +108,7 @@ SolveCache::entryBytes(const IlpSolution &solution)
 void
 SolveCache::setLimits(size_t max_entries, size_t max_bytes)
 {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(mu_);
     max_entries_ = max_entries;
     max_bytes_ = max_bytes;
     const size_t before = entries_.size();
@@ -130,7 +130,7 @@ SolveCache::touchLocked(Entry &entry, uint64_t key)
 bool
 SolveCache::lookup(uint64_t key, IlpSolution *out)
 {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(mu_);
     auto it = entries_.find(key);
     if (it == entries_.end()) {
         ++misses_;
@@ -184,7 +184,7 @@ SolveCache::enforceLimitsLocked()
 void
 SolveCache::insert(uint64_t key, const IlpSolution &solution)
 {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(mu_);
     // Diffed around the locked call (rather than counted inside
     // enforceLimitsLocked) so load() trimming stays a non-eviction in
     // telemetry too.
@@ -199,7 +199,7 @@ SolveCache::insert(uint64_t key, const IlpSolution &solution)
 bool
 SolveCache::load()
 {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(mu_);
     entries_.clear();
     lru_.clear();
     bytes_ = 0;
@@ -277,7 +277,7 @@ SolveCache::load()
 bool
 SolveCache::save() const
 {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(mu_);
     return saveLocked();
 }
 
@@ -312,42 +312,42 @@ SolveCache::saveLocked() const
 size_t
 SolveCache::size() const
 {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(mu_);
     return entries_.size();
 }
 
 int64_t
 SolveCache::hits() const
 {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(mu_);
     return hits_;
 }
 
 int64_t
 SolveCache::misses() const
 {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(mu_);
     return misses_;
 }
 
 int64_t
 SolveCache::evictions() const
 {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(mu_);
     return evictions_;
 }
 
 size_t
 SolveCache::bytesUsed() const
 {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(mu_);
     return bytes_;
 }
 
 void
 SolveCache::resetStats()
 {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(mu_);
     hits_ = 0;
     misses_ = 0;
     evictions_ = 0;

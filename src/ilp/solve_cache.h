@@ -39,11 +39,11 @@
 
 #include <cstdint>
 #include <list>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 
 #include "ilp/problem.h"
+#include "util/thread_annotations.h"
 
 namespace snip {
 
@@ -104,21 +104,27 @@ class SolveCache
         std::list<uint64_t>::iterator lru_it;
     };
 
-    bool saveLocked() const;   ///< writer; caller holds mu_
-    void insertLocked(uint64_t key, const IlpSolution &solution);
-    void enforceLimitsLocked(); ///< evict cold entries over the bounds
-    void touchLocked(Entry &entry, uint64_t key);
+    /** Persist the current contents (caller holds mu_). */
+    bool saveLocked() const SNIP_REQUIRES(mu_);
+    void insertLocked(uint64_t key, const IlpSolution &solution)
+        SNIP_REQUIRES(mu_);
+    /** Evict cold entries over the bounds. */
+    void enforceLimitsLocked() SNIP_REQUIRES(mu_);
+    void touchLocked(Entry &entry, uint64_t key) SNIP_REQUIRES(mu_);
 
-    mutable std::mutex mu_;
-    std::unordered_map<uint64_t, Entry> entries_;
-    std::list<uint64_t> lru_; ///< front = most recently used
+    mutable util::Mutex mu_;
+    std::unordered_map<uint64_t, Entry> entries_ SNIP_GUARDED_BY(mu_);
+    /** front = most recently used */
+    std::list<uint64_t> lru_ SNIP_GUARDED_BY(mu_);
+    /** Set once in the constructor, immutable afterwards — readable
+     *  without the lock. */
     std::string path_;
-    size_t max_entries_ = 0;
-    size_t max_bytes_ = 0;
-    size_t bytes_ = 0;
-    int64_t hits_ = 0;
-    int64_t misses_ = 0;
-    int64_t evictions_ = 0;
+    size_t max_entries_ SNIP_GUARDED_BY(mu_) = 0;
+    size_t max_bytes_ SNIP_GUARDED_BY(mu_) = 0;
+    size_t bytes_ SNIP_GUARDED_BY(mu_) = 0;
+    int64_t hits_ SNIP_GUARDED_BY(mu_) = 0;
+    int64_t misses_ SNIP_GUARDED_BY(mu_) = 0;
+    int64_t evictions_ SNIP_GUARDED_BY(mu_) = 0;
 };
 
 } // namespace snip

@@ -1,11 +1,11 @@
 #include "runtime/env_config.h"
 
 #include <cstdlib>
-#include <mutex>
 #include <thread>
 
 #include "util/logging.h"
 #include "util/string_util.h"
+#include "util/thread_annotations.h"
 
 namespace snip {
 namespace runtime {
@@ -65,10 +65,12 @@ appendKnob(std::string *out, const char *name, const EnvKnob &knob,
                               : "unset"));
 }
 
-std::mutex g_mu;
+util::Mutex g_mu;
 // Intentionally leaked so late readers (static destructors, atexit
-// telemetry flushes) never see a destroyed snapshot.
-EnvConfig *g_config = nullptr;
+// telemetry flushes) never see a destroyed snapshot. The POINTER is
+// guarded; the snapshot it points at is immutable after publication
+// (reloadEnvConfig is a test-only seam, documented in the header).
+EnvConfig *g_config SNIP_GUARDED_BY(g_mu) = nullptr;
 
 } // namespace
 
@@ -118,7 +120,7 @@ EnvConfig::dump() const
 const EnvConfig &
 envConfig()
 {
-    std::lock_guard<std::mutex> lk(g_mu);
+    util::MutexLock lk(g_mu);
     if (g_config == nullptr)
         g_config = new EnvConfig(EnvConfig::fromEnvironment());
     return *g_config;
@@ -127,7 +129,7 @@ envConfig()
 const EnvConfig &
 reloadEnvConfig()
 {
-    std::lock_guard<std::mutex> lk(g_mu);
+    util::MutexLock lk(g_mu);
     if (g_config == nullptr)
         g_config = new EnvConfig;
     *g_config = EnvConfig::fromEnvironment();

@@ -3,7 +3,6 @@
 #include <cmath>
 #include <cstdlib>
 #include <map>
-#include <mutex>
 #include <string_view>
 #include <vector>
 
@@ -11,6 +10,7 @@
 #include "telemetry/telemetry.h"
 #include "util/logging.h"
 #include "util/rng.h"
+#include "util/thread_annotations.h"
 
 namespace snip {
 namespace fault {
@@ -48,9 +48,9 @@ struct Site
  *  std::string. */
 struct Registry
 {
-    std::mutex mu;
-    std::map<std::string, Site, std::less<>> sites;
-    int64_t total_injected = 0;
+    util::Mutex mu;
+    std::map<std::string, Site, std::less<>> sites SNIP_GUARDED_BY(mu);
+    int64_t total_injected SNIP_GUARDED_BY(mu) = 0;
 };
 
 Registry &
@@ -156,7 +156,7 @@ int
 resolveMode()
 {
     Registry &reg = registry();
-    std::lock_guard<std::mutex> lk(reg.mu);
+    util::MutexLock lk(reg.mu);
     int mode = g_mode.load(std::memory_order_acquire);
     if (mode >= 0)
         return mode; // raced with another resolver/configure()
@@ -183,7 +183,7 @@ bool
 shouldInject(const char *site)
 {
     Registry &reg = registry();
-    std::lock_guard<std::mutex> lk(reg.mu);
+    util::MutexLock lk(reg.mu);
     auto it = reg.sites.find(std::string_view(site));
     if (it == reg.sites.end())
         return false;
@@ -220,7 +220,7 @@ configureFromSpec(const char *spec)
         std::string_view(spec) != "off" && !parseSpec(spec, &parsed))
         return false;
     Registry &reg = registry();
-    std::lock_guard<std::mutex> lk(reg.mu);
+    util::MutexLock lk(reg.mu);
     reg.sites.clear();
     reg.total_injected = 0;
     for (auto &entry : parsed)
@@ -240,7 +240,7 @@ int64_t
 siteHits(const std::string &site)
 {
     Registry &reg = registry();
-    std::lock_guard<std::mutex> lk(reg.mu);
+    util::MutexLock lk(reg.mu);
     auto it = reg.sites.find(site);
     return it == reg.sites.end() ? 0 : it->second.hits;
 }
@@ -249,7 +249,7 @@ int64_t
 siteInjected(const std::string &site)
 {
     Registry &reg = registry();
-    std::lock_guard<std::mutex> lk(reg.mu);
+    util::MutexLock lk(reg.mu);
     auto it = reg.sites.find(site);
     return it == reg.sites.end() ? 0 : it->second.injected;
 }
@@ -258,7 +258,7 @@ int64_t
 totalInjected()
 {
     Registry &reg = registry();
-    std::lock_guard<std::mutex> lk(reg.mu);
+    util::MutexLock lk(reg.mu);
     return reg.total_injected;
 }
 

@@ -8,10 +8,10 @@ namespace runtime {
 TaskThread::~TaskThread()
 {
     {
-        std::unique_lock<std::mutex> lock(mu_);
+        util::MutexLock lock(mu_);
         stop_ = true;
     }
-    wake_cv_.notify_all();
+    wake_cv_.notifyAll();
     if (worker_.joinable())
         worker_.join();
 }
@@ -21,7 +21,7 @@ TaskThread::submit(std::function<void()> fn)
 {
     SNIP_ASSERT(fn, "null task submitted");
     {
-        std::unique_lock<std::mutex> lock(mu_);
+        util::MutexLock lock(mu_);
         SNIP_ASSERT(!stop_, "submit after TaskThread shutdown");
         queue_.push_back(std::move(fn));
         ++submitted_;
@@ -30,35 +30,36 @@ TaskThread::submit(std::function<void()> fn)
             worker_ = std::thread([this] { workerLoop(); });
         }
     }
-    wake_cv_.notify_one();
+    wake_cv_.notifyOne();
 }
 
 void
 TaskThread::drain()
 {
-    std::unique_lock<std::mutex> lock(mu_);
+    util::MutexLock lock(mu_);
     const int64_t target = submitted_;
-    idle_cv_.wait(lock, [&] { return completed_ >= target; });
+    while (completed_ < target)
+        idle_cv_.wait(mu_);
 }
 
 int64_t
 TaskThread::submitted() const
 {
-    std::unique_lock<std::mutex> lock(mu_);
+    util::MutexLock lock(mu_);
     return submitted_;
 }
 
 int64_t
 TaskThread::completed() const
 {
-    std::unique_lock<std::mutex> lock(mu_);
+    util::MutexLock lock(mu_);
     return completed_;
 }
 
 bool
 TaskThread::busy() const
 {
-    std::unique_lock<std::mutex> lock(mu_);
+    util::MutexLock lock(mu_);
     return completed_ < submitted_;
 }
 
@@ -68,9 +69,9 @@ TaskThread::workerLoop()
     for (;;) {
         std::function<void()> task;
         {
-            std::unique_lock<std::mutex> lock(mu_);
-            wake_cv_.wait(lock,
-                          [&] { return stop_ || !queue_.empty(); });
+            util::MutexLock lock(mu_);
+            while (!stop_ && queue_.empty())
+                wake_cv_.wait(mu_);
             // Drain remaining tasks even when stopping, so destruction
             // never drops submitted work.
             if (queue_.empty())
@@ -80,10 +81,10 @@ TaskThread::workerLoop()
         }
         task();
         {
-            std::unique_lock<std::mutex> lock(mu_);
+            util::MutexLock lock(mu_);
             ++completed_;
         }
-        idle_cv_.notify_all();
+        idle_cv_.notifyAll();
     }
 }
 

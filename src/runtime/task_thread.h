@@ -19,12 +19,12 @@
 #ifndef SNIP_RUNTIME_TASK_THREAD_H
 #define SNIP_RUNTIME_TASK_THREAD_H
 
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
+
+#include "util/thread_annotations.h"
 
 namespace snip {
 namespace runtime {
@@ -57,15 +57,18 @@ class TaskThread
   private:
     void workerLoop();
 
-    mutable std::mutex mu_;
-    std::condition_variable wake_cv_;
-    std::condition_variable idle_cv_;
-    std::deque<std::function<void()>> queue_;
+    mutable util::Mutex mu_;
+    util::CondVar wake_cv_;
+    util::CondVar idle_cv_;
+    std::deque<std::function<void()>> queue_ SNIP_GUARDED_BY(mu_);
+    /** Started (at most once) under mu_ by the first submit(); joined
+     *  by the destructor after stop_ is set, when no other thread may
+     *  touch this object anymore — so the join itself needs no lock. */
     std::thread worker_;
-    int64_t submitted_ = 0;
-    int64_t completed_ = 0;
-    bool started_ = false;
-    bool stop_ = false;
+    int64_t submitted_ SNIP_GUARDED_BY(mu_) = 0;
+    int64_t completed_ SNIP_GUARDED_BY(mu_) = 0;
+    bool started_ SNIP_GUARDED_BY(mu_) = false;
+    bool stop_ SNIP_GUARDED_BY(mu_) = false;
 };
 
 } // namespace runtime

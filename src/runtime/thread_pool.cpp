@@ -45,8 +45,12 @@ struct ThreadPool::Job
      *  the fields reinitialized under it. */
     std::atomic<int> active_workers{0};
 
-    std::mutex err_mu;
-    std::exception_ptr error;
+    util::Mutex err_mu;
+    /** First exception thrown by a chunk; rethrown by the submitter.
+     *  The final read happens after all chunks completed (the
+     *  done_chunks acquire), but taking err_mu there too keeps the
+     *  contract machine-checked at negligible cost. */
+    std::exception_ptr error SNIP_GUARDED_BY(err_mu);
 };
 
 ThreadPool::ThreadPool(int threads)
@@ -60,10 +64,10 @@ ThreadPool::ThreadPool(int threads)
 ThreadPool::~ThreadPool()
 {
     {
-        std::lock_guard<std::mutex> lk(mu_);
+        util::MutexLock lk(mu_);
         stop_ = true;
     }
-    wake_cv_.notify_all();
+    wake_cv_.notifyAll();
     for (auto &w : workers_)
         w.join();
 }
@@ -83,7 +87,10 @@ ThreadPool::runChunks(Job &job)
     const bool was_in_region = t_in_parallel_region;
     t_in_parallel_region = true;
     for (;;) {
-        const int64_t chunk = job.next_chunk.fetch_add(1);
+        // Relaxed: the ticket only claims an index; the chunk's
+        // output is published by the done_chunks release below.
+        const int64_t chunk =
+            job.next_chunk.fetch_add(1, std::memory_order_relaxed);
         if (chunk >= job.n_chunks)
             break;
         const int64_t i0 = job.begin + chunk * job.grain;
@@ -91,11 +98,13 @@ ThreadPool::runChunks(Job &job)
         try {
             (*job.fn)(i0, i1);
         } catch (...) {
-            std::lock_guard<std::mutex> lk(job.err_mu);
+            util::MutexLock lk(job.err_mu);
             if (!job.error)
                 job.error = std::current_exception();
         }
-        job.done_chunks.fetch_add(1);
+        // Release: publishes this chunk's writes (and any stored
+        // exception) to the submitter's acquire load in parallelFor.
+        job.done_chunks.fetch_add(1, std::memory_order_release);
     }
     t_in_parallel_region = was_in_region;
     if (telem)
@@ -113,10 +122,9 @@ ThreadPool::workerLoop()
     for (;;) {
         std::shared_ptr<Job> job;
         {
-            std::unique_lock<std::mutex> lk(mu_);
-            wake_cv_.wait(lk, [&] {
-                return stop_ || generation_ != seen;
-            });
+            util::MutexLock lk(mu_);
+            while (!stop_ && generation_ == seen)
+                wake_cv_.wait(mu_);
             if (stop_)
                 return;
             seen = generation_;
@@ -130,12 +138,15 @@ ThreadPool::workerLoop()
         runChunks(*job);
         // Read completion BEFORE dropping the active count: after the
         // decrement the submitter may recycle the Job's fields.
+        // Acquire pairs with the other workers' release increments:
+        // whoever observes the last chunk retired wakes the submitter.
         const bool all_done =
-            job->done_chunks.load() >= job->n_chunks;
+            job->done_chunks.load(std::memory_order_acquire) >=
+            job->n_chunks;
         job->active_workers.fetch_sub(1, std::memory_order_release);
         if (all_done) {
-            std::lock_guard<std::mutex> lk(mu_);
-            done_cv_.notify_all();
+            util::MutexLock lk(mu_);
+            done_cv_.notifyAll();
         }
     }
 }
@@ -190,7 +201,7 @@ ThreadPool::parallelFor(int64_t begin, int64_t end, int64_t grain,
         return;
     }
 
-    std::lock_guard<std::mutex> submit_lk(submit_mu_);
+    util::MutexLock submit_lk(submit_mu_);
 
     // Reuse the recycled Job unless a straggling worker from the
     // previous submission is still unwinding (acquire pairs with the
@@ -203,7 +214,10 @@ ThreadPool::parallelFor(int64_t begin, int64_t end, int64_t grain,
         job = job_storage_;
         job->next_chunk.store(0, std::memory_order_relaxed);
         job->done_chunks.store(0, std::memory_order_relaxed);
-        job->error = nullptr;
+        {
+            util::MutexLock err_lk(job->err_mu);
+            job->error = nullptr;
+        }
     } else {
         job = std::make_shared<Job>();
         job_storage_ = job;
@@ -215,20 +229,22 @@ ThreadPool::parallelFor(int64_t begin, int64_t end, int64_t grain,
     job->fn = &fn;
 
     {
-        std::lock_guard<std::mutex> lk(mu_);
+        util::MutexLock lk(mu_);
         job_ = job;
         ++generation_;
     }
-    wake_cv_.notify_all();
+    wake_cv_.notifyAll();
 
     // The submitting thread works too.
     runChunks(*job);
 
     {
-        std::unique_lock<std::mutex> lk(mu_);
-        done_cv_.wait(lk, [&] {
-            return job->done_chunks.load() >= job->n_chunks;
-        });
+        util::MutexLock lk(mu_);
+        // Acquire pairs with each worker's release increment, making
+        // every chunk's writes visible to the submitter.
+        while (job->done_chunks.load(std::memory_order_acquire) <
+               job->n_chunks)
+            done_cv_.wait(mu_);
         job_.reset();
     }
 
@@ -241,25 +257,28 @@ ThreadPool::parallelFor(int64_t begin, int64_t end, int64_t grain,
         telemetry::recordTimer(telemetry::Timer::PoolJob, s);
     }
 
-    if (job->error)
-        std::rethrow_exception(job->error);
+    {
+        util::MutexLock err_lk(job->err_mu);
+        if (job->error)
+            std::rethrow_exception(job->error);
+    }
 }
 
 namespace {
 
-std::mutex g_pool_mu;
+util::Mutex g_pool_mu;
 // Intentionally leaked: a static destructor would join worker threads
 // at exit, which deadlocks or crashes in processes that fork() with
 // the pool alive (gtest death tests) and is hostage to static
 // destruction order. The OS reclaims the threads at process exit.
-ThreadPool *g_pool = nullptr;
+ThreadPool *g_pool SNIP_GUARDED_BY(g_pool_mu) = nullptr;
 
 } // namespace
 
 ThreadPool &
 globalThreadPool()
 {
-    std::lock_guard<std::mutex> lk(g_pool_mu);
+    util::MutexLock lk(g_pool_mu);
     if (!g_pool)
         g_pool = new ThreadPool();
     return *g_pool;
@@ -268,7 +287,7 @@ globalThreadPool()
 void
 setGlobalThreadCount(int threads)
 {
-    std::lock_guard<std::mutex> lk(g_pool_mu);
+    util::MutexLock lk(g_pool_mu);
     delete g_pool; // join old workers before spawning replacements
     g_pool = new ThreadPool(threads);
 }

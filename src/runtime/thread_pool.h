@@ -29,13 +29,13 @@
 #define SNIP_RUNTIME_THREAD_POOL_H
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "util/thread_annotations.h"
 
 namespace snip {
 namespace runtime {
@@ -91,21 +91,24 @@ class ThreadPool
     int n_threads_;
     std::vector<std::thread> workers_;
 
-    std::mutex mu_;
-    std::condition_variable wake_cv_;
-    std::condition_variable done_cv_;
-    std::shared_ptr<Job> job_;
+    /** Serializes concurrent parallelFor submissions from distinct
+     *  non-worker threads (the pool runs one job at a time). Lock
+     *  hierarchy: submit_mu_ is taken strictly before mu_, never the
+     *  reverse (workers only ever take mu_). */
+    util::Mutex submit_mu_ SNIP_ACQUIRED_BEFORE(mu_);
+
+    util::Mutex mu_;
+    util::CondVar wake_cv_;
+    util::CondVar done_cv_;
+    std::shared_ptr<Job> job_ SNIP_GUARDED_BY(mu_);
     /** Recycled Job storage: parallelFor reuses it whenever no
      *  straggling worker still references the previous job, making
      *  steady-state submissions allocation-free (the zero-alloc GEMM
-     *  contract, tests/test_workspace.cpp). */
-    std::shared_ptr<Job> job_storage_;
-    uint64_t generation_ = 0;
-    bool stop_ = false;
-
-    /** Serializes concurrent parallelFor submissions from distinct
-     *  non-worker threads (the pool runs one job at a time). */
-    std::mutex submit_mu_;
+     *  contract, tests/test_workspace.cpp). Only the submitter touches
+     *  it, serialized by submit_mu_. */
+    std::shared_ptr<Job> job_storage_ SNIP_GUARDED_BY(submit_mu_);
+    uint64_t generation_ SNIP_GUARDED_BY(mu_) = 0;
+    bool stop_ SNIP_GUARDED_BY(mu_) = false;
 };
 
 /** The process-wide shared pool (created on first use). */

@@ -38,6 +38,14 @@
  *  - An injected "serve.admit" fault defers the head admission
  *    (deterministic requeue); an idle engine bounds the deferrals so
  *    a hostile schedule cannot spin it forever.
+ *
+ * Concurrency contract: the engine is single-threaded BY DESIGN — one
+ * engine thread owns all mutable state below, and parallelism lives
+ * inside the batched forward (ThreadPool's parallelFor, whose chunks
+ * only read the engine's inputs). There is therefore no mutex to
+ * annotate (src/util/thread_annotations.h): the contract is that no
+ * Engine method is called from two threads, which is what lets the
+ * serve path stay bit-identical at any thread count.
  */
 #ifndef SNIP_SERVE_ENGINE_H
 #define SNIP_SERVE_ENGINE_H

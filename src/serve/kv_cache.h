@@ -21,10 +21,13 @@
  *         reading this cache is bit-identical to the full-sequence
  *         forward (the serving determinism baseline).
  *
- * The cache is not thread-safe: the engine serializes begin/append/end
- * on one thread. gatherHeadK/V are const and safe to call from pool
- * workers while no mutation is in flight (the decode schedule appends
- * serially, then fans gathers out).
+ * Concurrency contract: the cache is not thread-safe — the engine
+ * serializes begin/append/end on one thread, so there is no mutex to
+ * annotate (src/util/thread_annotations.h). gatherHeadK/V are const
+ * and safe to call from pool workers while no mutation is in flight
+ * (the decode schedule appends serially, then fans gathers out);
+ * parallelFor's join is the happens-before edge that publishes the
+ * appended pages to those workers.
  */
 #ifndef SNIP_SERVE_KV_CACHE_H
 #define SNIP_SERVE_KV_CACHE_H

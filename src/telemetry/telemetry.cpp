@@ -5,7 +5,6 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
-#include <mutex>
 #include <vector>
 
 #include <unistd.h>
@@ -17,6 +16,7 @@
 #include "tensor/gemm.h"
 #include "util/file_io.h"
 #include "util/logging.h"
+#include "util/thread_annotations.h"
 
 namespace snip {
 namespace telemetry {
@@ -54,25 +54,31 @@ using detail::Shard;
  *  export). Hot-path reads never take this lock. */
 struct Registry
 {
-    std::mutex mu;
+    /** Lock hierarchy: mu and flush_mu are never nested — a flusher
+     *  renders under mu, releases it, then serializes the file write
+     *  under flush_mu (SNIP_ACQUIRED_BEFORE documents the one legal
+     *  order should that ever change). */
+    util::Mutex mu SNIP_ACQUIRED_BEFORE(flush_mu);
     /** All shards ever created. Never freed: a dead thread's cells
      *  stay part of the cumulative totals (and thread_local cleanup
      *  order stays irrelevant). Intentionally leaked, like the global
-     *  thread pool. */
-    std::vector<Shard *> shards;
+     *  thread pool. The vector is guarded; the shard CELLS are not —
+     *  they are owner-written atomics the folder reads relaxed. */
+    std::vector<Shard *> shards SNIP_GUARDED_BY(mu);
 
-    Config config;
-    bool atexit_registered = false;
+    Config config SNIP_GUARDED_BY(mu);
+    bool atexit_registered SNIP_GUARDED_BY(mu) = false;
 
     /** Baseline of the previous boundary (deltas are taken against
      *  it) and the boundary wall clock. */
-    Snapshot prev;
-    std::chrono::steady_clock::time_point prev_time;
-    bool have_prev_time = false;
+    Snapshot prev SNIP_GUARDED_BY(mu);
+    std::chrono::steady_clock::time_point prev_time
+        SNIP_GUARDED_BY(mu);
+    bool have_prev_time SNIP_GUARDED_BY(mu) = false;
 
     /** Rendered per-step JSON objects, joined at flush(). */
-    std::vector<std::string> series;
-    int boundaries_since_flush = 0;
+    std::vector<std::string> series SNIP_GUARDED_BY(mu);
+    int boundaries_since_flush SNIP_GUARDED_BY(mu) = 0;
 
     /** Export writes happen outside mu (see prepareFlushLocked), so
      *  concurrent flushers need their own serialization: the staging
@@ -81,9 +87,9 @@ struct Registry
      *  mu) stamps each prepared document; flush_published (under
      *  flush_mu) drops a snapshot that lost the race to a newer one
      *  instead of publishing stale data over it. */
-    std::mutex flush_mu;
-    uint64_t flush_seq = 0;
-    uint64_t flush_published = 0;
+    util::Mutex flush_mu;
+    uint64_t flush_seq SNIP_GUARDED_BY(mu) = 0;
+    uint64_t flush_published SNIP_GUARDED_BY(flush_mu) = 0;
 };
 
 Registry &
@@ -94,7 +100,7 @@ registry()
 }
 
 Snapshot
-foldLocked(Registry &reg)
+foldLocked(Registry &reg) SNIP_REQUIRES(reg.mu)
 {
     Snapshot out;
     for (Shard *shard : reg.shards) {
@@ -376,7 +382,7 @@ renderTotals(const Snapshot &snap)
 }
 
 std::string
-renderDocumentLocked(Registry &reg)
+renderDocumentLocked(Registry &reg) SNIP_REQUIRES(reg.mu)
 {
     std::string doc = "{\"schema\": \"snip-telemetry-v1\", \"meta\": {";
     appendInt(doc, "pid", static_cast<int64_t>(::getpid()), true);
@@ -421,7 +427,7 @@ renderDocumentLocked(Registry &reg)
  */
 void
 prepareFlushLocked(Registry &reg, std::string *path, std::string *doc,
-                   uint64_t *seq)
+                   uint64_t *seq) SNIP_REQUIRES(reg.mu)
 {
     reg.boundaries_since_flush = 0;
     path->clear();
@@ -436,9 +442,9 @@ prepareFlushLocked(Registry &reg, std::string *path, std::string *doc,
  *  exporters and skipped when a newer snapshot already landed. */
 bool
 writeExport(Registry &reg, uint64_t seq, const std::string &path,
-            const std::string &doc)
+            const std::string &doc) SNIP_EXCLUDES(reg.mu)
 {
-    std::lock_guard<std::mutex> lk(reg.flush_mu);
+    util::MutexLock lk(reg.flush_mu);
     if (seq <= reg.flush_published)
         return true; // a newer snapshot was already published
     if (!detail::writeFileAtomic(path, doc))
@@ -449,6 +455,7 @@ writeExport(Registry &reg, uint64_t seq, const std::string &path,
 
 void
 applyConfigLocked(Registry &reg, const Config &config)
+    SNIP_REQUIRES(reg.mu)
 {
     reg.config = config;
     reg.series.clear();
@@ -509,7 +516,7 @@ int
 resolveMode()
 {
     Registry &reg = registry();
-    std::lock_guard<std::mutex> lk(reg.mu);
+    util::MutexLock lk(reg.mu);
     int mode = g_mode.load(std::memory_order_acquire);
     if (mode >= 0)
         return mode; // raced with another resolver/configure()
@@ -529,7 +536,7 @@ Shard &
 shardSlow()
 {
     Registry &reg = registry();
-    std::lock_guard<std::mutex> lk(reg.mu);
+    util::MutexLock lk(reg.mu);
     if (t_shard == nullptr) {
         t_shard = new Shard; // leaked; see Registry::shards
         reg.shards.push_back(t_shard);
@@ -543,7 +550,7 @@ Snapshot
 snapshot()
 {
     Registry &reg = registry();
-    std::lock_guard<std::mutex> lk(reg.mu);
+    util::MutexLock lk(reg.mu);
     return foldLocked(reg);
 }
 
@@ -558,7 +565,7 @@ stepBoundary(int64_t step)
     std::string flush_path, flush_doc;
     uint64_t flush_seq = 0;
     {
-        std::lock_guard<std::mutex> lk(reg.mu);
+        util::MutexLock lk(reg.mu);
         const auto now_time = std::chrono::steady_clock::now();
         double wall_seconds = 0.0;
         if (reg.have_prev_time)
@@ -590,7 +597,7 @@ flush()
     std::string path, doc;
     uint64_t seq = 0;
     {
-        std::lock_guard<std::mutex> lk(reg.mu);
+        util::MutexLock lk(reg.mu);
         prepareFlushLocked(reg, &path, &doc, &seq);
     }
     if (path.empty())
@@ -602,7 +609,7 @@ int64_t
 stepsRecorded()
 {
     Registry &reg = registry();
-    std::lock_guard<std::mutex> lk(reg.mu);
+    util::MutexLock lk(reg.mu);
     return static_cast<int64_t>(reg.series.size());
 }
 
@@ -647,7 +654,7 @@ void
 configure(const Config &config)
 {
     Registry &reg = registry();
-    std::lock_guard<std::mutex> lk(reg.mu);
+    util::MutexLock lk(reg.mu);
     applyConfigLocked(reg, config);
 }
 

@@ -4,7 +4,6 @@
 #include <chrono>
 #include <cstdio>
 #include <cstring>
-#include <mutex>
 #include <vector>
 
 #include <unistd.h>
@@ -12,6 +11,7 @@
 #include "runtime/env_config.h"
 #include "telemetry/telemetry.h"
 #include "util/logging.h"
+#include "util/thread_annotations.h"
 
 namespace snip {
 namespace trace {
@@ -35,13 +35,15 @@ const char *const kCategoryNames[kNumCategories] = {
  *  Hot-path recording never takes this lock. */
 struct Registry
 {
-    std::mutex mu;
+    util::Mutex mu;
     /** All rings ever created, in registration order (the order
-     *  assigns tids). Never freed; see Ring. */
-    std::vector<Ring *> rings;
+     *  assigns tids). Never freed; see Ring. The vector is guarded;
+     *  ring CELLS are owner-written under the seqlock protocol the
+     *  exporter reads with acquire loads. */
+    std::vector<Ring *> rings SNIP_GUARDED_BY(mu);
 
-    Config config;
-    bool atexit_registered = false;
+    Config config SNIP_GUARDED_BY(mu);
+    bool atexit_registered SNIP_GUARDED_BY(mu) = false;
 };
 
 Registry &
@@ -179,7 +181,7 @@ appendThreadNameEvent(std::string &out, int64_t pid, int tid,
 }
 
 std::string
-renderJsonLocked(Registry &reg)
+renderJsonLocked(Registry &reg) SNIP_REQUIRES(reg.mu)
 {
     const int64_t pid = static_cast<int64_t>(::getpid());
     std::string doc = "{\"traceEvents\": [\n";
@@ -206,7 +208,7 @@ renderJsonLocked(Registry &reg)
 }
 
 bool
-flushLocked(Registry &reg)
+flushLocked(Registry &reg) SNIP_REQUIRES(reg.mu)
 {
     if (reg.config.json_path.empty())
         return true;
@@ -216,6 +218,7 @@ flushLocked(Registry &reg)
 
 void
 applyConfigLocked(Registry &reg, const Config &config)
+    SNIP_REQUIRES(reg.mu)
 {
     reg.config = config;
     if (config.enabled && !config.json_path.empty() &&
@@ -262,7 +265,7 @@ int
 resolveMode()
 {
     Registry &reg = registry();
-    std::lock_guard<std::mutex> lk(reg.mu);
+    util::MutexLock lk(reg.mu);
     int mode = g_mode.load(std::memory_order_acquire);
     if (mode >= 0)
         return mode; // raced with another resolver/configure()
@@ -281,7 +284,7 @@ Ring &
 ringSlow()
 {
     Registry &reg = registry();
-    std::lock_guard<std::mutex> lk(reg.mu);
+    util::MutexLock lk(reg.mu);
     if (t_ring == nullptr) {
         t_ring = new Ring; // leaked; see Registry::rings
         reg.rings.push_back(t_ring);
@@ -312,7 +315,7 @@ std::string
 renderJson()
 {
     Registry &reg = registry();
-    std::lock_guard<std::mutex> lk(reg.mu);
+    util::MutexLock lk(reg.mu);
     return renderJsonLocked(reg);
 }
 
@@ -322,7 +325,7 @@ flush()
     if (detail::g_mode.load(std::memory_order_acquire) != 1)
         return true;
     Registry &reg = registry();
-    std::lock_guard<std::mutex> lk(reg.mu);
+    util::MutexLock lk(reg.mu);
     return flushLocked(reg);
 }
 
@@ -330,7 +333,7 @@ int64_t
 spansRecorded()
 {
     Registry &reg = registry();
-    std::lock_guard<std::mutex> lk(reg.mu);
+    util::MutexLock lk(reg.mu);
     int64_t n = 0;
     for (const Ring *r : reg.rings) {
         const uint64_t head = r->head.load(std::memory_order_acquire);
@@ -344,7 +347,7 @@ void
 configure(const Config &config)
 {
     Registry &reg = registry();
-    std::lock_guard<std::mutex> lk(reg.mu);
+    util::MutexLock lk(reg.mu);
     applyConfigLocked(reg, config);
 }
 

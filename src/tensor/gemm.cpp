@@ -4,7 +4,6 @@
 #include <atomic>
 #include <cstdlib>
 #include <cstring>
-#include <mutex>
 #include <vector>
 
 #include "quant/codec.h"
@@ -14,6 +13,7 @@
 #include "runtime/workspace_arena.h"
 #include "simd/dispatch.h"
 #include "simd/kernels.h"
+#include "util/thread_annotations.h"
 #include "telemetry/telemetry.h"
 #include "telemetry/trace.h"
 #include "util/logging.h"
@@ -366,11 +366,13 @@ struct PackedWeightCache::Impl
         int64_t n = 0, k = 0;
         int64_t src_rows = 0, src_cols = 0;
     };
-    std::mutex mu;
-    Slot slots[2];
+    util::Mutex mu;
+    Slot slots[2] SNIP_GUARDED_BY(mu);
     /** Epoch in which a mutable weight reference escaped (non-const
      *  Linear::weight()): implicit caching stays off until the next
-     *  epoch re-establishes the single-writer discipline. ~0 = never. */
+     *  epoch re-establishes the single-writer discipline. ~0 = never.
+     *  Atomic (not mu-guarded) so implicitCachingActive() can poll it
+     *  from the hot path without taking the cache lock. */
     std::atomic<uint64_t> disabled_epoch{~uint64_t{0}};
 };
 
@@ -380,11 +382,15 @@ PackedWeightCache::~PackedWeightCache() = default;
 void
 PackedWeightCache::invalidate()
 {
-    std::lock_guard<std::mutex> lk(impl_->mu);
+    util::MutexLock lk(impl_->mu);
     impl_->slots[0].valid = false;
     impl_->slots[1].valid = false;
-    impl_->disabled_epoch =
-        g_weight_epoch.load(std::memory_order_acquire);
+    // Release pairs with the acquire in implicitCachingActive(): a
+    // thread that observes the new disabled_epoch also observes the
+    // slot invalidation above.
+    impl_->disabled_epoch.store(
+        g_weight_epoch.load(std::memory_order_acquire),
+        std::memory_order_release);
 }
 
 bool
@@ -423,7 +429,7 @@ cachedPackB(PackedWeightCache *cache, int orient, PackedCtx *ctx,
             const QuantConfig *cfg, int64_t src_rows, int64_t src_cols)
 {
     PackedWeightCache::Impl &impl = cache->impl();
-    std::lock_guard<std::mutex> lk(impl.mu);
+    util::MutexLock lk(impl.mu);
     PackedWeightCache::Impl::Slot &slot = impl.slots[orient];
     const uint64_t epoch =
         g_weight_epoch.load(std::memory_order_acquire);

@@ -22,6 +22,13 @@
  * and loadCheckpointWithFallback() walks that chain to the newest
  * checkpoint that still validates.
  *
+ * Concurrency contract: checkpoint save/load runs on the trainer
+ * thread only — the functions below share no mutable state (all
+ * buffers are locals), so there is nothing for a mutex annotation
+ * (src/util/thread_annotations.h) to guard. Concurrent saves of the
+ * SAME path from different processes are serialized by the atomic
+ * rename publish, not by in-process locking.
+ *
  * When a SnipController is passed, an optional trailing section also
  * persists the controller's update state — its epoch counter, last
  * applied scheme, and any in-flight async update (saving waits for the

@@ -11,13 +11,15 @@ std::atomic<LogLevel> g_level{LogLevel::Info};
 void
 setLogLevel(LogLevel level)
 {
-    g_level.store(level);
+    // Relaxed: the level is an independent config flag — readers need
+    // no ordering with any other memory, only eventual visibility.
+    g_level.store(level, std::memory_order_relaxed);
 }
 
 LogLevel
 logLevel()
 {
-    return g_level.load();
+    return g_level.load(std::memory_order_relaxed);
 }
 
 namespace detail {
@@ -25,7 +27,8 @@ namespace detail {
 void
 emit(LogLevel level, const std::string &prefix, const std::string &msg)
 {
-    if (static_cast<int>(level) > static_cast<int>(g_level.load()))
+    if (static_cast<int>(level) >
+        static_cast<int>(g_level.load(std::memory_order_relaxed)))
         return;
     std::fprintf(stderr, "[%s] %s\n", prefix.c_str(), msg.c_str());
 }

@@ -1,9 +1,9 @@
 #include "util/table.h"
 
 #include <cstdio>
-#include <fstream>
 #include <sstream>
 
+#include "util/file_io.h"
 #include "util/logging.h"
 
 namespace snip {
@@ -98,11 +98,9 @@ TablePrinter::print() const
 bool
 writeFile(const std::string &path, const std::string &contents)
 {
-    std::ofstream out(path, std::ios::binary | std::ios::trunc);
-    if (!out)
-        return false;
-    out << contents;
-    return static_cast<bool>(out);
+    // Delegates to fsio so every file publication in the library goes
+    // through one audited code path (the snip_lint.py ofstream rule).
+    return fsio::writeFile(path, contents);
 }
 
 } // namespace snip

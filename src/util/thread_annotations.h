@@ -1,0 +1,206 @@
+/**
+ * @file
+ * Concurrency-contract vocabulary: Clang thread-safety-analysis macros
+ * plus the annotated mutex family every locked subsystem uses.
+ *
+ * The repo's determinism guarantee (training and serving bit-identical
+ * at 1/2/8 threads) rests on hand-maintained mutex <-> data contracts.
+ * This header makes those contracts machine-checkable: a member
+ * declared `SNIP_GUARDED_BY(mu_)` can only be touched while `mu_` is
+ * held, a function declared `SNIP_REQUIRES(mu_)` can only be called
+ * with it held, and clang's `-Wthread-safety` (promoted to an error in
+ * CI for clang builds) rejects every violation at compile time.
+ *
+ * Under GCC (which has no thread-safety analysis) every macro expands
+ * to nothing, so the annotations are free documentation there and the
+ * build stays portable.
+ *
+ * Why a wrapper mutex instead of std::mutex: the analysis only tracks
+ * capabilities through *annotated* acquire/release functions, and
+ * libstdc++'s std::mutex / std::lock_guard carry no annotations. The
+ * `Mutex` / `MutexLock` / `CondVar` types below are thin, zero-
+ * overhead shims over the std primitives whose operations ARE
+ * annotated — use them for any new locked state.
+ *
+ * Condition-variable discipline: CondVar::wait(mu) is annotated
+ * SNIP_REQUIRES(mu) — the caller holds the lock before and after, and
+ * the temporary release inside the wait is invisible to the analysis
+ * (the standard treatment, same as abseil). Write waits as explicit
+ * `while (!condition) cv.wait(mu);` loops rather than lambda
+ * predicates: the loop condition is then checked in the annotated
+ * caller's scope, whereas a lambda body is a separate function the
+ * analysis would re-check without knowing the lock is held.
+ *
+ * TSan annotations (SNIP_TSAN_*): the intentional lock-free designs in
+ * this codebase (telemetry shards, the seqlock trace ring) perform all
+ * cross-thread communication through std::atomic, which ThreadSanitizer
+ * understands natively — they need no suppressions. The macros exist
+ * for any future pattern that must express a happens-before edge TSan
+ * cannot infer; prefer std::atomic first.
+ */
+#ifndef SNIP_UTIL_THREAD_ANNOTATIONS_H
+#define SNIP_UTIL_THREAD_ANNOTATIONS_H
+
+#include <condition_variable>
+#include <mutex>
+
+// --------------------------------------------------- attribute macros
+
+#if defined(__clang__) && !defined(SNIP_NO_THREAD_SAFETY_ANALYSIS_BUILD)
+#define SNIP_THREAD_ANNOTATION_(x) __attribute__((x))
+#else
+#define SNIP_THREAD_ANNOTATION_(x) // no-op outside clang
+#endif
+
+/** Marks a type as a lockable capability ("mutex"). */
+#define SNIP_CAPABILITY(x) SNIP_THREAD_ANNOTATION_(capability(x))
+
+/** Marks an RAII type that acquires in its ctor, releases in its dtor. */
+#define SNIP_SCOPED_CAPABILITY SNIP_THREAD_ANNOTATION_(scoped_lockable)
+
+/** Data member readable/writable only while holding the mutex. */
+#define SNIP_GUARDED_BY(x) SNIP_THREAD_ANNOTATION_(guarded_by(x))
+
+/** Pointer member whose *pointee* is protected by the mutex. */
+#define SNIP_PT_GUARDED_BY(x) SNIP_THREAD_ANNOTATION_(pt_guarded_by(x))
+
+/** Function callable only with the listed capabilities held. */
+#define SNIP_REQUIRES(...)                                                   \
+    SNIP_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
+
+/** Function that acquires the listed capabilities (and returns holding
+ *  them). */
+#define SNIP_ACQUIRE(...)                                                    \
+    SNIP_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
+
+/** Function that releases the listed capabilities. */
+#define SNIP_RELEASE(...)                                                    \
+    SNIP_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+
+/** Function that acquires the capability when returning @p ret. */
+#define SNIP_TRY_ACQUIRE(...)                                                \
+    SNIP_THREAD_ANNOTATION_(try_acquire_capability(__VA_ARGS__))
+
+/** Function that must NOT be entered with the listed capabilities held
+ *  (deadlock guard for self-locking entry points). */
+#define SNIP_EXCLUDES(...)                                                   \
+    SNIP_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
+
+/** Static lock-ordering declarations (documented hierarchy). */
+#define SNIP_ACQUIRED_BEFORE(...)                                            \
+    SNIP_THREAD_ANNOTATION_(acquired_before(__VA_ARGS__))
+#define SNIP_ACQUIRED_AFTER(...)                                             \
+    SNIP_THREAD_ANNOTATION_(acquired_after(__VA_ARGS__))
+
+/** Escape hatch for functions the analysis cannot model; every use
+ *  needs a comment stating the manual proof. */
+#define SNIP_NO_THREAD_SAFETY_ANALYSIS                                       \
+    SNIP_THREAD_ANNOTATION_(no_thread_safety_analysis)
+
+// ------------------------------------------------- TSan annotations
+
+#if defined(__SANITIZE_THREAD__)
+#define SNIP_TSAN_ENABLED 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define SNIP_TSAN_ENABLED 1
+#endif
+#endif
+
+#if defined(SNIP_TSAN_ENABLED)
+extern "C" {
+void AnnotateHappensBefore(const char *file, int line,
+                           const volatile void *addr);
+void AnnotateHappensAfter(const char *file, int line,
+                          const volatile void *addr);
+void AnnotateIgnoreWritesBegin(const char *file, int line);
+void AnnotateIgnoreWritesEnd(const char *file, int line);
+}
+/** Declare a happens-before edge TSan cannot infer (publisher side). */
+#define SNIP_TSAN_HAPPENS_BEFORE(addr)                                       \
+    AnnotateHappensBefore(__FILE__, __LINE__, (addr))
+/** Consumer side of SNIP_TSAN_HAPPENS_BEFORE. */
+#define SNIP_TSAN_HAPPENS_AFTER(addr)                                        \
+    AnnotateHappensAfter(__FILE__, __LINE__, (addr))
+/** Bracket a documented benign-race write region (use sparingly; a
+ *  suppressed real race is still a real race). */
+#define SNIP_TSAN_IGNORE_WRITES_BEGIN()                                      \
+    AnnotateIgnoreWritesBegin(__FILE__, __LINE__)
+#define SNIP_TSAN_IGNORE_WRITES_END()                                        \
+    AnnotateIgnoreWritesEnd(__FILE__, __LINE__)
+#else
+#define SNIP_TSAN_HAPPENS_BEFORE(addr) ((void)0)
+#define SNIP_TSAN_HAPPENS_AFTER(addr) ((void)0)
+#define SNIP_TSAN_IGNORE_WRITES_BEGIN() ((void)0)
+#define SNIP_TSAN_IGNORE_WRITES_END() ((void)0)
+#endif
+
+namespace snip {
+namespace util {
+
+// ------------------------------------------------ annotated mutexes
+
+/** std::mutex with annotated operations so the analysis can track it.
+ *  Same cost as std::mutex; prefer MutexLock over manual lock(). */
+class SNIP_CAPABILITY("mutex") Mutex
+{
+  public:
+    Mutex() = default;
+    Mutex(const Mutex &) = delete;
+    Mutex &operator=(const Mutex &) = delete;
+
+    void lock() SNIP_ACQUIRE() { mu_.lock(); }
+    void unlock() SNIP_RELEASE() { mu_.unlock(); }
+    bool try_lock() SNIP_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+  private:
+    std::mutex mu_;
+};
+
+/** RAII lock over Mutex (the annotated std::lock_guard). */
+class SNIP_SCOPED_CAPABILITY MutexLock
+{
+  public:
+    explicit MutexLock(Mutex &mu) SNIP_ACQUIRE(mu) : mu_(mu)
+    {
+        mu_.lock();
+    }
+    ~MutexLock() SNIP_RELEASE() { mu_.unlock(); }
+
+    MutexLock(const MutexLock &) = delete;
+    MutexLock &operator=(const MutexLock &) = delete;
+
+  private:
+    Mutex &mu_;
+};
+
+/**
+ * Condition variable paired with Mutex. wait() requires the caller to
+ * hold the mutex (re-acquired before returning); write waits as
+ * explicit `while (!cond) cv.wait(mu);` loops — see the file comment.
+ */
+class CondVar
+{
+  public:
+    CondVar() = default;
+    CondVar(const CondVar &) = delete;
+    CondVar &operator=(const CondVar &) = delete;
+
+    /** Atomically release @p mu and sleep; holds @p mu again on
+     *  return. Spurious wakeups happen — always re-check in a loop. */
+    void wait(Mutex &mu) SNIP_REQUIRES(mu) { cv_.wait(mu); }
+
+    void notifyOne() noexcept { cv_.notify_one(); }
+    void notifyAll() noexcept { cv_.notify_all(); }
+
+  private:
+    // condition_variable_any works with any Lockable, which lets the
+    // annotated Mutex participate directly (std::condition_variable
+    // would force an unannotated unique_lock<std::mutex> back in).
+    std::condition_variable_any cv_;
+};
+
+} // namespace util
+} // namespace snip
+
+#endif // SNIP_UTIL_THREAD_ANNOTATIONS_H

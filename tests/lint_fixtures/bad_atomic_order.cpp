@@ -1,0 +1,4 @@
+// Fixture: defaulted (seq_cst) atomic operations must fire.
+#include <atomic>
+std::atomic<int> g{0};
+int bump() { g.store(1); return g.load(); }

@@ -1,0 +1,3 @@
+// Fixture: getenv outside runtime/env_config must fire env-access.
+#include <cstdlib>
+int threads() { return std::getenv("SNIP_THREADS") != nullptr; }

@@ -1,0 +1,3 @@
+// Fixture: a fault site missing from the README table must fire.
+bool SNIP_FAULT_POINT(const char *);
+bool risky() { return SNIP_FAULT_POINT("bogus.site.not.in.readme"); }

@@ -1,0 +1,7 @@
+// Fixture: direct ofstream publishing must fire file-publish.
+#include <fstream>
+bool save(const char *path) {
+    std::ofstream out(path);
+    out << "data";
+    return static_cast<bool>(out);
+}

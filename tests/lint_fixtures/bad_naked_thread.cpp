@@ -1,0 +1,3 @@
+// Fixture: std::thread outside src/runtime/ must fire naked-thread.
+#include <thread>
+void spawn() { std::thread t([] {}); t.join(); }

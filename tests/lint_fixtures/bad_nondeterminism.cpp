@@ -1,0 +1,7 @@
+// Fixture: rand() and wall clocks must fire nondeterminism.
+#include <chrono>
+#include <cstdlib>
+int noisy() { return std::rand(); }
+long now() {
+    return std::chrono::system_clock::now().time_since_epoch().count();
+}

@@ -1,0 +1,8 @@
+// Fixture: explicit orders (wrapped across lines) are approved.
+#include <atomic>
+std::atomic<int> g{0};
+int bump() {
+    g.store(1,
+            std::memory_order_release); // publishes the flag
+    return g.load(std::memory_order_acquire);
+}

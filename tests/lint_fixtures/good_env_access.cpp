@@ -1,0 +1,4 @@
+// Fixture: mentioning getenv in comments or strings is fine.
+// std::getenv is banned here; the string below is not code either.
+const char *kDoc = "do not call getenv directly";
+int threads() { return 1; }

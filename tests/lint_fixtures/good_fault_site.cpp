@@ -1,0 +1,3 @@
+// Fixture: ckpt.write is registered in the README grammar table.
+bool SNIP_FAULT_POINT(const char *);
+bool risky() { return SNIP_FAULT_POINT("ckpt.write"); }

@@ -1,0 +1,6 @@
+// Fixture: publishing through util/file_io is the approved path.
+#include <string>
+namespace fsio { bool writeFileAtomic(const std::string &, const std::string &, bool); }
+bool save(const std::string &path) {
+    return fsio::writeFileAtomic(path, "data", true);
+}

@@ -1,0 +1,7 @@
+// Fixture: seeded generators and steady_clock are the approved tools.
+#include <chrono>
+#include <random>
+int seeded() { std::mt19937 gen(42); return static_cast<int>(gen()); }
+long now() {
+    return std::chrono::steady_clock::now().time_since_epoch().count();
+}

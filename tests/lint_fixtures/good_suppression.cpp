@@ -1,0 +1,6 @@
+// Fixture: an adjacent allow() marker silences a rule, with rationale.
+#include <atomic>
+std::atomic<int> g{0};
+// Benchmark-only counter; ordering is irrelevant by construction.
+// snip-lint: allow(atomic-order)
+int bump() { return g.load(); }

@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""Fixture tests for tools/snip_lint.py.
+
+Each rule has a bad_<rule>.cpp fixture that must fire exactly that rule
+and a good_<rule>.cpp fixture that must stay clean, so a regression in
+either direction (rule stops firing, or starts false-positiving on the
+approved idiom) fails here before it reaches CI. Run directly:
+
+    python3 tests/test_lint.py
+"""
+
+import subprocess
+import sys
+import unittest
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+LINT = REPO / "tools" / "snip_lint.py"
+FIXTURES = REPO / "tests" / "lint_fixtures"
+
+RULES = [
+    "env-access",
+    "nondeterminism",
+    "file-publish",
+    "naked-thread",
+    "fault-site",
+    "atomic-order",
+]
+
+
+def run_lint(*paths):
+    proc = subprocess.run(
+        [sys.executable, str(LINT)] + [str(p) for p in paths],
+        capture_output=True, text=True, cwd=str(REPO))
+    return proc.returncode, proc.stdout + proc.stderr
+
+
+class LintFixtureTest(unittest.TestCase):
+    def assert_fires(self, rule, fixture):
+        code, out = run_lint(fixture)
+        self.assertEqual(code, 1,
+                         f"{fixture.name} should fail lint:\n{out}")
+        self.assertIn(f"[{rule}]", out,
+                      f"{fixture.name} should fire {rule}:\n{out}")
+
+    def assert_clean(self, fixture):
+        code, out = run_lint(fixture)
+        self.assertEqual(code, 0,
+                         f"{fixture.name} should pass lint:\n{out}")
+
+    def test_each_rule_fires_on_its_bad_fixture(self):
+        for rule in RULES:
+            fixture = FIXTURES / f"bad_{rule.replace('-', '_')}.cpp"
+            self.assertTrue(fixture.exists(), f"missing {fixture}")
+            with self.subTest(rule=rule):
+                self.assert_fires(rule, fixture)
+
+    def test_each_rule_stays_quiet_on_its_good_fixture(self):
+        for rule in RULES:
+            fixture = FIXTURES / f"good_{rule.replace('-', '_')}.cpp"
+            self.assertTrue(fixture.exists(), f"missing {fixture}")
+            with self.subTest(rule=rule):
+                self.assert_clean(fixture)
+
+    def test_bad_fixture_fires_only_its_own_rule(self):
+        # Precision: the env-access fixture must not drag in unrelated
+        # rules (comment/string stripping works).
+        code, out = run_lint(FIXTURES / "bad_env_access.cpp")
+        self.assertEqual(code, 1)
+        for rule in RULES:
+            if rule == "env-access":
+                continue
+            self.assertNotIn(f"[{rule}]", out, out)
+
+    def test_suppression_marker_silences_the_rule(self):
+        self.assert_clean(FIXTURES / "good_suppression.cpp")
+
+    def test_src_tree_is_clean(self):
+        # The real invariant CI enforces: the shipped sources pass.
+        code, out = run_lint(REPO / "src")
+        self.assertEqual(code, 0, f"src/ has lint findings:\n{out}")
+
+
+if __name__ == "__main__":
+    unittest.main(verbosity=2)

@@ -1,0 +1,263 @@
+#!/usr/bin/env python3
+"""Repo-invariant linter for src/ (see README "Static analysis").
+
+Machine-checks the house rules that the codebase's determinism and
+durability guarantees rest on but that no compiler enforces:
+
+  env-access      all environment access goes through runtime/env_config
+                  (one snapshot at startup -> every knob is replayable).
+  nondeterminism  no rand()/random_device/wall-clock in library code;
+                  randomness comes from seeded generators, time from
+                  steady_clock (telemetry durations only).
+  file-publish    no direct ofstream/fopen publishing: every file write
+                  goes through util/file_io (writeFile/writeFileAtomic),
+                  the single audited crash-safe publication path.
+  naked-thread    no std::thread outside src/runtime/ - all parallelism
+                  flows through ThreadPool/TaskThread so the
+                  bit-identical-at-any-thread-count contract holds.
+  fault-site      every SNIP_FAULT_POINT("name") is registered in the
+                  README fault-grammar table (sites are user-facing API).
+  atomic-order    every atomic load/store/RMW names its memory_order -
+                  an implicit seq_cst is indistinguishable from an
+                  unconsidered one; the order at each site must be a
+                  documented decision.
+
+Usage:  tools/snip_lint.py [--readme README.md] [paths...]
+Paths default to src/. Exit status 1 when any finding is reported.
+
+Suppression: a line (or the line before it) containing
+`snip-lint: allow(<rule>)` silences that rule for that line. Every
+suppression needs an adjacent comment saying why.
+"""
+
+import argparse
+import re
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+# Per-rule path exemptions (prefix match on the repo-relative path).
+# These are the designated owners of the pattern each rule bans.
+EXEMPT = {
+    "env-access": ("src/runtime/env_config.cpp",),
+    "file-publish": ("src/util/file_io.cpp",),
+    "naked-thread": ("src/runtime/",),
+}
+
+SOURCE_SUFFIXES = (".h", ".hpp", ".c", ".cc", ".cpp")
+
+SUPPRESS_RE = re.compile(r"snip-lint:\s*allow\(([\w,\s-]+)\)")
+FAULT_SITE_RE = re.compile(r'SNIP_FAULT_POINT\s*\(\s*"([^"]+)"')
+
+# Patterns checked against comment- and string-stripped lines.
+SIMPLE_RULES = [
+    ("env-access", re.compile(r"\bgetenv\s*\("),
+     "environment access outside runtime/env_config (knobs must be "
+     "snapshotted once for replayability)"),
+    ("nondeterminism",
+     re.compile(r"\b(?:std::)?(?:rand|srand)\s*\(|random_device"
+                r"|system_clock|gettimeofday|\blocaltime\b|\bgmtime\b"
+                r"|(?<![\w.:>])time\s*\(\s*(?:NULL|nullptr|0|\))"),
+     "nondeterministic source in library code (use a seeded generator "
+     "or steady_clock)"),
+    ("file-publish",
+     re.compile(r"\bofstream\b|\bfopen\s*\("),
+     "direct file write outside util/file_io (publish through "
+     "fsio::writeFile / writeFileAtomic)"),
+    ("naked-thread",
+     re.compile(r"\bstd::thread\b"),
+     "std::thread outside src/runtime/ (route parallelism through "
+     "ThreadPool / TaskThread)"),
+]
+
+ATOMIC_CALL_RE = re.compile(
+    r"\.\s*(load|store|exchange|fetch_add|fetch_sub|fetch_and|fetch_or"
+    r"|fetch_xor|compare_exchange_weak|compare_exchange_strong)\s*\(")
+
+
+def strip_comments_and_strings(text):
+    """Blank out comments and string/char literals, preserving line
+    structure so reported line numbers match the file."""
+    out = []
+    i, n = 0, len(text)
+    state = None  # None | 'line' | 'block' | '"' | "'"
+    while i < n:
+        ch = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if state is None:
+            if ch == "/" and nxt == "/":
+                state = "line"
+                out.append("  ")
+                i += 2
+                continue
+            if ch == "/" and nxt == "*":
+                state = "block"
+                out.append("  ")
+                i += 2
+                continue
+            if ch in "\"'":
+                state = ch
+                out.append(ch)
+                i += 1
+                continue
+            out.append(ch)
+        elif state == "line":
+            if ch == "\n":
+                state = None
+                out.append(ch)
+            else:
+                out.append(" ")
+        elif state == "block":
+            if ch == "*" and nxt == "/":
+                state = None
+                out.append("  ")
+                i += 2
+                continue
+            out.append(ch if ch == "\n" else " ")
+        else:  # inside a string/char literal
+            if ch == "\\":
+                out.append("  ")
+                i += 2
+                continue
+            if ch == state:
+                state = None
+                out.append(ch)
+            elif ch == "\n":  # unterminated (raw string etc.) - bail
+                state = None
+                out.append(ch)
+            else:
+                out.append(" ")
+        i += 1
+    return "".join(out)
+
+
+def suppressions(raw_lines):
+    """Map line number -> set of rules allowed on that line (a marker
+    suppresses its own line and the one after, so it can sit on the
+    line above the finding)."""
+    allowed = {}
+    for idx, line in enumerate(raw_lines, 1):
+        m = SUPPRESS_RE.search(line)
+        if not m:
+            continue
+        rules = {r.strip() for r in m.group(1).split(",")}
+        for ln in (idx, idx + 1):
+            allowed.setdefault(ln, set()).update(rules)
+    return allowed
+
+
+def is_exempt(rule, rel):
+    return any(rel.startswith(p) for p in EXEMPT.get(rule, ()))
+
+
+def check_atomic_orders(stripped_lines, rel, allowed, findings):
+    """Flag atomic member calls that do not name a memory_order. The
+    call's argument text (joined across up to 4 lines) must contain a
+    memory_order token; loads/stores with defaulted order are banned."""
+    for idx, line in enumerate(stripped_lines):
+        for m in ATOMIC_CALL_RE.finditer(line):
+            ln = idx + 1
+            # The call's arguments may wrap; look from the call site
+            # through the next few lines for an order token.
+            window = " ".join([line[m.start():]] +
+                              stripped_lines[idx + 1:idx + 4])[:240]
+            if "memory_order" in window:
+                continue
+            if "atomic-order" in allowed.get(ln, set()):
+                continue
+            findings.append(
+                (rel, ln, "atomic-order",
+                 f"atomic {m.group(1)}() without an explicit "
+                 "memory_order (state the required ordering, with a "
+                 "comment, at every site)"))
+
+
+def lint_file(path, rel, findings):
+    raw = path.read_text(encoding="utf-8", errors="replace")
+    raw_lines = raw.split("\n")
+    allowed = suppressions(raw_lines)
+    stripped = strip_comments_and_strings(raw)
+    stripped_lines = stripped.split("\n")
+
+    for rule, pattern, message in SIMPLE_RULES:
+        if is_exempt(rule, rel):
+            continue
+        for idx, line in enumerate(stripped_lines):
+            if pattern.search(line):
+                ln = idx + 1
+                if rule in allowed.get(ln, set()):
+                    continue
+                findings.append((rel, ln, rule, message))
+
+    check_atomic_orders(stripped_lines, rel, allowed, findings)
+
+    sites = []
+    for idx, line in enumerate(raw_lines, 1):
+        for m in FAULT_SITE_RE.finditer(line):
+            sites.append((idx, m.group(1)))
+    return sites
+
+
+def check_fault_sites(sites_by_file, readme_path, findings):
+    try:
+        readme = readme_path.read_text(encoding="utf-8")
+    except OSError:
+        for rel, sites in sites_by_file.items():
+            for ln, name in sites:
+                findings.append((rel, ln, "fault-site",
+                                 f"cannot read {readme_path} to verify "
+                                 f"site '{name}'"))
+        return
+    for rel, sites in sites_by_file.items():
+        for ln, name in sites:
+            if f"`{name}`" not in readme:
+                findings.append(
+                    (rel, ln, "fault-site",
+                     f"fault site '{name}' is not registered in the "
+                     "README fault-grammar table (add it as `" + name +
+                     "` under the SNIP_FAULT section)"))
+
+
+def main(argv=None):
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("paths", nargs="*", default=None,
+                    help="files or directories to lint (default: src/)")
+    ap.add_argument("--readme", default=str(REPO / "README.md"),
+                    help="README holding the fault-grammar table")
+    args = ap.parse_args(argv)
+
+    roots = [Path(p) for p in (args.paths or [REPO / "src"])]
+    files = []
+    for root in roots:
+        if root.is_dir():
+            files.extend(sorted(p for p in root.rglob("*")
+                                if p.suffix in SOURCE_SUFFIXES))
+        elif root.suffix in SOURCE_SUFFIXES:
+            files.append(root)
+
+    findings = []
+    sites_by_file = {}
+    for path in files:
+        try:
+            rel = str(path.resolve().relative_to(REPO))
+        except ValueError:
+            rel = str(path)
+        sites = lint_file(path, rel, findings)
+        if sites:
+            sites_by_file[rel] = sites
+    check_fault_sites(sites_by_file, Path(args.readme), findings)
+
+    findings.sort()
+    for rel, ln, rule, message in findings:
+        print(f"{rel}:{ln}: [{rule}] {message}")
+    if findings:
+        print(f"snip_lint: {len(findings)} finding(s) in "
+              f"{len(files)} file(s)", file=sys.stderr)
+        return 1
+    print(f"snip_lint: OK ({len(files)} files)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
